@@ -1,0 +1,223 @@
+//! SoC configuration (Table VI platform).
+
+use crate::kinds::AccKind;
+use relief_core::predict::DataMovePredictor;
+use relief_core::{BandwidthPredictor, PolicyKind};
+use relief_mem::MemConfig;
+use relief_sim::{Dur, Time};
+
+/// Which bandwidth-prediction scheme to instantiate (§III-B / Table VIII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BwPredictorKind {
+    /// Assume peak effective bandwidth (the paper's default).
+    Max,
+    /// Last observed value.
+    Last,
+    /// Mean of the last `n` observations (paper: n = 15).
+    Average(usize),
+    /// EWMA with weight `alpha` (paper: α = 0.25).
+    Ewma(f64),
+}
+
+impl BwPredictorKind {
+    /// Scheme name as used in Table VIII.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BwPredictorKind::Max => "Max",
+            BwPredictorKind::Last => "Last",
+            BwPredictorKind::Average(_) => "Average",
+            BwPredictorKind::Ewma(_) => "EWMA",
+        }
+    }
+
+    /// Builds the predictor for a given peak bandwidth.
+    pub fn build(&self, max_bw: u64) -> BandwidthPredictor {
+        match *self {
+            BwPredictorKind::Max => BandwidthPredictor::max(max_bw),
+            BwPredictorKind::Last => BandwidthPredictor::last(max_bw),
+            BwPredictorKind::Average(n) => BandwidthPredictor::average(max_bw, n),
+            BwPredictorKind::Ewma(a) => BandwidthPredictor::ewma(max_bw, a),
+        }
+    }
+}
+
+/// Full configuration of one simulated SoC run.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// Number of accelerator instances per accelerator type id.
+    pub acc_instances: Vec<usize>,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// Active scheduling policy.
+    pub policy: PolicyKind,
+    /// Bandwidth-prediction scheme for laxity estimation.
+    pub bw_predictor: BwPredictorKind,
+    /// Data-movement-prediction scheme for laxity estimation.
+    pub dm_predictor: DataMovePredictor,
+    /// Scratchpad-to-scratchpad forwarding hardware present.
+    pub forwarding: bool,
+    /// Colocation (running a consumer on its producer's accelerator with
+    /// zero data movement) permitted.
+    pub colocation: bool,
+    /// Output scratchpad partitions per accelerator (Table IV allows up to
+    /// 3; the evaluated platform double-buffers output).
+    pub output_partitions: usize,
+    /// Hard simulation cap (the paper uses 50 ms for continuous
+    /// contention). `None` runs until all work drains.
+    pub time_limit: Option<Time>,
+    /// Whether the hardware manager's scheduling latency is modeled.
+    pub model_sched_overhead: bool,
+    /// Fixed ISR cost per completion interrupt.
+    pub sched_base_cost: Dur,
+    /// Cost per ready-queue insertion (policy-dependent; Fig. 12).
+    pub sched_insert_cost: Dur,
+    /// Relative uniform jitter applied to actual compute times, so the
+    /// compute predictor has something to mispredict (Table VIII measures
+    /// 0.03 % error on real hardware models).
+    pub compute_jitter: f64,
+    /// RNG seed (jitter only; the simulator is otherwise deterministic).
+    pub seed: u64,
+    /// Record a per-task schedule trace (see `relief_accel::trace`).
+    pub record_trace: bool,
+}
+
+impl SocConfig {
+    /// Per-insert scheduler cost defaults per policy, shaped after Fig. 12:
+    /// RELIEF's sorted insert plus feasibility scan costs the most, FCFS's
+    /// tail append the least.
+    pub fn default_insert_cost(policy: PolicyKind) -> Dur {
+        let ns = match policy {
+            PolicyKind::Fcfs => 150,
+            PolicyKind::GedfD => 300,
+            PolicyKind::GedfN => 320,
+            PolicyKind::Ll => 350,
+            PolicyKind::Lax => 380,
+            PolicyKind::HetSched => 420,
+            PolicyKind::Relief => 700,
+            PolicyKind::ReliefLax => 750,
+            PolicyKind::ReliefHet => 700,
+            PolicyKind::ReliefUnthrottled => 550,
+        };
+        Dur::from_ns(ns)
+    }
+
+    /// The paper's mobile platform: one instance of each of the seven
+    /// elementary accelerators, LPDDR5 + full-duplex bus, double-buffered
+    /// outputs, Max predictors, forwarding and colocation available.
+    pub fn mobile(policy: PolicyKind) -> Self {
+        SocConfig {
+            acc_instances: vec![1; AccKind::ALL.len()],
+            mem: MemConfig::default(),
+            policy,
+            bw_predictor: BwPredictorKind::Max,
+            dm_predictor: DataMovePredictor::Max,
+            forwarding: true,
+            colocation: true,
+            output_partitions: 2,
+            time_limit: None,
+            model_sched_overhead: true,
+            sched_base_cost: Dur::from_ns(200),
+            sched_insert_cost: Self::default_insert_cost(policy),
+            compute_jitter: 0.0005,
+            seed: 0x5EED,
+            record_trace: false,
+        }
+    }
+
+    /// A generic platform for tests and synthetic workloads: `instances[i]`
+    /// accelerators of type `i`.
+    pub fn generic(instances: Vec<usize>, policy: PolicyKind) -> Self {
+        SocConfig { acc_instances: instances, ..Self::mobile(policy) }
+    }
+
+    /// Switches the policy (and its default insert cost).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self.sched_insert_cost = Self::default_insert_cost(policy);
+        self
+    }
+
+    /// Disables forwarding and colocation (the Table II "no fwd" baseline).
+    pub fn without_forwarding(mut self) -> Self {
+        self.forwarding = false;
+        self.colocation = false;
+        self
+    }
+
+    /// Caps simulated time (continuous contention uses 50 ms).
+    pub fn with_time_limit(mut self, limit: Time) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Total accelerator instances.
+    pub fn total_instances(&self) -> usize {
+        self.acc_instances.iter().sum()
+    }
+
+    /// Validates invariants the simulator relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero accelerator types, zero output partitions, or a
+    /// negative/NaN jitter.
+    pub fn validate(&self) {
+        assert!(!self.acc_instances.is_empty(), "need at least one accelerator type");
+        assert!(self.output_partitions >= 1, "need at least one output partition");
+        assert!(
+            self.compute_jitter.is_finite() && (0.0..1.0).contains(&self.compute_jitter),
+            "compute jitter must be in [0, 1)"
+        );
+        self.mem.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_platform_shape() {
+        let c = SocConfig::mobile(PolicyKind::Relief);
+        assert_eq!(c.acc_instances, vec![1; 7]);
+        assert_eq!(c.total_instances(), 7);
+        assert_eq!(c.output_partitions, 2);
+        assert!(c.forwarding && c.colocation);
+        c.validate();
+    }
+
+    #[test]
+    fn builders() {
+        let c = SocConfig::mobile(PolicyKind::Fcfs)
+            .with_policy(PolicyKind::Relief)
+            .without_forwarding()
+            .with_time_limit(Time::from_ms(50));
+        assert_eq!(c.policy, PolicyKind::Relief);
+        assert!(!c.forwarding && !c.colocation);
+        assert_eq!(c.time_limit, Some(Time::from_ms(50)));
+        assert_eq!(c.sched_insert_cost, SocConfig::default_insert_cost(PolicyKind::Relief));
+    }
+
+    #[test]
+    fn insert_costs_ordered_like_fig12() {
+        let c = |p| SocConfig::default_insert_cost(p);
+        assert!(c(PolicyKind::Fcfs) < c(PolicyKind::GedfD));
+        assert!(c(PolicyKind::HetSched) < c(PolicyKind::Relief));
+    }
+
+    #[test]
+    fn bw_predictor_kinds_build() {
+        assert_eq!(BwPredictorKind::Max.build(100).predict(), 100.0);
+        assert_eq!(BwPredictorKind::Average(15).name(), "Average");
+        assert_eq!(BwPredictorKind::Ewma(0.25).name(), "EWMA");
+        assert_eq!(BwPredictorKind::Last.build(7).name(), "Last");
+    }
+
+    #[test]
+    #[should_panic(expected = "output partition")]
+    fn zero_partitions_rejected() {
+        let mut c = SocConfig::mobile(PolicyKind::Fcfs);
+        c.output_partitions = 0;
+        c.validate();
+    }
+}

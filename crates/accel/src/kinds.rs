@@ -1,0 +1,186 @@
+//! The seven elementary accelerators (Table I).
+//!
+//! Each accelerator is an ultra-low-latency fixed-function engine with a
+//! private scratchpad, profiled in the paper for a 128×128 input. Compute
+//! time is a function of the requested operation (e.g. a 3×3 convolution
+//! costs 9/25 of the profiled 5×5); transfer volumes are calibrated so the
+//! standalone DRAM memory time of each kind reproduces Table I's "Memory"
+//! column at the effective bandwidth of `relief_mem::MemConfig` (see
+//! DESIGN.md §8).
+
+use relief_dag::AccTypeId;
+use relief_sim::Dur;
+use std::fmt;
+
+/// Bytes of one 128×128 image plane at 4 B/pixel.
+pub const PLANE_BYTES: u64 = 128 * 128 * 4;
+
+/// The elementary accelerator types of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccKind {
+    /// Suppress pixels that likely don't belong to edges.
+    CannyNonMax,
+    /// Convolution with a maximum filter size of 5×5.
+    Convolution,
+    /// Mark and boost edge pixels based on a threshold.
+    EdgeTracking,
+    /// Element-wise matrix ops: add, mult, sqr, sqrt, atan2, tanh, sigmoid.
+    ElemMatrix,
+    /// Convert an RGB image to grayscale.
+    Grayscale,
+    /// Enhance maximal corner values in 3×3 grids, suppress others.
+    HarrisNonMax,
+    /// Demosaic, color-correct, and gamma-correct raw camera images.
+    Isp,
+}
+
+impl AccKind {
+    /// All seven kinds, in `AccTypeId` order.
+    pub const ALL: [AccKind; 7] = [
+        AccKind::CannyNonMax,
+        AccKind::Convolution,
+        AccKind::EdgeTracking,
+        AccKind::ElemMatrix,
+        AccKind::Grayscale,
+        AccKind::HarrisNonMax,
+        AccKind::Isp,
+    ];
+
+    /// The DAG-layer type id of this kind.
+    pub fn type_id(self) -> AccTypeId {
+        AccTypeId(Self::ALL.iter().position(|k| *k == self).expect("kind in ALL") as u32)
+    }
+
+    /// The kind for a DAG-layer type id, if it names one of the seven.
+    pub fn from_type_id(id: AccTypeId) -> Option<AccKind> {
+        Self::ALL.get(id.0 as usize).copied()
+    }
+
+    /// Kernel name as used in Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccKind::CannyNonMax => "canny-non-max",
+            AccKind::Convolution => "convolution",
+            AccKind::EdgeTracking => "edge-tracking",
+            AccKind::ElemMatrix => "elem-matrix",
+            AccKind::Grayscale => "grayscale",
+            AccKind::HarrisNonMax => "harris-non-max",
+            AccKind::Isp => "ISP",
+        }
+    }
+
+    /// Profiled compute time for the default operation on a 128×128 input
+    /// (Table I "Compute" column).
+    pub fn compute_time(self) -> Dur {
+        let us = match self {
+            AccKind::CannyNonMax => 443.02,
+            AccKind::Convolution => 1545.61,
+            AccKind::EdgeTracking => 324.73,
+            AccKind::ElemMatrix => 10.94,
+            AccKind::Grayscale => 10.26,
+            AccKind::HarrisNonMax => 105.01,
+            AccKind::Isp => 34.88,
+        };
+        Dur::from_us_f64(us)
+    }
+
+    /// Scratchpad capacity in bytes (Table I).
+    pub fn spad_bytes(self) -> u64 {
+        match self {
+            AccKind::CannyNonMax => 262_144,
+            AccKind::Convolution => 196_708,
+            AccKind::EdgeTracking => 98_432,
+            AccKind::ElemMatrix => 262_144,
+            AccKind::Grayscale => 180_224,
+            AccKind::HarrisNonMax => 196_608,
+            AccKind::Isp => 115_204,
+        }
+    }
+
+    /// Output-buffer size in bytes, calibrated so that the standalone
+    /// `inputs + output` DRAM time reproduces Table I's "Memory" column.
+    pub fn output_bytes(self) -> u64 {
+        match self {
+            // 2 planes in + 1 plane out = 30.44us.
+            AccKind::CannyNonMax => PLANE_BYTES,
+            // 1 plane in + 0.8 plane out = 18.26us.
+            AccKind::Convolution => 52_429,
+            // 1 plane in + 0.336 plane out = 13.56us.
+            AccKind::EdgeTracking => 22_020,
+            // 2 planes in + 1 plane out = 30.44us.
+            AccKind::ElemMatrix => PLANE_BYTES,
+            // 1 plane in + 0.5 plane out = 15.22us.
+            AccKind::Grayscale => PLANE_BYTES / 2,
+            // 1 plane in + 0.357 plane out = 13.77us.
+            AccKind::HarrisNonMax => 23_400,
+            // 0.359 plane raw in + 0.5 plane out = 8.71us.
+            AccKind::Isp => PLANE_BYTES / 2,
+        }
+    }
+
+    /// Bytes the ISP reads from the (raw Bayer) camera buffer in DRAM.
+    pub fn isp_raw_input_bytes() -> u64 {
+        23_530
+    }
+}
+
+impl fmt::Display for AccKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relief_mem::MemConfig;
+
+    #[test]
+    fn type_ids_round_trip() {
+        for (i, kind) in AccKind::ALL.iter().enumerate() {
+            assert_eq!(kind.type_id(), AccTypeId(i as u32));
+            assert_eq!(AccKind::from_type_id(AccTypeId(i as u32)), Some(*kind));
+        }
+        assert_eq!(AccKind::from_type_id(AccTypeId(7)), None);
+    }
+
+    #[test]
+    fn names_match_table_i() {
+        assert_eq!(AccKind::ElemMatrix.to_string(), "elem-matrix");
+        assert_eq!(AccKind::Isp.name(), "ISP");
+    }
+
+    /// Standalone DRAM memory time of each kind must reproduce Table I's
+    /// "Memory" column within a percent.
+    #[test]
+    fn memory_times_match_table_i() {
+        let bw = MemConfig::default().dram_bandwidth;
+        let cases: [(AccKind, u64, f64); 7] = [
+            (AccKind::CannyNonMax, 2 * PLANE_BYTES, 30.45),
+            (AccKind::Convolution, PLANE_BYTES, 18.25),
+            (AccKind::EdgeTracking, PLANE_BYTES, 13.56),
+            (AccKind::ElemMatrix, 2 * PLANE_BYTES, 30.44),
+            (AccKind::Grayscale, PLANE_BYTES / 2 + AccKind::Isp.output_bytes(), 15.23),
+            (AccKind::HarrisNonMax, PLANE_BYTES, 13.77),
+            (AccKind::Isp, AccKind::isp_raw_input_bytes(), 8.71),
+        ];
+        for (kind, in_bytes, expect_us) in cases {
+            let total = in_bytes + kind.output_bytes();
+            let t = Dur::for_bytes(total, bw).as_us_f64();
+            let err = (t - expect_us).abs() / expect_us;
+            assert!(err < 0.02, "{kind}: modeled {t:.2}us vs Table I {expect_us}us");
+        }
+    }
+
+    #[test]
+    fn compute_times_match_table_i() {
+        assert_eq!(AccKind::Convolution.compute_time(), Dur::from_us_f64(1545.61));
+        assert_eq!(AccKind::ElemMatrix.compute_time(), Dur::from_us_f64(10.94));
+    }
+
+    #[test]
+    fn spad_capacities_match_table_i() {
+        let total: u64 = AccKind::ALL.iter().map(|k| k.spad_bytes()).sum();
+        assert_eq!(total, 262_144 + 196_708 + 98_432 + 262_144 + 180_224 + 196_608 + 115_204);
+    }
+}

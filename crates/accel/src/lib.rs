@@ -1,0 +1,61 @@
+//! SoC simulator for RELIEF: accelerators, scratchpad forwarding, and the
+//! hardware-manager runtime.
+//!
+//! This crate models the platform of the paper's Table VI end to end:
+//!
+//! * [`kinds`] — the seven elementary accelerators of Table I with their
+//!   profiled compute times, scratchpad capacities, and calibrated
+//!   transfer volumes;
+//! * [`config`] — the SoC configuration (instances per type, memory
+//!   system, policy, predictors, forwarding switches, manager overhead);
+//! * [`sim`] — the discrete-event simulation: hardware-manager runtime
+//!   (ready queues, drivers, interrupt service), double-buffered
+//!   scratchpad outputs with `ongoing_reads` WAR tracking, the
+//!   scratchpad-to-scratchpad forwarding mechanism, colocation, and the
+//!   write-back rules of §III-C.
+//!
+//! # Examples
+//!
+//! Run Canny-like work under two policies and compare forwards:
+//!
+//! ```
+//! use relief_accel::{AppSpec, SocConfig, SocSim};
+//! use relief_core::PolicyKind;
+//! use relief_dag::{AccTypeId, DagBuilder, NodeSpec};
+//! use relief_sim::Dur;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), relief_dag::DagError> {
+//! let mut b = DagBuilder::new("chain", Dur::from_ms(1));
+//! let n: Vec<_> = (0..4)
+//!     .map(|_| b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(10)).with_output_bytes(8192)))
+//!     .collect();
+//! b.add_chain(&n)?;
+//! let dag = Arc::new(b.build()?);
+//!
+//! let run = |p| {
+//!     SocSim::new(SocConfig::generic(vec![1], p), vec![AppSpec::once("A", dag.clone())])
+//!         .run()
+//!         .stats
+//! };
+//! let relief = run(PolicyKind::Relief);
+//! assert_eq!(relief.apps["A"].colocations, 3); // whole chain colocates
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod kinds;
+pub mod result;
+pub mod sim;
+pub mod trace;
+pub mod workload;
+
+pub use config::{BwPredictorKind, SocConfig};
+pub use kinds::{AccKind, PLANE_BYTES};
+pub use result::{PredictionStats, SimResult};
+pub use sim::SocSim;
+pub use trace::Trace;
+pub use workload::AppSpec;

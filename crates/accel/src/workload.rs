@@ -1,0 +1,57 @@
+//! Workload description handed to the simulator.
+
+use relief_dag::Dag;
+use relief_sim::Time;
+use std::sync::Arc;
+
+/// One application to run on the simulated SoC.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Short symbol used in the paper's figures (C, D, G, H, L).
+    pub symbol: String,
+    /// The application's task graph.
+    pub dag: Arc<Dag>,
+    /// When the first instance arrives.
+    pub arrival: Time,
+    /// Re-instantiate the DAG immediately upon completion (the continuous
+    /// contention scenario, §IV-C).
+    pub repeat: bool,
+}
+
+impl AppSpec {
+    /// A single run of `dag` arriving at t = 0.
+    pub fn once(symbol: impl Into<String>, dag: Arc<Dag>) -> Self {
+        AppSpec { symbol: symbol.into(), dag, arrival: Time::ZERO, repeat: false }
+    }
+
+    /// A continuously re-arriving run of `dag` starting at t = 0.
+    pub fn continuous(symbol: impl Into<String>, dag: Arc<Dag>) -> Self {
+        AppSpec { repeat: true, ..Self::once(symbol, dag) }
+    }
+
+    /// Changes the arrival time.
+    pub fn arriving_at(mut self, at: Time) -> Self {
+        self.arrival = at;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relief_dag::{AccTypeId, DagBuilder, NodeSpec};
+    use relief_sim::Dur;
+
+    #[test]
+    fn constructors() {
+        let mut b = DagBuilder::new("x", Dur::from_us(10));
+        b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(1)));
+        let dag = Arc::new(b.build().unwrap());
+        let a = AppSpec::once("C", dag.clone());
+        assert!(!a.repeat);
+        assert_eq!(a.arrival, Time::ZERO);
+        let b = AppSpec::continuous("C", dag).arriving_at(Time::from_us(5));
+        assert!(b.repeat);
+        assert_eq!(b.arrival, Time::from_us(5));
+    }
+}

@@ -1,0 +1,46 @@
+//! Cost of the runtime predictors on the manager's critical path
+//! (§III-B): one bandwidth observation + one memory-time prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relief_core::predict::{BandwidthPredictor, DataMoveQuery};
+use relief_core::MemTimePredictor;
+use relief_mem::MemConfig;
+
+fn query() -> DataMoveQuery {
+    DataMoveQuery {
+        parent_edge_bytes: vec![65_536, 65_536],
+        dram_input_bytes: 65_536,
+        output_bytes: 65_536,
+        colocated_parent_edge: Some(0),
+        all_children_forward: false,
+    }
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let cfg = MemConfig::default();
+    let mut group = c.benchmark_group("predict");
+    let variants: [(&str, BandwidthPredictor); 4] = [
+        ("max", BandwidthPredictor::max(cfg.dram_bandwidth)),
+        ("last", BandwidthPredictor::last(cfg.dram_bandwidth)),
+        ("average15", BandwidthPredictor::average(cfg.dram_bandwidth, 15)),
+        ("ewma", BandwidthPredictor::ewma(cfg.dram_bandwidth, 0.25)),
+    ];
+    for (name, bw) in variants {
+        let mut pred = MemTimePredictor {
+            bandwidth: bw,
+            data_movement: relief_core::predict::DataMovePredictor::Predicted,
+            icn_bandwidth: cfg.interconnect_bandwidth,
+        };
+        let q = query();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                pred.observe_bandwidth(5.9e9);
+                pred.predict(&q)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

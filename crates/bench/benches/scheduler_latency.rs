@@ -1,0 +1,79 @@
+//! Fig. 12 companion: latency of one ready-queue insertion per policy,
+//! measured rigorously with Criterion. The paper measures a Cortex-A7
+//! microcontroller; the reproducible claim is the *relative* ordering
+//! (FCFS cheapest, RELIEF most expensive but still trivially overlapped
+//! with 10–1500 µs accelerator tasks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
+use relief_dag::AccTypeId;
+use relief_sim::{Dur, Time};
+
+fn prefilled(policy: PolicyKind, depth: u32) -> (Box<dyn relief_core::Policy>, ReadyQueues) {
+    let mut p = policy.build();
+    let mut q = ReadyQueues::new(1);
+    let batch: Vec<TaskEntry> = (0..depth)
+        .map(|i| {
+            TaskEntry::new(
+                TaskKey::new(0, i),
+                AccTypeId(0),
+                Dur::from_us(10 + (i as u64 * 7) % 40),
+                Time::from_us(100 + (i as u64 * 13) % 400),
+            )
+            .with_seq(i as u64)
+        })
+        .collect();
+    p.enqueue_ready(&mut q, batch, Time::ZERO, &[1]);
+    (p, q)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ready_queue_insert");
+    for policy in PolicyKind::ALL {
+        for depth in [8u32, 32, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter_batched(
+                        || {
+                            let state = prefilled(policy, depth);
+                            let entry = TaskEntry::new(
+                                TaskKey::new(1, 0),
+                                AccTypeId(0),
+                                Dur::from_us(15),
+                                Time::from_us(250),
+                            )
+                            .with_seq(10_000)
+                            .forwarding_candidate();
+                            (state, entry)
+                        },
+                        |((mut p, mut q), entry)| {
+                            p.enqueue_ready(&mut q, vec![entry], Time::from_us(1), &[1]);
+                            q.len()
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ready_queue_pop");
+    for policy in [PolicyKind::Fcfs, PolicyKind::Lax, PolicyKind::Relief] {
+        group.bench_function(policy.name(), |b| {
+            b.iter_batched(
+                || prefilled(policy, 64),
+                |(mut p, mut q)| p.pop(&mut q, AccTypeId(0), Time::from_us(1)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_pop);
+criterion_main!(benches);

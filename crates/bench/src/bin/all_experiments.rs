@@ -1,0 +1,30 @@
+//! Runs every experiment in sequence — the full paper reproduction.
+//! Output is suitable for diffing against EXPERIMENTS.md.
+
+use relief_bench::experiments as ex;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for (name, f) in [
+        ("table2", ex::table2 as fn() -> String),
+        ("fig2", ex::fig2),
+        ("fig4", ex::fig4),
+        ("fig4-col", ex::fig4_colocations),
+        ("fig5", ex::fig5),
+        ("fig6", ex::fig6),
+        ("fig7", ex::fig7),
+        ("fig8", ex::fig8),
+        ("fig9", ex::fig9),
+        ("fig10", ex::fig10),
+        ("table7", ex::table7),
+        ("table8", ex::table8),
+        ("fig11", ex::fig11),
+        ("fig12", ex::fig12),
+        ("fig13", ex::fig13),
+    ] {
+        eprintln!("== running {name} ({:.0?} elapsed) ==", t0.elapsed());
+        print!("{}", f());
+        println!();
+    }
+    eprintln!("== done in {:.0?} ==", t0.elapsed());
+}

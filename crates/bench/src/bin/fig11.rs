@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11. See DESIGN.md §5.
+
+fn main() {
+    print!("{}", relief_bench::experiments::fig11());
+}

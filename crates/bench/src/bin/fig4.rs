@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4. See DESIGN.md §5.
+
+fn main() {
+    print!("{}", relief_bench::experiments::fig4());
+    print!("{}", relief_bench::experiments::fig4_colocations());
+}

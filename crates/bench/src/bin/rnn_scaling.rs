@@ -1,0 +1,56 @@
+//! RNN sequence-length scaling (beyond the paper's figures).
+//!
+//! The paper fixes both RNNs at a sequence length of 8 to balance input
+//! size "with simulation time" (§IV-A — their gem5 runs take hours). This
+//! simulator completes the whole sweep in seconds, so we can ask the
+//! natural follow-up: does RELIEF's advantage hold as utterances grow?
+//!
+//! Each row runs GRU+LSTM at the given sequence length together with
+//! Canny (camera) under high contention; deadlines scale linearly with
+//! the paper's 7 ms @ len 8.
+
+use relief_accel::{AppSpec, SocSim};
+use relief_bench::config_for;
+use relief_core::PolicyKind;
+use relief_metrics::report::Table;
+use relief_sim::Dur;
+use relief_workloads::{variants, App, Contention};
+
+fn main() {
+    let mut t = Table::with_columns(&[
+        "seq len",
+        "fwd+coloc %: LAX",
+        "RELIEF",
+        "DRAM MB: LAX",
+        "RELIEF",
+        "exec ms: LAX",
+        "RELIEF",
+    ]);
+    for len in [2usize, 4, 8, 16, 32] {
+        let deadline = Dur::from_us((7_000 * len as u64) / 8);
+        let run = |policy: PolicyKind| {
+            let apps = vec![
+                AppSpec::once("C", App::Canny.dag()),
+                AppSpec::once("G", variants::gru(len, deadline)),
+                AppSpec::once("L", variants::lstm(len, deadline)),
+            ];
+            SocSim::new(config_for(policy, Contention::High), apps).run().stats
+        };
+        let lax = run(PolicyKind::Lax);
+        let relief = run(PolicyKind::Relief);
+        t.row(vec![
+            len.to_string(),
+            format!("{:.1}", lax.forward_percent()),
+            format!("{:.1}", relief.forward_percent()),
+            format!("{:.2}", lax.traffic.dram_bytes() as f64 / 1e6),
+            format!("{:.2}", relief.traffic.dram_bytes() as f64 / 1e6),
+            format!("{:.2}", lax.exec_time.as_ms_f64()),
+            format!("{:.2}", relief.exec_time.as_ms_f64()),
+        ]);
+    }
+    println!(
+        "[RNN scaling] Canny + GRU + LSTM at growing sequence lengths \
+         (paper fixes len = 8 for simulation time)\n{}",
+        t.render()
+    );
+}

@@ -1,0 +1,113 @@
+//! Platform-sensitivity sweeps (beyond the paper's figures, motivated by
+//! its introduction: "this bottleneck will worsen as SoCs become more
+//! heterogeneous and incorporate accelerators for more elementary
+//! operations"):
+//!
+//! 1. **DRAM bandwidth** — RELIEF's advantage over the best baseline as
+//!    effective memory bandwidth scales from ×¼ to ×4.
+//! 2. **Accelerator replication** — 1 vs 2 instances of every type.
+//! 3. **Transfer chunk size** — the simulator's fair-sharing granularity
+//!    (a model-fidelity knob, documented in DESIGN.md §6).
+
+use relief_bench::{config_for, run_mix_with};
+use relief_core::PolicyKind;
+use relief_metrics::report::Table;
+use relief_metrics::summary::geometric_mean;
+use relief_workloads::Contention;
+
+fn gmean_high(
+    policy: PolicyKind,
+    tweak: impl Fn(&mut relief_accel::SocConfig),
+    metric: impl Fn(&relief_accel::SimResult) -> f64,
+) -> f64 {
+    geometric_mean(Contention::High.mixes().iter().map(|mix| {
+        let mut cfg = config_for(policy, Contention::High);
+        tweak(&mut cfg);
+        metric(&run_mix_with(cfg, mix))
+    }))
+}
+
+fn main() {
+    bandwidth();
+    replication();
+    chunk_size();
+}
+
+fn bandwidth() {
+    let mut t = Table::with_columns(&[
+        "DRAM BW scale",
+        "exec ms LAX",
+        "exec ms RELIEF",
+        "RELIEF speedup",
+        "ddl% LAX",
+        "ddl% RELIEF",
+    ]);
+    for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let tweak = |cfg: &mut relief_accel::SocConfig| {
+            cfg.mem.dram_bandwidth = (cfg.mem.dram_bandwidth as f64 * scale) as u64;
+        };
+        let lax_t = gmean_high(PolicyKind::Lax, tweak, |r| r.stats.exec_time.as_ms_f64());
+        let rel_t = gmean_high(PolicyKind::Relief, tweak, |r| r.stats.exec_time.as_ms_f64());
+        let lax_d = gmean_high(PolicyKind::Lax, tweak, |r| r.stats.node_deadline_percent());
+        let rel_d = gmean_high(PolicyKind::Relief, tweak, |r| r.stats.node_deadline_percent());
+        t.row(vec![
+            format!("x{scale}"),
+            format!("{lax_t:.2}"),
+            format!("{rel_t:.2}"),
+            format!("{:.3}", lax_t / rel_t),
+            format!("{lax_d:.1}"),
+            format!("{rel_d:.1}"),
+        ]);
+    }
+    println!(
+        "[Sensitivity 1] effective DRAM bandwidth (high contention, gmean).\n\
+         The slower the memory, the more forwarding matters.\n{}",
+        t.render()
+    );
+}
+
+fn replication() {
+    let mut t = Table::with_columns(&[
+        "instances/type",
+        "fwd+coloc % LAX",
+        "RELIEF",
+        "exec ms LAX",
+        "RELIEF",
+    ]);
+    for n in [1usize, 2] {
+        let tweak = |cfg: &mut relief_accel::SocConfig| {
+            cfg.acc_instances = vec![n; cfg.acc_instances.len()];
+        };
+        t.row(vec![
+            n.to_string(),
+            format!("{:.1}", gmean_high(PolicyKind::Lax, tweak, |r| r.stats.forward_percent())),
+            format!("{:.1}", gmean_high(PolicyKind::Relief, tweak, |r| r.stats.forward_percent())),
+            format!("{:.2}", gmean_high(PolicyKind::Lax, tweak, |r| r.stats.exec_time.as_ms_f64())),
+            format!("{:.2}", gmean_high(PolicyKind::Relief, tweak, |r| r.stats.exec_time.as_ms_f64())),
+        ]);
+    }
+    println!("[Sensitivity 2] accelerator replication (high contention, gmean)\n{}", t.render());
+}
+
+fn chunk_size() {
+    let mut t = Table::with_columns(&["chunk bytes", "exec ms RELIEF", "fwd+coloc %"]);
+    for chunk in [1024u64, 4096, 16_384, 65_536] {
+        let tweak = |cfg: &mut relief_accel::SocConfig| cfg.mem.chunk_bytes = chunk;
+        t.row(vec![
+            chunk.to_string(),
+            format!(
+                "{:.3}",
+                gmean_high(PolicyKind::Relief, tweak, |r| r.stats.exec_time.as_ms_f64())
+            ),
+            format!(
+                "{:.1}",
+                gmean_high(PolicyKind::Relief, tweak, |r| r.stats.forward_percent())
+            ),
+        ]);
+    }
+    println!(
+        "[Sensitivity 3] transfer chunk granularity (model-fidelity check: \
+         results must be stable)\n{}",
+        t.render()
+    );
+}

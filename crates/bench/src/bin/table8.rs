@@ -1,0 +1,5 @@
+//! Regenerates the paper's table8. See DESIGN.md §5.
+
+fn main() {
+    print!("{}", relief_bench::experiments::table8());
+}

@@ -1,0 +1,577 @@
+//! One function per paper artifact. Each returns the rendered text the
+//! corresponding `src/bin/` binary prints (and `all_experiments` chains).
+
+use crate::{config_for, run_mix, run_mix_with, PolicySweep, FAIRNESS_POLICIES, MAIN_POLICIES};
+use relief_accel::{AppSpec, BwPredictorKind, SocConfig, SocSim};
+use relief_core::predict::DataMovePredictor;
+use relief_core::PolicyKind;
+use relief_metrics::report::Table;
+use relief_metrics::summary::geometric_mean;
+use relief_metrics::EnergyModel;
+use relief_workloads::{App, Contention, Mix};
+use std::fmt::Write as _;
+
+/// Table II: absolute time in compute vs data movement per application,
+/// comparing no-forwarding to forwarding-whenever-possible (ideal).
+pub fn table2() -> String {
+    let mut t = Table::with_columns(&[
+        "app",
+        "compute us",
+        "paper",
+        "mem (no fwd) us",
+        "paper",
+        "mem (ideal) us",
+        "paper",
+    ]);
+    let paper: [(App, f64, f64, f64); 5] = [
+        (App::Canny, 3539.37, 237.74, 173.29),
+        (App::Deblur, 15610.58, 509.80, 420.06),
+        (App::Gru, 1249.31, 3343.72, 1608.01),
+        (App::Harris, 6157.30, 372.19, 303.16),
+        (App::Lstm, 1470.02, 3879.98, 1797.77),
+    ];
+    for (app, p_compute, p_nofwd, p_ideal) in paper {
+        let solo = |cfg: SocConfig| {
+            SocSim::new(cfg, vec![AppSpec::once(app.symbol(), app.dag())]).run()
+        };
+        let nofwd = solo(SocConfig::mobile(PolicyKind::Relief).without_forwarding());
+        let ideal = solo(SocConfig::mobile(PolicyKind::Relief));
+        t.row(vec![
+            app.name().to_string(),
+            format!("{:.2}", ideal.per_app_compute_time[app.symbol()].as_us_f64()),
+            format!("{p_compute:.2}"),
+            format!("{:.2}", nofwd.per_app_mem_time[app.symbol()].as_us_f64()),
+            format!("{p_nofwd:.2}"),
+            format!("{:.2}", ideal.per_app_mem_time[app.symbol()].as_us_f64()),
+            format!("{p_ideal:.2}"),
+        ]);
+    }
+    format!("[Table II] compute vs data movement, modeled vs paper\n{}", t.render())
+}
+
+/// The Figure 2 pedagogical scenario, reconstructed (the figure text in
+/// the source is garbled, so the DAGs are rebuilt to exhibit the same
+/// dynamics): three DAGs with an identical A→A→B→B chain and a *common*
+/// deadline contend for one A and one B accelerator. Equal deadlines make
+/// every deadline/laxity-driven baseline round-robin between the DAGs,
+/// forfeiting the colocation windows; RELIEF keeps each chain together.
+pub fn fig2_workload() -> Vec<AppSpec> {
+    use relief_dag::{AccTypeId, DagBuilder, NodeSpec};
+    use relief_sim::Dur;
+    let node = |acc: u32, t_us: u64| {
+        NodeSpec::new(AccTypeId(acc), Dur::from_us(t_us)).with_output_bytes(16_384)
+    };
+    let chain = |name: &str| {
+        let mut b = DagBuilder::new(name, Dur::from_us(340));
+        let ids = [node(0, 20), node(0, 30), node(1, 50), node(1, 30)]
+            .into_iter()
+            .map(|n| b.add_node(n))
+            .collect::<Vec<_>>();
+        b.add_chain(&ids).expect("fresh nodes");
+        std::sync::Arc::new(b.build().expect("hand-built dag is valid"))
+    };
+    vec![
+        AppSpec::once("D1", chain("d1")),
+        AppSpec::once("D2", chain("d2")),
+        AppSpec::once("D3", chain("d3")),
+    ]
+}
+
+/// Fig. 2: schedules of the example DAGs under each policy. RELIEF
+/// achieves the ideal schedule: maximum colocations, all deadlines met,
+/// shortest makespan.
+pub fn fig2() -> String {
+    let mut t = Table::with_columns(&[
+        "policy",
+        "forwards",
+        "colocations",
+        "DAG deadlines met",
+        "makespan us",
+    ]);
+    let names = vec!["  A".to_string(), "  B".to_string()];
+    let mut schedules = String::new();
+    for policy in FAIRNESS_POLICIES {
+        let mut cfg = SocConfig::generic(vec![1, 1], policy);
+        cfg.record_trace = true;
+        let r = SocSim::new(cfg, fig2_workload()).run();
+        let met: u64 = r.stats.apps.values().map(|a| a.dag_deadlines_met).sum();
+        t.row(vec![
+            policy.name().to_string(),
+            r.stats.forwards().to_string(),
+            r.stats.colocations().to_string(),
+            format!("{met}/3"),
+            format!("{:.0}", r.stats.exec_time.as_us_f64()),
+        ]);
+        let _ = writeln!(schedules, "-- {} --\n{}", policy.name(), r.trace.render(&names));
+    }
+    format!(
+        "[Fig. 2] example-DAG schedules (reconstruction)\n{}\n\
+         schedules ('=' colocated input, '~' forwarded, '.' DRAM):\n{schedules}",
+        t.render()
+    )
+}
+
+/// Figs. 4a–d: percent of edges satisfied by forwards + colocations.
+pub fn fig4() -> String {
+    sweep_all_contention("Fig. 4", "forwards+colocations / edges (%)", 1, |r| {
+        r.stats.forward_percent()
+    })
+}
+
+/// Figs. 5a–d: data movement reaching DRAM as a percent of the all-DRAM
+/// baseline (the paper's lower bars; 100 − this − SPAD% = colocated).
+pub fn fig5() -> String {
+    let mut out = String::new();
+    for contention in Contention::ALL {
+        let dram = PolicySweep::collect(contention, &MAIN_POLICIES, |r| {
+            100.0 * r.stats.traffic.dram_fraction()
+        });
+        let spad = PolicySweep::collect(contention, &MAIN_POLICIES, |r| {
+            100.0 * r.stats.traffic.spad_fraction()
+        });
+        let _ = writeln!(
+            out,
+            "[Fig. 5 — {contention} contention]\n{}\n{}",
+            dram.render("DRAM traffic (% of all-DRAM baseline)", 1),
+            spad.render("SPAD-to-SPAD traffic (% of all-DRAM baseline)", 1),
+        );
+    }
+    out
+}
+
+/// Fig. 6: main-memory and scratchpad energy under high contention,
+/// normalized to LAX.
+pub fn fig6() -> String {
+    let model = EnergyModel::new();
+    let energy = |r: &relief_accel::SimResult| model.energy(&r.stats.traffic, r.stats.exec_time);
+    let mut dram_rows = Vec::new();
+    let mut spad_rows = Vec::new();
+    for mix in Contention::High.mixes() {
+        let base = energy(&run_mix(PolicyKind::Lax, Contention::High, &mix));
+        let mut dram = Vec::new();
+        let mut spad = Vec::new();
+        for p in MAIN_POLICIES {
+            let e = energy(&run_mix(p, Contention::High, &mix));
+            dram.push(e.dram_nj / base.dram_nj);
+            spad.push(e.spad_nj / base.spad_nj);
+        }
+        dram_rows.push((mix.label(), dram));
+        spad_rows.push((mix.label(), spad));
+    }
+    let render = |name: &str, rows: &[(String, Vec<f64>)]| {
+        let mut cols = vec!["mix".to_string()];
+        cols.extend(MAIN_POLICIES.iter().map(|p| p.name().to_string()));
+        let mut t = Table::new(cols);
+        for (label, values) in rows {
+            t.num_row(label, values, 3);
+        }
+        let gmeans: Vec<f64> = (0..MAIN_POLICIES.len())
+            .map(|i| geometric_mean(rows.iter().map(|(_, v)| v[i])))
+            .collect();
+        t.num_row("Gmean", &gmeans, 3);
+        format!("[{name}]\n{}", t.render())
+    };
+    format!(
+        "{}\n{}",
+        render("Fig. 6 — DRAM energy (norm. to LAX), high contention", &dram_rows),
+        render("Fig. 6 — SPAD energy (norm. to LAX), high contention", &spad_rows),
+    )
+}
+
+/// Figs. 7a–d: accelerator occupancy.
+pub fn fig7() -> String {
+    sweep_all_contention("Fig. 7", "accelerator occupancy", 3, |r| r.stats.accel_occupancy())
+}
+
+/// Figs. 8a–d: percent of node deadlines met.
+pub fn fig8() -> String {
+    sweep_all_contention("Fig. 8", "node deadlines met (%)", 1, |r| {
+        r.stats.node_deadline_percent()
+    })
+}
+
+/// Fig. 9: per-application slowdown and DAG deadlines met under high
+/// contention, eight policies.
+pub fn fig9() -> String {
+    fairness(Contention::High, "Fig. 9")
+}
+
+/// Fig. 10: the same under continuous contention (`inf` = starved).
+pub fn fig10() -> String {
+    fairness(Contention::Continuous, "Fig. 10")
+}
+
+fn fairness(contention: Contention, name: &str) -> String {
+    let mut out = String::new();
+    let mut slow = Table::with_columns(&["mix", "policy", "slowdown per app", "max", "variance"]);
+    let mut ddl = {
+        let mut cols = vec!["mix".to_string()];
+        cols.extend(FAIRNESS_POLICIES.iter().map(|p| p.name().to_string()));
+        Table::new(cols)
+    };
+    for mix in contention.mixes() {
+        let mut ddl_row = Vec::new();
+        for p in FAIRNESS_POLICIES {
+            let r = run_mix(p, contention, &mix);
+            let slowdowns: Vec<(String, f64)> = mix
+                .apps
+                .iter()
+                .map(|a| {
+                    let st = &r.stats.apps[a.symbol()];
+                    let s = if st.starved || st.dags_completed == 0 {
+                        f64::INFINITY
+                    } else {
+                        st.mean_slowdown().unwrap_or(f64::INFINITY)
+                    };
+                    (a.symbol().to_string(), s)
+                })
+                .collect();
+            let finite: Vec<f64> =
+                slowdowns.iter().map(|(_, s)| *s).filter(|s| s.is_finite()).collect();
+            let max = slowdowns.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
+            let var = relief_metrics::summary::variance(&finite);
+            slow.row(vec![
+                mix.label(),
+                p.name().to_string(),
+                slowdowns
+                    .iter()
+                    .map(|(a, s)| {
+                        if s.is_finite() {
+                            format!("{a}:{s:.2}")
+                        } else {
+                            format!("{a}:inf")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                if max.is_finite() { format!("{max:.2}") } else { "inf".into() },
+                format!("{var:.4}"),
+            ]);
+            ddl_row.push(r.stats.dag_deadline_percent());
+        }
+        ddl.num_row(&mix.label(), &ddl_row, 1);
+    }
+    let _ = writeln!(out, "[{name}a — slowdown, {contention} contention]\n{}", slow.render());
+    let _ = writeln!(out, "[{name}b — DAG deadlines met (%), {contention} contention]\n{}", ddl.render());
+    out
+}
+
+/// Table VII: finished DAG instances per application under continuous
+/// contention.
+pub fn table7() -> String {
+    let mut out = String::new();
+    for mix in Contention::Continuous.mixes() {
+        let mut cols = vec!["policy".to_string()];
+        cols.extend(mix.apps.iter().map(|a| a.symbol().to_string()));
+        let mut t = Table::new(cols);
+        for p in FAIRNESS_POLICIES {
+            let r = run_mix(p, Contention::Continuous, &mix);
+            let mut row = vec![p.name().to_string()];
+            row.extend(
+                mix.apps.iter().map(|a| r.stats.apps[a.symbol()].dags_completed.to_string()),
+            );
+            t.row(row);
+        }
+        let _ = writeln!(out, "[Table VII — mix {}]\n{}", mix.label(), t.render());
+    }
+    out
+}
+
+/// Runs RELIEF on one high-contention mix with the given predictors.
+fn relief_with_predictors(
+    mix: &Mix,
+    bw: BwPredictorKind,
+    dm: DataMovePredictor,
+) -> relief_accel::SimResult {
+    let mut cfg = config_for(PolicyKind::Relief, Contention::High);
+    cfg.bw_predictor = bw;
+    cfg.dm_predictor = dm;
+    run_mix_with(cfg, mix)
+}
+
+/// Table VIII: predictor accuracy, plus forwards / node deadlines met per
+/// bandwidth predictor, under high contention.
+pub fn table8() -> String {
+    use relief_accel::PredictionStats as P;
+    let bw_kinds = [
+        BwPredictorKind::Max,
+        BwPredictorKind::Last,
+        BwPredictorKind::Average(15),
+        BwPredictorKind::Ewma(0.25),
+    ];
+    let mut t = Table::with_columns(&[
+        "mix",
+        "compute err %",
+        "DM err %",
+        "BW err: Max",
+        "Last",
+        "Average",
+        "EWMA",
+        "fwd: Max",
+        "Last",
+        "Avg",
+        "EWMA",
+        "ddl: Max",
+        "Last",
+        "Avg",
+        "EWMA",
+    ]);
+    let mut abs_gmeans: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for mix in Contention::High.mixes() {
+        let mut row = vec![mix.label()];
+        // Compute + DM errors measured with the Predicted DM scheme.
+        let base = relief_with_predictors(&mix, BwPredictorKind::Max, DataMovePredictor::Predicted);
+        let comp = P::mean_signed_pct(&base.prediction.compute_rel_errors);
+        let dm = P::mean_signed_pct(&base.prediction.dm_rel_errors);
+        row.push(format!("{comp:.2}"));
+        row.push(format!("{dm:.2}"));
+        // The paper's Gmean row uses the absolute values of the per-mix
+        // signed errors.
+        abs_gmeans[0].push(comp.abs());
+        abs_gmeans[1].push(dm.abs());
+        let mut fwd = Vec::new();
+        let mut ddl = Vec::new();
+        for (i, bw) in bw_kinds.iter().enumerate() {
+            let r = relief_with_predictors(&mix, *bw, DataMovePredictor::Max);
+            let signed = P::mean_signed_pct(&r.prediction.bw_rel_errors);
+            row.push(format!("{signed:.2}"));
+            abs_gmeans[2 + i].push(signed.abs());
+            fwd.push((r.stats.forwards() + r.stats.colocations()).to_string());
+            ddl.push(format!(
+                "{}",
+                r.stats.apps.values().map(|a| a.node_deadlines_met).sum::<u64>()
+            ));
+        }
+        row.extend(fwd);
+        row.extend(ddl);
+        t.row(row);
+    }
+    let mut footer = vec!["Gmean |err|".to_string()];
+    footer.extend(abs_gmeans.iter().map(|v| {
+        format!("{:.2}", geometric_mean(v.iter().copied()))
+    }));
+    t.row(footer);
+    format!(
+        "[Table VIII] predictor accuracy under high contention \
+         (signed %, negative = overestimation)\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 11: node deadlines met with predictive BW / DM predictors,
+/// normalized to the Max predictors.
+pub fn fig11() -> String {
+    let variants: [(&str, BwPredictorKind, DataMovePredictor); 3] = [
+        ("Pred. BW", BwPredictorKind::Average(15), DataMovePredictor::Max),
+        ("Pred. DM", BwPredictorKind::Max, DataMovePredictor::Predicted),
+        ("Pred. BW + Pred. DM", BwPredictorKind::Average(15), DataMovePredictor::Predicted),
+    ];
+    let mut cols = vec!["mix".to_string()];
+    cols.extend(variants.iter().map(|(n, _, _)| n.to_string()));
+    let mut t = Table::new(cols);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for mix in Contention::High.mixes() {
+        let base = relief_with_predictors(&mix, BwPredictorKind::Max, DataMovePredictor::Max)
+            .stats
+            .node_deadline_percent();
+        let mut row = Vec::new();
+        for (i, (_, bw, dm)) in variants.iter().enumerate() {
+            let v = relief_with_predictors(&mix, *bw, *dm).stats.node_deadline_percent();
+            let norm = if base > 0.0 { v / base } else { 0.0 };
+            row.push(norm);
+            columns[i].push(norm);
+        }
+        t.num_row(&mix.label(), &row, 3);
+    }
+    let gmeans: Vec<f64> =
+        columns.iter().map(|c| geometric_mean(c.iter().copied())).collect();
+    t.num_row("Gmean", &gmeans, 3);
+    format!(
+        "[Fig. 11] node deadlines met with dynamic predictors, normalized to Max predictors\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 12: average and tail latency of one ready-queue insertion per
+/// policy, measured on the host (the paper measures a Cortex-A7; relative
+/// ordering is the reproducible part). Also exercised by the Criterion
+/// bench `scheduler_latency`.
+pub fn fig12() -> String {
+    use relief_core::{ReadyQueues, TaskEntry, TaskKey};
+    use relief_dag::AccTypeId;
+    use relief_sim::{Dur, Time};
+    use std::time::Instant;
+
+    let mut t = Table::with_columns(&["policy", "avg ns", "p99 ns", "modeled cost ns"]);
+    for policy in FAIRNESS_POLICIES {
+        let mut samples = Vec::with_capacity(2048);
+        for trial in 0..2048u64 {
+            let mut p = policy.build();
+            let mut q = ReadyQueues::new(1);
+            // Pre-fill a realistically sized queue (tens of entries).
+            let prefill: Vec<TaskEntry> = (0..32)
+                .map(|i| {
+                    TaskEntry::new(
+                        TaskKey::new(0, i),
+                        AccTypeId(0),
+                        Dur::from_us(10 + (i as u64 * 7) % 40),
+                        Time::from_us(100 + (i as u64 * 13) % 400),
+                    )
+                    .with_seq(i as u64)
+                })
+                .collect();
+            p.enqueue_ready(&mut q, prefill, Time::ZERO, &[1]);
+            let entry = TaskEntry::new(
+                TaskKey::new(1, 0),
+                AccTypeId(0),
+                Dur::from_us(15),
+                Time::from_us(100 + (trial % 197)),
+            )
+            .with_seq(1000)
+            .forwarding_candidate();
+            let start = Instant::now();
+            p.enqueue_ready(&mut q, vec![entry], Time::from_us(1), &[1]);
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let avg: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let p99 = samples[(samples.len() * 99) / 100 - 1];
+        t.row(vec![
+            policy.name().to_string(),
+            format!("{avg:.0}"),
+            format!("{p99:.0}"),
+            format!("{}", SocConfig::default_insert_cost(policy).as_ns_f64()),
+        ]);
+    }
+    format!(
+        "[Fig. 12] scheduler insert latency on the host (paper: Cortex-A7; \
+         compare relative ordering)\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 13: interconnect occupancy and execution time, bus vs crossbar,
+/// under high contention; normalized to LAX on the bus.
+pub fn fig13() -> String {
+    let mut t = Table::with_columns(&[
+        "mix",
+        "occ %: LAX",
+        "RELIEF-Bus",
+        "RELIEF-XBar",
+        "time/LAX: RELIEF-Bus",
+        "RELIEF-XBar",
+    ]);
+    let mut occ_cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut time_cols: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    for mix in Contention::High.mixes() {
+        let lax = run_mix(PolicyKind::Lax, Contention::High, &mix);
+        let relief_bus = run_mix(PolicyKind::Relief, Contention::High, &mix);
+        let mut xbar_cfg = config_for(PolicyKind::Relief, Contention::High);
+        xbar_cfg.mem = xbar_cfg.mem.with_crossbar();
+        let relief_xbar = run_mix_with(xbar_cfg, &mix);
+
+        let occ = [
+            100.0 * lax.stats.interconnect_occupancy(),
+            100.0 * relief_bus.stats.interconnect_occupancy(),
+            100.0 * relief_xbar.stats.interconnect_occupancy(),
+        ];
+        let base = lax.stats.exec_time.as_us_f64();
+        let times = [
+            relief_bus.stats.exec_time.as_us_f64() / base,
+            relief_xbar.stats.exec_time.as_us_f64() / base,
+        ];
+        for (i, v) in occ.iter().enumerate() {
+            occ_cols[i].push(*v);
+        }
+        for (i, v) in times.iter().enumerate() {
+            time_cols[i].push(*v);
+        }
+        t.row(vec![
+            mix.label(),
+            format!("{:.1}", occ[0]),
+            format!("{:.1}", occ[1]),
+            format!("{:.1}", occ[2]),
+            format!("{:.3}", times[0]),
+            format!("{:.3}", times[1]),
+        ]);
+    }
+    t.row(vec![
+        "Gmean".to_string(),
+        format!("{:.1}", geometric_mean(occ_cols[0].iter().copied())),
+        format!("{:.1}", geometric_mean(occ_cols[1].iter().copied())),
+        format!("{:.1}", geometric_mean(occ_cols[2].iter().copied())),
+        format!("{:.3}", geometric_mean(time_cols[0].iter().copied())),
+        format!("{:.3}", geometric_mean(time_cols[1].iter().copied())),
+    ]);
+    format!("[Fig. 13] interconnect sensitivity under high contention\n{}", t.render())
+}
+
+fn sweep_all_contention(
+    name: &str,
+    header: &str,
+    precision: usize,
+    metric: impl Fn(&relief_accel::SimResult) -> f64 + Copy,
+) -> String {
+    let mut out = String::new();
+    for contention in Contention::ALL {
+        let sweep = PolicySweep::collect(contention, &MAIN_POLICIES, metric);
+        let _ = writeln!(
+            out,
+            "[{name} — {contention} contention]\n{}",
+            sweep.render(header, precision)
+        );
+    }
+    out
+}
+
+/// Colocation-only percentage sweep, printed alongside Fig. 4 by its
+/// binary (the figure stacks COL under FWD).
+pub fn fig4_colocations() -> String {
+    sweep_all_contention("Fig. 4 (colocations only)", "colocations / edges (%)", 1, |r| {
+        r.stats.colocation_percent()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_workload_shape() {
+        let apps = fig2_workload();
+        assert_eq!(apps.len(), 3);
+        for app in &apps {
+            assert_eq!(app.dag.len(), 4);
+            assert_eq!(app.dag.edge_count(), 3);
+            assert_eq!(app.dag.relative_deadline(), relief_sim::Dur::from_us(340));
+            assert!(!app.repeat);
+        }
+    }
+
+    #[test]
+    fn fig2_report_contains_schedules_and_all_policies() {
+        let out = fig2();
+        for p in FAIRNESS_POLICIES {
+            assert!(out.contains(p.name()), "missing {p}");
+        }
+        assert!(out.contains("colocated input"));
+        assert!(out.contains("=D1:n1"), "RELIEF schedule must show a colocation");
+    }
+
+    #[test]
+    fn table2_reports_all_five_apps() {
+        let out = table2();
+        for app in relief_workloads::App::ALL {
+            assert!(out.contains(app.name()), "missing {app}");
+        }
+        assert!(out.contains("Table II"));
+    }
+
+    #[test]
+    fn fig12_measures_every_policy() {
+        let out = fig12();
+        assert!(out.contains("RELIEF"));
+        assert!(out.contains("FCFS"));
+        assert!(out.contains("p99"));
+    }
+}

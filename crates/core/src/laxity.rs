@@ -1,0 +1,53 @@
+//! Laxity arithmetic (Eq. 1 of the paper).
+//!
+//! ```text
+//! laxity = deadline − runtime − current_time
+//! ```
+//!
+//! Laxity is signed: a task whose predicted runtime no longer fits before
+//! its deadline has negative laxity. We therefore compute in `i128`
+//! picoseconds, which comfortably holds any difference of `u64` picosecond
+//! quantities.
+
+use relief_sim::{Dur, Time};
+
+/// The time-independent part of laxity: `deadline − runtime`, in signed
+/// picoseconds. The paper stores exactly this in each node and subtracts
+/// the current tick at queue-manipulation time (§III-A).
+pub fn stored_laxity(deadline: Time, runtime: Dur) -> i128 {
+    deadline.as_ps() as i128 - runtime.as_ps() as i128
+}
+
+/// Full Eq. 1 laxity at `now`.
+pub fn laxity(deadline: Time, runtime: Dur, now: Time) -> i128 {
+    stored_laxity(deadline, runtime) - now.as_ps() as i128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_and_negative() {
+        let d = Time::from_us(100);
+        assert_eq!(laxity(d, Dur::from_us(30), Time::from_us(20)), 50_000_000);
+        assert_eq!(laxity(d, Dur::from_us(90), Time::from_us(20)), -10_000_000);
+        assert_eq!(laxity(d, Dur::from_us(120), Time::ZERO), -20_000_000);
+    }
+
+    #[test]
+    fn stored_plus_clock_equals_full() {
+        let d = Time::from_us(7);
+        let r = Dur::from_us(3);
+        let now = Time::from_us(5);
+        assert_eq!(stored_laxity(d, r) - now.as_ps() as i128, laxity(d, r, now));
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let l = laxity(Time::MAX, Dur::ZERO, Time::ZERO);
+        assert_eq!(l, u64::MAX as i128);
+        let l2 = laxity(Time::ZERO, Dur::from_ps(u64::MAX), Time::from_ps(u64::MAX));
+        assert_eq!(l2, -2 * (u64::MAX as i128));
+    }
+}

@@ -1,0 +1,57 @@
+//! RELIEF: data movement-aware accelerator scheduling.
+//!
+//! This crate is the paper's primary contribution: an online,
+//! least-laxity-based scheduling framework for hardware accelerator
+//! managers, with **forwarding-aware priority escalation** (RELIEF,
+//! Algorithm 1) guarded by a laxity-driven **feasibility check**
+//! (Algorithm 2), plus the five state-of-the-art baselines it is evaluated
+//! against (§II-C):
+//!
+//! | Policy | Order key | Deadline scheme |
+//! |---|---|---|
+//! | [`policy::Fcfs`] | arrival | — |
+//! | [`policy::GedfD`] | deadline | DAG deadline |
+//! | [`policy::GedfN`] | deadline | critical-path node deadline |
+//! | [`policy::Ll`] | laxity (Eq. 1) | critical-path node deadline |
+//! | [`policy::Lax`] | laxity, negative laxity de-prioritized | critical-path node deadline |
+//! | [`policy::HetSched`] | laxity | SDR × DAG deadline (Eq. 2) |
+//! | [`policy::Relief`] | laxity + forwarding escalation | critical-path node deadline |
+//! | RELIEF-LAX | RELIEF + LAX de-prioritization | critical-path node deadline |
+//!
+//! The framework is deliberately mechanism-agnostic: it never touches
+//! scratchpads or DMA. It orders per-accelerator-type **ready queues**
+//! ([`ReadyQueues`]) of [`TaskEntry`]s and leaves data movement to the
+//! hardware-manager model (`relief-accel`), mirroring how the paper's
+//! policy slots into an existing manager runtime.
+//!
+//! # Examples
+//!
+//! Run the RELIEF insertion path directly:
+//!
+//! ```
+//! use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
+//! use relief_dag::AccTypeId;
+//! use relief_sim::{Dur, Time};
+//!
+//! let mut policy = PolicyKind::Relief.build();
+//! let mut queues = ReadyQueues::new(1);
+//! // One idle accelerator of type 0 -> a forwarding candidate is escalated.
+//! let task = TaskEntry::new(TaskKey::new(0, 0), AccTypeId(0), Dur::from_us(10), Time::from_us(100))
+//!     .forwarding_candidate();
+//! policy.enqueue_ready(&mut queues, vec![task], Time::ZERO, &[1]);
+//! let head = policy.pop(&mut queues, AccTypeId(0), Time::ZERO).expect("queued");
+//! assert!(head.is_fwd);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod laxity;
+pub mod policy;
+pub mod predict;
+pub mod queue;
+pub mod task;
+
+pub use policy::{DeadlineScheme, Policy, PolicyKind};
+pub use predict::{BandwidthPredictor, ComputeProfile, DataMovePredictor, MemTimePredictor};
+pub use queue::ReadyQueues;
+pub use task::{TaskEntry, TaskKey};

@@ -1,0 +1,93 @@
+//! First come, first served.
+
+use crate::policy::{insert_batch, DeadlineScheme, Policy, PolicyKind};
+use crate::queue::ReadyQueues;
+use crate::task::TaskEntry;
+use relief_dag::AccTypeId;
+use relief_sim::Time;
+
+/// FCFS: incoming tasks are appended at the tail of their type's ready
+/// queue. This is the non-preemptive version of GAM+'s round-robin
+/// scheduling (§II-C.1) and the simplest baseline.
+///
+/// # Examples
+///
+/// ```
+/// use relief_core::policy::{Fcfs, Policy};
+/// use relief_core::{ReadyQueues, TaskEntry, TaskKey};
+/// use relief_dag::AccTypeId;
+/// use relief_sim::{Dur, Time};
+///
+/// let mut p = Fcfs::new();
+/// let mut q = ReadyQueues::new(1);
+/// let mk = |n, seq| TaskEntry::new(TaskKey::new(0, n), AccTypeId(0), Dur::ZERO, Time::MAX)
+///     .with_seq(seq);
+/// p.enqueue_ready(&mut q, vec![mk(7, 0)], Time::ZERO, &[1]);
+/// p.enqueue_ready(&mut q, vec![mk(3, 1)], Time::ZERO, &[1]);
+/// // Arrival order (seq) wins, not node id or deadline.
+/// assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fcfs(());
+
+impl Fcfs {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fcfs(())
+    }
+}
+
+impl Policy for Fcfs {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Fcfs
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        DeadlineScheme::Dag
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        _now: Time,
+        _idle: &[usize],
+    ) {
+        insert_batch(queues, batch, |t| t.seq);
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
+        queues.pop_front(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKey;
+    use relief_sim::Dur;
+
+    fn mk(node: u32, seq: u64) -> TaskEntry {
+        TaskEntry::new(TaskKey::new(0, node), AccTypeId(0), Dur::from_us(1), Time::from_us(5))
+            .with_seq(seq)
+    }
+
+    #[test]
+    fn pops_in_arrival_order_across_batches() {
+        let mut p = Fcfs::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(2, 20), mk(0, 0)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![mk(1, 10)], Time::ZERO, &[1]);
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut p = Fcfs::new();
+        let mut q = ReadyQueues::new(1);
+        assert!(p.pop(&mut q, AccTypeId(0), Time::ZERO).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Global Earliest Deadline First variants.
+
+use crate::policy::{insert_batch, DeadlineScheme, Policy, PolicyKind};
+use crate::queue::ReadyQueues;
+use crate::task::TaskEntry;
+use relief_dag::AccTypeId;
+use relief_sim::Time;
+
+/// GEDF-DAG: EDF ordering where every task uses the deadline of the DAG it
+/// belongs to (as in VIP, §II-C.2a). Tasks of the same DAG tie and fall
+/// back to arrival order, which is why GEDF-D degenerates to FCFS when all
+/// DAGs share a deadline (§V-D).
+#[derive(Debug, Clone, Default)]
+pub struct GedfD(());
+
+/// GEDF-Node: EDF ordering on critical-path node deadlines (§II-C.2b), the
+/// most-studied variant in the real-time literature.
+#[derive(Debug, Clone, Default)]
+pub struct GedfN(());
+
+impl GedfD {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        GedfD(())
+    }
+}
+
+impl GedfN {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        GedfN(())
+    }
+}
+
+fn enqueue_edf(queues: &mut ReadyQueues, batch: Vec<TaskEntry>) {
+    // Deadline, then arrival order among equals.
+    insert_batch(queues, batch, |t| (t.deadline, t.seq));
+}
+
+impl Policy for GedfD {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::GedfD
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        DeadlineScheme::Dag
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        _now: Time,
+        _idle: &[usize],
+    ) {
+        enqueue_edf(queues, batch);
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
+        queues.pop_front(acc)
+    }
+}
+
+impl Policy for GedfN {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::GedfN
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        DeadlineScheme::NodeCriticalPath
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        _now: Time,
+        _idle: &[usize],
+    ) {
+        enqueue_edf(queues, batch);
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
+        queues.pop_front(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKey;
+    use relief_sim::Dur;
+
+    fn mk(node: u32, deadline_us: u64, seq: u64) -> TaskEntry {
+        TaskEntry::new(
+            TaskKey::new(0, node),
+            AccTypeId(0),
+            Dur::from_us(1),
+            Time::from_us(deadline_us),
+        )
+        .with_seq(seq)
+    }
+
+    #[test]
+    fn orders_by_deadline() {
+        let mut p = GedfN::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(0, 30, 0), mk(1, 10, 1)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![mk(2, 20, 2)], Time::ZERO, &[1]);
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn equal_deadlines_fall_back_to_arrival_order() {
+        let mut p = GedfD::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(5, 50, 2)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![mk(3, 50, 0)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![mk(4, 50, 1)], Time::ZERO, &[1]);
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,79 @@
+//! HetSched: laxity-driven scheduling with SDR deadlines.
+
+use crate::policy::{insert_batch, DeadlineScheme, Policy, PolicyKind};
+use crate::queue::ReadyQueues;
+use crate::task::TaskEntry;
+use relief_dag::AccTypeId;
+use relief_sim::Time;
+
+/// HetSched (Amarnath et al.): least-laxity-first where each task's
+/// deadline is `SDR × deadline_DAG` (Eq. 2). The sub-deadline ratio
+/// distributes the DAG's laxity across nodes in proportion to their
+/// cumulative share of their path's execution time, in contrast to LL which
+/// leaves the whole DAG laxity with every node (§VII).
+///
+/// The SDR computation itself lives in
+/// [`relief_dag::analysis::DagTiming::sub_deadline_ratio`]; the runtime
+/// resolves deadlines before building [`TaskEntry`]s, so this policy is the
+/// same queue mechanics as LL with a different deadline scheme.
+#[derive(Debug, Clone, Default)]
+pub struct HetSched(());
+
+impl HetSched {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        HetSched(())
+    }
+}
+
+impl Policy for HetSched {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::HetSched
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        DeadlineScheme::HetSchedSdr
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        _now: Time,
+        _idle: &[usize],
+    ) {
+        insert_batch(queues, batch, |t| (t.laxity, t.seq));
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
+        queues.pop_front(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKey;
+    use relief_sim::Dur;
+
+    #[test]
+    fn orders_by_laxity() {
+        let mut p = HetSched::new();
+        let mut q = ReadyQueues::new(1);
+        let mk = |node, runtime_us, deadline_us| {
+            TaskEntry::new(
+                TaskKey::new(0, node),
+                AccTypeId(0),
+                Dur::from_us(runtime_us),
+                Time::from_us(deadline_us),
+            )
+            .with_seq(node as u64)
+        };
+        p.enqueue_ready(&mut q, vec![mk(0, 5, 50), mk(1, 5, 20), mk(2, 15, 25)], Time::ZERO, &[1]);
+        // Laxities: 45, 15, 10 -> pop order 2, 1, 0.
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+}

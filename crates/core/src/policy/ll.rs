@@ -1,0 +1,147 @@
+//! Least-laxity-first variants.
+
+use crate::policy::{insert_batch, pop_lax, DeadlineScheme, Policy, PolicyKind};
+use crate::queue::ReadyQueues;
+use crate::task::TaskEntry;
+use relief_dag::AccTypeId;
+use relief_sim::Time;
+
+/// LL: sort by Eq. 1 laxity (`deadline − runtime − now`), critical-path
+/// node deadlines (§II-C.3). Because `now` is common to all queued tasks,
+/// sorting by stored laxity (`deadline − runtime`) yields the same order.
+#[derive(Debug, Clone, Default)]
+pub struct Ll(());
+
+/// LAX: LL plus de-prioritization of negative-laxity tasks — a task that is
+/// already doomed to miss its deadline is bypassed by tasks that can still
+/// make theirs (§II-C.4, Yeh et al.). Improves deadlines met, but §V-E
+/// shows it can starve tight-laxity applications like Deblur.
+#[derive(Debug, Clone, Default)]
+pub struct Lax(());
+
+impl Ll {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Ll(())
+    }
+}
+
+impl Lax {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Lax(())
+    }
+}
+
+fn enqueue_ll(queues: &mut ReadyQueues, batch: Vec<TaskEntry>) {
+    insert_batch(queues, batch, |t| (t.laxity, t.seq));
+}
+
+impl Policy for Ll {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Ll
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        DeadlineScheme::NodeCriticalPath
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        _now: Time,
+        _idle: &[usize],
+    ) {
+        enqueue_ll(queues, batch);
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
+        queues.pop_front(acc)
+    }
+}
+
+impl Policy for Lax {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lax
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        DeadlineScheme::NodeCriticalPath
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        _now: Time,
+        _idle: &[usize],
+    ) {
+        enqueue_ll(queues, batch);
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
+        pop_lax(queues, acc, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKey;
+    use relief_sim::Dur;
+
+    fn mk(node: u32, runtime_us: u64, deadline_us: u64) -> TaskEntry {
+        TaskEntry::new(
+            TaskKey::new(0, node),
+            AccTypeId(0),
+            Dur::from_us(runtime_us),
+            Time::from_us(deadline_us),
+        )
+        .with_seq(node as u64)
+    }
+
+    #[test]
+    fn ll_orders_by_laxity_not_deadline() {
+        let mut p = Ll::new();
+        let mut q = ReadyQueues::new(1);
+        // node 0: laxity 30-1=29; node 1: laxity 40-25=15 (later deadline,
+        // less laxity).
+        p.enqueue_ready(&mut q, vec![mk(0, 1, 30), mk(1, 25, 40)], Time::ZERO, &[1]);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 0);
+    }
+
+    #[test]
+    fn lax_bypasses_negative_laxity() {
+        let mut p = Lax::new();
+        let mut q = ReadyQueues::new(1);
+        // node 0 has negative laxity (runtime > deadline); node 1 positive.
+        p.enqueue_ready(&mut q, vec![mk(0, 50, 10), mk(1, 5, 100)], Time::ZERO, &[1]);
+        // LL order would put node 0 first; LAX pops node 1 first.
+        assert_eq!(q.queue(AccTypeId(0))[0].key.node, 0);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 0);
+    }
+
+    #[test]
+    fn lax_falls_back_to_head_when_all_negative() {
+        let mut p = Lax::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(0, 50, 10), mk(1, 70, 20)], Time::ZERO, &[1]);
+        // Laxities: node 0 = -40us, node 1 = -50us; both negative, so LAX
+        // falls back to the LL head (node 1, least laxity).
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
+    }
+
+    #[test]
+    fn lax_deprioritization_depends_on_now() {
+        let mut p = Lax::new();
+        let mut q = ReadyQueues::new(1);
+        // Both positive at t=0; at t=28us node 0's laxity (29us) is still
+        // positive but node... use node with laxity 15us -> negative at 28us.
+        p.enqueue_ready(&mut q, vec![mk(0, 1, 30), mk(1, 25, 40)], Time::ZERO, &[1]);
+        // At t=20us: node 1 laxity = 15-20 < 0, node 0 = 29-20 > 0.
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::from_us(20)).unwrap().key.node, 0);
+    }
+}

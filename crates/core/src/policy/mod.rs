@@ -1,0 +1,224 @@
+//! Scheduling policies.
+//!
+//! Every policy sorts per-accelerator-type ready queues (§II-B) and pops
+//! the head when an accelerator of that type idles. They differ in the
+//! order key, the deadline-assignment scheme, and — uniquely for RELIEF —
+//! in escalating newly ready *forwarding nodes* to the queue front.
+
+mod fcfs;
+mod gedf;
+mod hetsched;
+mod ll;
+mod relief;
+
+pub use fcfs::Fcfs;
+pub use gedf::{GedfD, GedfN};
+pub use hetsched::HetSched;
+pub use ll::{Lax, Ll};
+pub use relief::{is_feasible, Relief};
+
+use crate::queue::ReadyQueues;
+use crate::task::TaskEntry;
+use relief_dag::AccTypeId;
+use relief_sim::Time;
+use std::fmt;
+
+/// How per-node absolute deadlines are derived from the DAG deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeadlineScheme {
+    /// Every node inherits the DAG's deadline (GEDF-D; also LL/LAX/RELIEF's
+    /// *laxity pool* interpretation — see below).
+    Dag,
+    /// Critical-path method: a node's deadline leaves exactly enough time
+    /// for the longest downstream chain (GEDF-N, LL, LAX, RELIEF).
+    NodeCriticalPath,
+    /// HetSched's Eq. 2: `deadline = SDR × DAG deadline`.
+    HetSchedSdr,
+}
+
+/// A non-preemptive accelerator scheduling policy.
+///
+/// Implementations mutate [`ReadyQueues`] only through its sorted-insert /
+/// front-escalation API, so every policy preserves the queue invariants the
+/// hardware manager relies on.
+pub trait Policy {
+    /// Which policy this is.
+    fn kind(&self) -> PolicyKind;
+
+    /// Deadline-assignment scheme this policy expects in
+    /// [`TaskEntry::deadline`].
+    fn deadline_scheme(&self) -> DeadlineScheme;
+
+    /// Inserts a batch of newly ready tasks at `now`.
+    ///
+    /// The batch is "the children of one finishing node whose dependencies
+    /// are now satisfied" (or the roots of an arriving DAG); RELIEF's
+    /// Algorithm 1 needs them together, the baselines insert them one by
+    /// one. `idle` gives the number of idle accelerator instances per
+    /// accelerator type id.
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        now: Time,
+        idle: &[usize],
+    );
+
+    /// Selects the next task to launch on an idle accelerator of type
+    /// `acc`, or `None` when its queue is empty.
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry>;
+}
+
+/// Identifies a policy; use [`build`](PolicyKind::build) to instantiate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PolicyKind {
+    /// First come, first served (GAM+'s non-preemptive round-robin).
+    Fcfs,
+    /// Global EDF with DAG deadlines (VIP).
+    GedfD,
+    /// Global EDF with critical-path node deadlines.
+    GedfN,
+    /// Least-laxity first.
+    Ll,
+    /// LL with negative-laxity de-prioritization (Yeh et al.).
+    Lax,
+    /// Least-laxity first with SDR deadlines (Amarnath et al.).
+    HetSched,
+    /// This paper: relaxed least-laxity with forwarding escalation.
+    Relief,
+    /// RELIEF plus LAX's de-prioritization (§V-E ablation).
+    ReliefLax,
+    /// RELIEF over HetSched's laxity distribution (the §VII extension:
+    /// each node lends only its SDR share of the DAG's laxity).
+    ReliefHet,
+    /// RELIEF with the feasibility check disabled (ablation: escalate
+    /// whenever an instance is idle, regardless of victims' laxity).
+    ReliefUnthrottled,
+}
+
+impl PolicyKind {
+    /// The six policies of the paper's main comparison (Figs. 4–8).
+    pub const MAIN: [PolicyKind; 6] = [
+        PolicyKind::Fcfs,
+        PolicyKind::GedfD,
+        PolicyKind::GedfN,
+        PolicyKind::Lax,
+        PolicyKind::HetSched,
+        PolicyKind::Relief,
+    ];
+
+    /// The eight policies of the fairness study (Figs. 9–10, Table VII).
+    pub const ALL: [PolicyKind; 8] = [
+        PolicyKind::Fcfs,
+        PolicyKind::GedfD,
+        PolicyKind::GedfN,
+        PolicyKind::Lax,
+        PolicyKind::ReliefLax,
+        PolicyKind::Ll,
+        PolicyKind::HetSched,
+        PolicyKind::Relief,
+    ];
+
+    /// Extension and ablation variants beyond the paper's evaluation
+    /// (§VII future work; feasibility-check ablation).
+    pub const EXTENSIONS: [PolicyKind; 2] =
+        [PolicyKind::ReliefHet, PolicyKind::ReliefUnthrottled];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::GedfD => "GEDF-D",
+            PolicyKind::GedfN => "GEDF-N",
+            PolicyKind::Ll => "LL",
+            PolicyKind::Lax => "LAX",
+            PolicyKind::HetSched => "HetSched",
+            PolicyKind::Relief => "RELIEF",
+            PolicyKind::ReliefLax => "RELIEF-LAX",
+            PolicyKind::ReliefHet => "RELIEF-HET",
+            PolicyKind::ReliefUnthrottled => "RELIEF-NOTHROTTLE",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs::new()),
+            PolicyKind::GedfD => Box::new(GedfD::new()),
+            PolicyKind::GedfN => Box::new(GedfN::new()),
+            PolicyKind::Ll => Box::new(Ll::new()),
+            PolicyKind::Lax => Box::new(Lax::new()),
+            PolicyKind::HetSched => Box::new(HetSched::new()),
+            PolicyKind::Relief => Box::new(Relief::new()),
+            PolicyKind::ReliefLax => Box::new(Relief::with_lax_deprioritization()),
+            PolicyKind::ReliefHet => Box::new(Relief::over_hetsched()),
+            PolicyKind::ReliefUnthrottled => Box::new(Relief::without_feasibility()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shared insertion helper: sorted insert of each batch entry under `key`.
+pub(crate) fn insert_batch<K: Ord>(
+    queues: &mut ReadyQueues,
+    batch: Vec<TaskEntry>,
+    key: impl Fn(&TaskEntry) -> K + Copy,
+) {
+    for entry in batch {
+        queues.insert_sorted(entry, key);
+    }
+}
+
+/// Pop with LAX's de-prioritization: an escalated forwarding head always
+/// launches; otherwise the first non-negative-laxity task bypasses any
+/// negative-laxity tasks ahead of it; if every task is negative, the head
+/// launches.
+pub(crate) fn pop_lax(queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
+    let q = queues.queue(acc);
+    if q.front()?.is_fwd {
+        return queues.pop_front(acc);
+    }
+    match q.iter().position(|t| t.curr_laxity(now) >= 0) {
+        Some(i) => Some(queues.remove_at(acc, i)),
+        None => queues.pop_front(acc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PolicyKind::Relief.to_string(), "RELIEF");
+        assert_eq!(PolicyKind::GedfD.name(), "GEDF-D");
+        assert_eq!(PolicyKind::ReliefLax.name(), "RELIEF-LAX");
+    }
+
+    #[test]
+    fn build_round_trips_kind() {
+        for kind in PolicyKind::ALL.into_iter().chain(PolicyKind::EXTENSIONS) {
+            assert_eq!(kind.build().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn deadline_schemes() {
+        use DeadlineScheme::*;
+        assert_eq!(PolicyKind::Fcfs.build().deadline_scheme(), Dag);
+        assert_eq!(PolicyKind::GedfD.build().deadline_scheme(), Dag);
+        assert_eq!(PolicyKind::GedfN.build().deadline_scheme(), NodeCriticalPath);
+        assert_eq!(PolicyKind::Ll.build().deadline_scheme(), NodeCriticalPath);
+        assert_eq!(PolicyKind::Lax.build().deadline_scheme(), NodeCriticalPath);
+        assert_eq!(PolicyKind::HetSched.build().deadline_scheme(), HetSchedSdr);
+        assert_eq!(PolicyKind::Relief.build().deadline_scheme(), NodeCriticalPath);
+        assert_eq!(PolicyKind::ReliefLax.build().deadline_scheme(), NodeCriticalPath);
+    }
+}

@@ -1,0 +1,421 @@
+//! RELIEF: RElaxing Least-laxIty to Enable Forwarding (Algorithms 1 & 2).
+
+use crate::policy::{pop_lax, DeadlineScheme, Policy, PolicyKind};
+use crate::queue::ReadyQueues;
+use crate::task::TaskEntry;
+use relief_dag::AccTypeId;
+use relief_sim::Time;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The paper's feasibility check (Algorithm 2).
+///
+/// Decides whether escalating forwarding node `fnode` to the front of
+/// `queue` is unlikely to cause deadline misses, where `index` is the
+/// position laxity order would have given `fnode`:
+///
+/// 1. Scan the queue from the head up to `index` for the first entry that
+///    is *not* itself an escalated forwarding node and has positive current
+///    laxity. Already-escalated entries must not block further escalations,
+///    and negative-laxity entries are expected to miss their deadline with
+///    or without the promotion.
+/// 2. The escalation is feasible iff that entry's laxity exceeds `fnode`'s
+///    runtime — because the queue is laxity-sorted, every later entry then
+///    tolerates the delay too. With no such entry, escalation is feasible.
+/// 3. On success, debit `fnode`'s runtime from the stored laxity of every
+///    entry ahead of `index`, charging them for the delay they will absorb.
+///
+/// Returns whether the escalation may proceed; mutates laxities only when
+/// it returns `true`.
+pub fn is_feasible(
+    queue: &mut VecDeque<TaskEntry>,
+    fnode: &TaskEntry,
+    index: usize,
+    now: Time,
+) -> bool {
+    let mut can_forward = true;
+    for node in queue.iter().take(index) {
+        let curr_laxity = node.curr_laxity(now);
+        if !node.is_fwd && curr_laxity > 0 {
+            can_forward = curr_laxity > fnode.runtime_ps();
+            break;
+        }
+    }
+    if can_forward {
+        for node in queue.iter_mut().take(index) {
+            node.laxity -= fnode.runtime_ps();
+        }
+    }
+    can_forward
+}
+
+/// RELIEF (Algorithm 1): a least-laxity policy that escalates newly ready
+/// *forwarding nodes* — children whose parent has just finished, so their
+/// input is still live in the producer's scratchpad — to the front of their
+/// ready queue, provided
+///
+/// * the number of escalated entries does not exceed the number of idle
+///   accelerator instances of that type (so every escalated node really is
+///   next to run while its data is still live), and
+/// * [`is_feasible`] accepts the promotion.
+///
+/// Failed candidates fall back to their laxity position. Laxity is stored
+/// as `deadline − runtime` and the clock is subtracted at
+/// queue-manipulation time, exactly as in the paper.
+///
+/// Variants:
+///
+/// * [`Relief::with_lax_deprioritization`] — the RELIEF-LAX variant
+///   studied in §V-E, which additionally lets non-negative-laxity tasks
+///   bypass negative-laxity ones at pop time.
+/// * [`Relief::over_hetsched`] — the §VII extension: RELIEF layered over
+///   HetSched's laxity distribution (SDR deadlines), so each node only
+///   lends out its own share of the DAG's laxity.
+/// * [`Relief::without_feasibility`] — ablation with the feasibility
+///   check disabled (escalate whenever an instance is idle); quantifies
+///   what the throttle buys.
+#[derive(Debug, Clone)]
+pub struct Relief {
+    lax_deprioritize: bool,
+    scheme: DeadlineScheme,
+    feasibility: bool,
+    escalations: u64,
+    rejected: u64,
+}
+
+impl Default for Relief {
+    fn default() -> Self {
+        Relief {
+            lax_deprioritize: false,
+            scheme: DeadlineScheme::NodeCriticalPath,
+            feasibility: true,
+            escalations: 0,
+            rejected: 0,
+        }
+    }
+}
+
+impl Relief {
+    /// Creates plain RELIEF.
+    pub fn new() -> Self {
+        Relief::default()
+    }
+
+    /// Creates the RELIEF-LAX variant.
+    pub fn with_lax_deprioritization() -> Self {
+        Relief { lax_deprioritize: true, ..Relief::default() }
+    }
+
+    /// Creates RELIEF over HetSched's laxity distribution (§VII).
+    pub fn over_hetsched() -> Self {
+        Relief { scheme: DeadlineScheme::HetSchedSdr, ..Relief::default() }
+    }
+
+    /// Creates the unthrottled ablation (no feasibility check).
+    pub fn without_feasibility() -> Self {
+        Relief { feasibility: false, ..Relief::default() }
+    }
+
+    /// Number of successful priority escalations so far.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Number of candidates denied by throttling or the feasibility check.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+impl Policy for Relief {
+    fn kind(&self) -> PolicyKind {
+        match (self.lax_deprioritize, self.scheme, self.feasibility) {
+            (true, _, _) => PolicyKind::ReliefLax,
+            (_, DeadlineScheme::HetSchedSdr, _) => PolicyKind::ReliefHet,
+            (_, _, false) => PolicyKind::ReliefUnthrottled,
+            _ => PolicyKind::Relief,
+        }
+    }
+
+    fn deadline_scheme(&self) -> DeadlineScheme {
+        self.scheme
+    }
+
+    fn enqueue_ready(
+        &mut self,
+        queues: &mut ReadyQueues,
+        batch: Vec<TaskEntry>,
+        now: Time,
+        idle: &[usize],
+    ) {
+        // Split the batch: forwarding candidates per accelerator type
+        // (Algorithm 1's laxity-sorted `fwd_nodes` lists) versus plain
+        // ready nodes (DAG roots, re-inserted work), which take the vanilla
+        // least-laxity path.
+        let mut fwd_nodes: BTreeMap<AccTypeId, Vec<TaskEntry>> = BTreeMap::new();
+        for entry in batch {
+            if entry.fwd_candidate {
+                fwd_nodes.entry(entry.acc).or_default().push(entry);
+            } else {
+                queues.insert_sorted(entry, |t| (t.laxity, t.seq));
+            }
+        }
+
+        for (acc, mut candidates) in fwd_nodes {
+            candidates.sort_by_key(|t| (t.laxity, t.seq));
+            // Escalations already sitting un-launched at the front count
+            // against the idle budget: every escalated node must be next in
+            // line, or its producer's data may be overwritten.
+            let already_escalated =
+                queues.queue(acc).iter().take_while(|t| t.is_fwd).count();
+            let mut max_forwards = idle
+                .get(acc.0 as usize)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(already_escalated);
+
+            for node in candidates {
+                let index = queues.find_pos(acc, &node, |t| (t.laxity, t.seq));
+                let feasible = max_forwards > 0
+                    && (!self.feasibility
+                        || is_feasible(queues.queue_mut(acc), &node, index, now));
+                if feasible {
+                    queues.push_front_fwd(node);
+                    max_forwards -= 1;
+                    self.escalations += 1;
+                } else {
+                    self.rejected += 1;
+                    queues.insert_sorted(node, |t| (t.laxity, t.seq));
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
+        if self.lax_deprioritize {
+            pop_lax(queues, acc, now)
+        } else {
+            queues.pop_front(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKey;
+    use relief_sim::Dur;
+
+    fn mk(node: u32, runtime_us: u64, deadline_us: u64) -> TaskEntry {
+        TaskEntry::new(
+            TaskKey::new(0, node),
+            AccTypeId(0),
+            Dur::from_us(runtime_us),
+            Time::from_us(deadline_us),
+        )
+        .with_seq(node as u64)
+    }
+
+    fn fwd(node: u32, runtime_us: u64, deadline_us: u64) -> TaskEntry {
+        mk(node, runtime_us, deadline_us).forwarding_candidate()
+    }
+
+    #[test]
+    fn escalates_forwarding_node_over_lower_laxity_work() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        // Existing ready node: laxity 90us, plenty of slack.
+        p.enqueue_ready(&mut q, vec![mk(0, 10, 100)], Time::ZERO, &[1]);
+        // Forwarding candidate with *higher* laxity would sort behind it,
+        // but gets escalated because node 0 can absorb 5us of delay.
+        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        let head = p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap();
+        assert_eq!(head.key.node, 1);
+        assert!(head.is_fwd);
+        assert_eq!(p.escalations(), 1);
+        // Node 0 was debited the candidate's runtime: 90 - 5 = 85us stored.
+        assert_eq!(q.queue(AccTypeId(0))[0].laxity, 85_000_000);
+    }
+
+    #[test]
+    fn feasibility_rejects_when_victim_cannot_absorb_delay() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        // Victim has laxity 4us; candidate runtime 5us > 4us -> reject.
+        p.enqueue_ready(&mut q, vec![mk(0, 6, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 0);
+        assert_eq!(p.rejected(), 1);
+        // Vanilla LL order: victim first (lower laxity), laxity untouched.
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_laxity_victims_do_not_block_escalation() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        // Victim already doomed (negative laxity): bypassing it is free.
+        p.enqueue_ready(&mut q, vec![mk(0, 50, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 1);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
+    }
+
+    #[test]
+    fn throttled_by_idle_instance_count() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        // Two candidates, one idle instance: only one escalation.
+        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100), fwd(1, 1, 120)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 1);
+        assert_eq!(p.rejected(), 1);
+        // The lower-laxity candidate (node 0) is escalated first.
+        let head = p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap();
+        assert_eq!(head.key.node, 0);
+        assert!(head.is_fwd);
+        let second = p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap();
+        assert!(!second.is_fwd);
+    }
+
+    #[test]
+    fn existing_unlaunched_escalations_consume_budget() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 1);
+        // Queue still holds the escalated node; a new candidate with the
+        // same single idle instance must not be escalated.
+        p.enqueue_ready(&mut q, vec![fwd(1, 1, 100)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 1);
+        assert_eq!(p.rejected(), 1);
+    }
+
+    #[test]
+    fn zero_idle_instances_never_escalate() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100)], Time::ZERO, &[0]);
+        assert_eq!(p.escalations(), 0);
+        assert!(!q.queue(AccTypeId(0))[0].is_fwd);
+    }
+
+    #[test]
+    fn multiple_idle_instances_allow_multiple_escalations() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100), fwd(1, 1, 120)], Time::ZERO, &[2]);
+        assert_eq!(p.escalations(), 2);
+        // Pseudocode order: candidates popped by ascending laxity and each
+        // pushed to the *front*, so the later (higher-laxity) push leads.
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn non_candidates_take_the_ll_path() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(0, 10, 100), mk(1, 10, 50)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 0);
+        let order: Vec<u32> =
+            std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
+                .collect();
+        assert_eq!(order, vec![1, 0]); // pure laxity order
+    }
+
+    #[test]
+    fn feasibility_scans_only_ahead_of_laxity_position() {
+        let now = Time::ZERO;
+        let mut queue: VecDeque<TaskEntry> = VecDeque::new();
+        queue.push_back(mk(0, 1, 5)); // laxity 4us
+        queue.push_back(mk(1, 1, 100)); // laxity 99us
+        // Candidate with laxity between them: index 1. Victim is node 0
+        // (4us) which cannot absorb a 10us runtime -> infeasible.
+        let cand = fwd(2, 10, 60);
+        assert!(!is_feasible(&mut queue, &cand, 1, now));
+        // Same candidate at index 0 (it would be first anyway): no victims
+        // ahead -> feasible, and nothing is debited.
+        assert!(is_feasible(&mut queue, &cand, 0, now));
+        assert_eq!(queue[0].laxity, 4_000_000);
+    }
+
+    #[test]
+    fn feasibility_skips_fwd_entries_when_scanning() {
+        let now = Time::ZERO;
+        let mut queue: VecDeque<TaskEntry> = VecDeque::new();
+        let mut f = mk(0, 1, 2); // tiny laxity...
+        f.is_fwd = true; // ...but already escalated: must not block others
+        queue.push_back(f);
+        queue.push_back(mk(1, 1, 100));
+        let cand = fwd(2, 10, 60);
+        assert!(is_feasible(&mut queue, &cand, 2, now));
+        // Both entries ahead of index were debited.
+        assert_eq!(queue[0].laxity, 1_000_000 - 10_000_000);
+        assert_eq!(queue[1].laxity, 99_000_000 - 10_000_000);
+    }
+
+    #[test]
+    fn relief_lax_pop_bypasses_negative_laxity() {
+        let mut p = Relief::with_lax_deprioritization();
+        assert_eq!(p.kind(), PolicyKind::ReliefLax);
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(0, 50, 10), mk(1, 5, 100)], Time::ZERO, &[0]);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
+    }
+
+    #[test]
+    fn relief_lax_pop_respects_escalated_head() {
+        let mut p = Relief::with_lax_deprioritization();
+        let mut q = ReadyQueues::new(1);
+        // Escalated candidate with negative laxity at the head must still
+        // launch first (its input data is live *now*).
+        p.enqueue_ready(&mut q, vec![mk(0, 5, 100)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![fwd(1, 50, 10)], Time::ZERO, &[1]);
+        let head = p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap();
+        assert_eq!(head.key.node, 1);
+        assert!(head.is_fwd);
+    }
+
+    #[test]
+    fn unthrottled_variant_ignores_feasibility() {
+        // Victim cannot absorb the delay, but the ablation escalates anyway.
+        let mut p = Relief::without_feasibility();
+        assert_eq!(p.kind(), PolicyKind::ReliefUnthrottled);
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(0, 6, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        assert_eq!(p.escalations(), 1);
+        assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
+        // Still bounded by the idle-instance budget, though.
+        let mut p2 = Relief::without_feasibility();
+        let mut q2 = ReadyQueues::new(1);
+        p2.enqueue_ready(&mut q2, vec![fwd(0, 1, 50), fwd(1, 1, 60)], Time::ZERO, &[1]);
+        assert_eq!(p2.escalations(), 1);
+    }
+
+    #[test]
+    fn hetsched_variant_reports_sdr_scheme() {
+        let p = Relief::over_hetsched();
+        assert_eq!(p.kind(), PolicyKind::ReliefHet);
+        assert_eq!(p.deadline_scheme(), DeadlineScheme::HetSchedSdr);
+        // Plain RELIEF keeps the LL scheme.
+        assert_eq!(Relief::new().deadline_scheme(), DeadlineScheme::NodeCriticalPath);
+    }
+
+    #[test]
+    fn candidate_falls_back_to_laxity_position_when_rejected() {
+        let mut p = Relief::new();
+        let mut q = ReadyQueues::new(1);
+        p.enqueue_ready(&mut q, vec![mk(0, 6, 10), mk(1, 5, 300)], Time::ZERO, &[1]);
+        // Candidate laxity (200-5=195us) sorts between node 0 (4us) and
+        // node 1 (295us); rejection inserts it exactly there.
+        p.enqueue_ready(&mut q, vec![fwd(2, 5, 200)], Time::ZERO, &[1]);
+        let order: Vec<u32> = q.queue(AccTypeId(0)).iter().map(|t| t.key.node).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+}

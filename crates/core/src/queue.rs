@@ -1,0 +1,199 @@
+//! Per-accelerator-type ready queues.
+//!
+//! The hardware manager keeps one sorted ready queue per accelerator type
+//! (§II-B); policies differ only in the sort key and in how (RELIEF) or
+//! whether (the baselines) they escalate forwarding nodes. Escalated
+//! entries sit at the *front* of a queue, marked `is_fwd`; the remainder of
+//! the queue is kept sorted by the active policy's key.
+
+use crate::task::{TaskEntry, TaskKey};
+use relief_dag::AccTypeId;
+use std::collections::VecDeque;
+
+/// Ready queues indexed by accelerator type.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyQueues {
+    queues: Vec<VecDeque<TaskEntry>>,
+    ops: u64,
+}
+
+impl ReadyQueues {
+    /// Creates empty queues for `num_acc_types` accelerator types.
+    pub fn new(num_acc_types: usize) -> Self {
+        ReadyQueues { queues: vec![VecDeque::new(); num_acc_types], ops: 0 }
+    }
+
+    /// Number of accelerator types.
+    pub fn num_types(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Read access to one queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` is out of range.
+    pub fn queue(&self, acc: AccTypeId) -> &VecDeque<TaskEntry> {
+        &self.queues[acc.0 as usize]
+    }
+
+    /// Mutable access to one queue (used by policy implementations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` is out of range.
+    pub fn queue_mut(&mut self, acc: AccTypeId) -> &mut VecDeque<TaskEntry> {
+        self.ops += 1;
+        &mut self.queues[acc.0 as usize]
+    }
+
+    /// Total queued tasks across all types.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Position of a task in its queue, if queued.
+    pub fn position(&self, acc: AccTypeId, key: TaskKey) -> Option<usize> {
+        self.queue(acc).iter().position(|t| t.key == key)
+    }
+
+    /// The entry for `key`, if queued.
+    pub fn get(&self, acc: AccTypeId, key: TaskKey) -> Option<&TaskEntry> {
+        self.queue(acc).iter().find(|t| t.key == key)
+    }
+
+    /// Number of `queue_mut` accesses — a proxy for elementary scheduler
+    /// operations, used by the manager's overhead model.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The insertion index for `entry` under `key`: after any escalated
+    /// (`is_fwd`) prefix, before the first entry with a strictly greater
+    /// key (FIFO among equals). This is the paper's `find_pos`.
+    pub fn find_pos<K: Ord>(
+        &self,
+        acc: AccTypeId,
+        entry: &TaskEntry,
+        key: impl Fn(&TaskEntry) -> K,
+    ) -> usize {
+        let q = self.queue(acc);
+        let start = q.iter().take_while(|t| t.is_fwd).count();
+        let target = key(entry);
+        let mut pos = start;
+        for t in q.iter().skip(start) {
+            if key(t) > target {
+                break;
+            }
+            pos += 1;
+        }
+        pos
+    }
+
+    /// Inserts `entry` at the position returned by
+    /// [`find_pos`](Self::find_pos).
+    pub fn insert_sorted<K: Ord>(
+        &mut self,
+        mut entry: TaskEntry,
+        key: impl Fn(&TaskEntry) -> K,
+    ) {
+        entry.is_fwd = false;
+        let pos = self.find_pos(entry.acc, &entry, key);
+        self.queue_mut(entry.acc).insert(pos, entry);
+    }
+
+    /// Pushes an escalated forwarding node at the front of its queue
+    /// (Algorithm 1, line 17).
+    pub fn push_front_fwd(&mut self, mut entry: TaskEntry) {
+        entry.is_fwd = true;
+        self.queue_mut(entry.acc).push_front(entry);
+    }
+
+    /// Pops the head of `acc`'s queue.
+    pub fn pop_front(&mut self, acc: AccTypeId) -> Option<TaskEntry> {
+        self.queue_mut(acc).pop_front()
+    }
+
+    /// Removes and returns the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove_at(&mut self, acc: AccTypeId, index: usize) -> TaskEntry {
+        self.queue_mut(acc).remove(index).expect("index in bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relief_sim::{Dur, Time};
+
+    fn entry(node: u32, laxity_us: i128) -> TaskEntry {
+        let mut e = TaskEntry::new(
+            TaskKey::new(0, node),
+            AccTypeId(0),
+            Dur::ZERO,
+            Time::ZERO,
+        );
+        e.laxity = laxity_us * 1_000_000;
+        e
+    }
+
+    #[test]
+    fn sorted_insert_is_stable() {
+        let mut q = ReadyQueues::new(1);
+        q.insert_sorted(entry(0, 10), |t| t.laxity);
+        q.insert_sorted(entry(1, 5), |t| t.laxity);
+        q.insert_sorted(entry(2, 10), |t| t.laxity); // tie with node 0: goes after
+        q.insert_sorted(entry(3, 7), |t| t.laxity);
+        let order: Vec<u32> = q.queue(AccTypeId(0)).iter().map(|t| t.key.node).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn fwd_prefix_is_skipped_by_sorted_insert() {
+        let mut q = ReadyQueues::new(1);
+        q.push_front_fwd(entry(9, 100)); // escalated, huge laxity, still first
+        q.insert_sorted(entry(1, 5), |t| t.laxity);
+        q.insert_sorted(entry(2, 1), |t| t.laxity);
+        let order: Vec<u32> = q.queue(AccTypeId(0)).iter().map(|t| t.key.node).collect();
+        assert_eq!(order, vec![9, 2, 1]);
+        assert!(q.queue(AccTypeId(0))[0].is_fwd);
+    }
+
+    #[test]
+    fn position_and_get() {
+        let mut q = ReadyQueues::new(2);
+        q.insert_sorted(entry(4, 2), |t| t.laxity);
+        assert_eq!(q.position(AccTypeId(0), TaskKey::new(0, 4)), Some(0));
+        assert_eq!(q.position(AccTypeId(0), TaskKey::new(0, 5)), None);
+        assert_eq!(q.position(AccTypeId(1), TaskKey::new(0, 4)), None);
+        assert!(q.get(AccTypeId(0), TaskKey::new(0, 4)).is_some());
+    }
+
+    #[test]
+    fn pop_and_remove() {
+        let mut q = ReadyQueues::new(1);
+        q.insert_sorted(entry(0, 3), |t| t.laxity);
+        q.insert_sorted(entry(1, 1), |t| t.laxity);
+        q.insert_sorted(entry(2, 2), |t| t.laxity);
+        assert_eq!(q.pop_front(AccTypeId(0)).unwrap().key.node, 1);
+        assert_eq!(q.remove_at(AccTypeId(0), 1).key.node, 0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queues() {
+        let mut q = ReadyQueues::new(3);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop_front(AccTypeId(2)), None);
+    }
+}

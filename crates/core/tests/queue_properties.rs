@@ -1,0 +1,188 @@
+//! Property-based tests of the ready-queue invariants every policy must
+//! preserve under arbitrary interleavings of batch insertions and pops.
+
+use proptest::prelude::*;
+use relief_core::{Policy, PolicyKind, ReadyQueues, TaskEntry, TaskKey};
+use relief_dag::AccTypeId;
+use relief_sim::{Dur, Time};
+
+/// One scripted scheduler interaction.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a batch of tasks (runtime µs, deadline µs, fwd candidate).
+    Enqueue(Vec<(u64, u64, bool)>),
+    /// Pop for an idle accelerator.
+    Pop,
+    /// Advance the clock.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec((1u64..200, 1u64..2000, proptest::bool::ANY), 1..4)
+            .prop_map(Op::Enqueue),
+        Just(Op::Pop),
+        (1u64..300).prop_map(Op::Advance),
+    ]
+}
+
+/// Drives a policy through a script, checking invariants after each step.
+fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize) -> Result<(), TestCaseError> {
+    let mut policy = policy_kind.build();
+    let mut queues = ReadyQueues::new(1);
+    let acc = AccTypeId(0);
+    let mut now = Time::ZERO;
+    let mut next_node = 0u32;
+    let mut seq = 0u64;
+    let mut queued = 0usize;
+    let mut idle_now = idle;
+
+    for op in script {
+        match op {
+            Op::Enqueue(batch) => {
+                let entries: Vec<TaskEntry> = batch
+                    .into_iter()
+                    .map(|(rt, ddl, fwd)| {
+                        let mut e = TaskEntry::new(
+                            TaskKey::new(0, next_node),
+                            acc,
+                            Dur::from_us(rt),
+                            now + Dur::from_us(ddl),
+                        )
+                        .with_seq(seq);
+                        next_node += 1;
+                        seq += 1;
+                        if fwd {
+                            e = e.forwarding_candidate();
+                        }
+                        e
+                    })
+                    .collect();
+                queued += entries.len();
+                policy.enqueue_ready(&mut queues, entries, now, &[idle_now]);
+            }
+            Op::Pop => {
+                let popped = policy.pop(&mut queues, acc, now);
+                prop_assert_eq!(popped.is_some(), queued > 0, "pop iff non-empty");
+                if popped.is_some() {
+                    queued -= 1;
+                    idle_now = idle_now.saturating_sub(1);
+                }
+            }
+            Op::Advance(us) => now += Dur::from_us(us),
+        }
+
+        // Invariant 1: no entries lost or duplicated.
+        prop_assert_eq!(queues.len(), queued);
+        let q = queues.queue(acc);
+        // Invariant 2: escalated entries form a prefix...
+        let fwd_prefix = q.iter().take_while(|t| t.is_fwd).count();
+        prop_assert!(
+            q.iter().skip(fwd_prefix).all(|t| !t.is_fwd),
+            "{policy_kind}: is_fwd entries must be a queue prefix"
+        );
+        // ...bounded by the idle budget.
+        prop_assert!(
+            fwd_prefix <= idle,
+            "{policy_kind}: escalations ({fwd_prefix}) exceed idle budget ({idle})"
+        );
+        // Invariant 3: the non-escalated suffix is sorted by the policy's
+        // key (laxity/deadline/seq), allowing equal keys.
+        let sorted_by = |key: &dyn Fn(&TaskEntry) -> i128| {
+            q.iter().skip(fwd_prefix).zip(q.iter().skip(fwd_prefix + 1)).all(|(a, b)| key(a) <= key(b))
+        };
+        let ok = match policy_kind {
+            PolicyKind::Fcfs => sorted_by(&|t: &TaskEntry| t.seq as i128),
+            PolicyKind::GedfD | PolicyKind::GedfN => {
+                sorted_by(&|t: &TaskEntry| t.deadline.as_ps() as i128)
+            }
+            _ => sorted_by(&|t: &TaskEntry| t.laxity),
+        };
+        prop_assert!(ok, "{policy_kind}: queue must stay key-sorted");
+        // Invariant 4: no task id appears twice.
+        let mut keys: Vec<TaskKey> = q.iter().map(|t| t.key).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), q.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn queue_invariants_hold_for_every_policy(
+        script in prop::collection::vec(op_strategy(), 1..40),
+        policy in prop::sample::select(
+            PolicyKind::ALL.iter().copied().chain(PolicyKind::EXTENSIONS).collect::<Vec<_>>()
+        ),
+        idle in 0usize..3,
+    ) {
+        drive(policy, script, idle)?;
+    }
+
+    /// Pops drain the queue in a policy-consistent order: for LL, popped
+    /// laxities are non-decreasing when popped back-to-back at one instant.
+    #[test]
+    fn ll_pops_in_laxity_order(
+        runtimes in prop::collection::vec((1u64..100, 1u64..1000), 1..20),
+    ) {
+        let mut policy = PolicyKind::Ll.build();
+        let mut queues = ReadyQueues::new(1);
+        let entries: Vec<TaskEntry> = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &(rt, ddl))| {
+                TaskEntry::new(
+                    TaskKey::new(0, i as u32),
+                    AccTypeId(0),
+                    Dur::from_us(rt),
+                    Time::from_us(ddl),
+                )
+                .with_seq(i as u64)
+            })
+            .collect();
+        policy.enqueue_ready(&mut queues, entries, Time::ZERO, &[1]);
+        let mut last = i128::MIN;
+        while let Some(t) = policy.pop(&mut queues, AccTypeId(0), Time::ZERO) {
+            prop_assert!(t.laxity >= last);
+            last = t.laxity;
+        }
+    }
+
+    /// LAX never pops a negative-laxity task while a non-negative one is
+    /// queued (unless the head is an escalated forwarding node).
+    #[test]
+    fn lax_never_prefers_doomed_tasks(
+        runtimes in prop::collection::vec((1u64..500, 1u64..600), 2..20),
+        now_us in 0u64..400,
+    ) {
+        let mut policy = PolicyKind::Lax.build();
+        let mut queues = ReadyQueues::new(1);
+        let now = Time::from_us(now_us);
+        let entries: Vec<TaskEntry> = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &(rt, ddl))| {
+                TaskEntry::new(
+                    TaskKey::new(0, i as u32),
+                    AccTypeId(0),
+                    Dur::from_us(rt),
+                    Time::from_us(ddl),
+                )
+                .with_seq(i as u64)
+            })
+            .collect();
+        policy.enqueue_ready(&mut queues, entries, Time::ZERO, &[1]);
+        while let Some(t) = policy.pop(&mut queues, AccTypeId(0), now) {
+            if t.curr_laxity(now) < 0 {
+                // Everything still queued must also be negative.
+                prop_assert!(
+                    queues.queue(AccTypeId(0)).iter().all(|r| r.curr_laxity(now) < 0),
+                    "LAX popped a doomed task over a viable one"
+                );
+            }
+        }
+    }
+}

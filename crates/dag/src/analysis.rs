@@ -1,0 +1,284 @@
+//! Critical-path analysis and deadline assignment.
+//!
+//! The paper's policies derive per-node deadlines from the DAG deadline in
+//! three ways (§II-C):
+//!
+//! * **GEDF-D / LL**: every node simply inherits the DAG deadline.
+//! * **GEDF-N**: critical-path method — a node must finish early enough for
+//!   the longest chain of work *after* it to still meet the DAG deadline.
+//! * **HetSched** (Eq. 2): `deadline_task = SDR × deadline_DAG`, where the
+//!   sub-deadline ratio (SDR) is the task's cumulative share of the
+//!   execution time of the longest path it lies on.
+//!
+//! All analyses run on *estimated* node runtimes supplied by the caller
+//! (typically compute time plus a worst-case memory-time estimate — the
+//! paper's "Max" predictors).
+
+use crate::graph::{Dag, NodeId};
+use relief_sim::Dur;
+
+/// Longest-path timing of a [`Dag`] under a runtime estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagTiming {
+    topo: Vec<NodeId>,
+    runtime: Vec<Dur>,
+    /// `upstream[n]`: longest-path time from any source through the *end* of
+    /// `n` (inclusive of `n`).
+    upstream: Vec<Dur>,
+    /// `downstream[n]`: longest-path time from the *start* of `n` to any
+    /// sink (inclusive of `n`).
+    downstream: Vec<Dur>,
+}
+
+impl DagTiming {
+    /// Runs the longest-path analysis with `runtime` estimating each node's
+    /// execution time.
+    pub fn compute(dag: &Dag, runtime: impl Fn(NodeId) -> Dur) -> Self {
+        let n = dag.len();
+        let runtime: Vec<Dur> = dag.node_ids().map(runtime).collect();
+
+        // Topological order via Kahn's algorithm (the builder guarantees
+        // acyclicity, so this always visits every node).
+        let mut indeg: Vec<usize> = dag.node_ids().map(|id| dag.parents(id).len()).collect();
+        let mut queue: std::collections::VecDeque<NodeId> =
+            dag.node_ids().filter(|&id| dag.parents(id).is_empty()).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(id) = queue.pop_front() {
+            topo.push(id);
+            for &c in dag.children(id) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        debug_assert_eq!(topo.len(), n, "Dag invariant: acyclic");
+
+        let mut upstream = vec![Dur::ZERO; n];
+        for &id in &topo {
+            let before = dag
+                .parents(id)
+                .iter()
+                .map(|p| upstream[p.index()])
+                .fold(Dur::ZERO, Dur::max);
+            upstream[id.index()] = before + runtime[id.index()];
+        }
+        let mut downstream = vec![Dur::ZERO; n];
+        for &id in topo.iter().rev() {
+            let after = dag
+                .children(id)
+                .iter()
+                .map(|c| downstream[c.index()])
+                .fold(Dur::ZERO, Dur::max);
+            downstream[id.index()] = runtime[id.index()] + after;
+        }
+
+        DagTiming { topo, runtime, upstream, downstream }
+    }
+
+    /// Nodes in a valid topological order.
+    pub fn topological_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// The runtime estimate used for `node`.
+    pub fn runtime(&self, node: NodeId) -> Dur {
+        self.runtime[node.index()]
+    }
+
+    /// Longest-path time from any source through the end of `node`.
+    pub fn upstream(&self, node: NodeId) -> Dur {
+        self.upstream[node.index()]
+    }
+
+    /// Longest-path time from the start of `node` to any sink.
+    pub fn downstream(&self, node: NodeId) -> Dur {
+        self.downstream[node.index()]
+    }
+
+    /// Longest chain of work remaining *after* `node` completes.
+    pub fn downstream_after(&self, node: NodeId) -> Dur {
+        self.downstream[node.index()] - self.runtime[node.index()]
+    }
+
+    /// Length of the DAG's critical path.
+    pub fn critical_path(&self) -> Dur {
+        self.upstream.iter().copied().fold(Dur::ZERO, Dur::max)
+    }
+
+    /// Execution time of the longest path passing *through* `node`.
+    pub fn path_through(&self, node: NodeId) -> Dur {
+        self.upstream(node) + self.downstream_after(node)
+    }
+
+    /// HetSched's sub-deadline ratio for `node`: the cumulative fraction of
+    /// its longest path completed when `node` finishes. Always in `(0, 1]`.
+    pub fn sub_deadline_ratio(&self, node: NodeId) -> f64 {
+        let path = self.path_through(node).as_ps();
+        if path == 0 {
+            1.0
+        } else {
+            self.upstream(node).as_ps() as f64 / path as f64
+        }
+    }
+}
+
+/// Relative (DAG-arrival-based) deadlines for every node under each of the
+/// paper's deadline-assignment schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineAssignment {
+    /// Relative deadline of the whole DAG (the GEDF-D / LL node deadline).
+    pub dag: Dur,
+    /// GEDF-N node deadlines: `dag − downstream_after(n)`, floored at the
+    /// node's own runtime so an infeasible DAG deadline still yields
+    /// monotone per-node deadlines (laxity turns negative either way).
+    pub node: Vec<Dur>,
+    /// HetSched node deadlines: `SDR(n) × dag`.
+    pub hetsched: Vec<Dur>,
+}
+
+impl DeadlineAssignment {
+    /// Derives deadlines for `dag` from a completed timing analysis.
+    pub fn from_timing(dag: &Dag, timing: &DagTiming) -> Self {
+        let rel = dag.relative_deadline();
+        let node = dag
+            .node_ids()
+            .map(|n| {
+                let after = timing.downstream_after(n);
+                if rel > after + timing.runtime(n) {
+                    rel - after
+                } else {
+                    timing.runtime(n)
+                }
+            })
+            .collect();
+        let hetsched =
+            dag.node_ids().map(|n| rel.scale(timing.sub_deadline_ratio(n))).collect();
+        DeadlineAssignment { dag: rel, node, hetsched }
+    }
+
+    /// GEDF-N relative deadline of `node`.
+    pub fn node_deadline(&self, node: NodeId) -> Dur {
+        self.node[node.index()]
+    }
+
+    /// HetSched relative deadline of `node`.
+    pub fn hetsched_deadline(&self, node: NodeId) -> Dur {
+        self.hetsched[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::graph::{AccTypeId, NodeSpec};
+
+    /// a(2) -> b(3) -> d(5); a -> c(1) -> d. Critical path a-b-d = 10.
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new("d", Dur::from_us(20));
+        let a = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(2)));
+        let n1 = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(3)));
+        let n2 = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(1)));
+        let d = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(5)));
+        b.add_edge(a, n1).unwrap();
+        b.add_edge(a, n2).unwrap();
+        b.add_edge(n1, d).unwrap();
+        b.add_edge(n2, d).unwrap();
+        b.build().unwrap()
+    }
+
+    fn timing(dag: &Dag) -> DagTiming {
+        DagTiming::compute(dag, |n| dag.node(n).compute)
+    }
+
+    #[test]
+    fn longest_paths() {
+        let g = diamond();
+        let t = timing(&g);
+        assert_eq!(t.critical_path(), Dur::from_us(10));
+        assert_eq!(t.upstream(NodeId(0)), Dur::from_us(2));
+        assert_eq!(t.upstream(NodeId(1)), Dur::from_us(5));
+        assert_eq!(t.upstream(NodeId(2)), Dur::from_us(3));
+        assert_eq!(t.upstream(NodeId(3)), Dur::from_us(10));
+        assert_eq!(t.downstream(NodeId(0)), Dur::from_us(10));
+        assert_eq!(t.downstream(NodeId(2)), Dur::from_us(6));
+        assert_eq!(t.downstream_after(NodeId(1)), Dur::from_us(5));
+        assert_eq!(t.path_through(NodeId(2)), Dur::from_us(8)); // a-c-d
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let g = diamond();
+        let t = timing(&g);
+        let pos: std::collections::HashMap<NodeId, usize> =
+            t.topological_order().iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for id in g.node_ids() {
+            for &c in g.children(id) {
+                assert!(pos[&id] < pos[&c], "{id} must precede {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn gedf_n_deadlines() {
+        let g = diamond();
+        let t = timing(&g);
+        let d = DeadlineAssignment::from_timing(&g, &t);
+        // a: 20 - (10-2) = 12; b: 20 - 5 = 15; c: 20 - 5 = 15; d: 20.
+        assert_eq!(d.node_deadline(NodeId(0)), Dur::from_us(12));
+        assert_eq!(d.node_deadline(NodeId(1)), Dur::from_us(15));
+        assert_eq!(d.node_deadline(NodeId(2)), Dur::from_us(15));
+        assert_eq!(d.node_deadline(NodeId(3)), Dur::from_us(20));
+    }
+
+    #[test]
+    fn gedf_n_deadlines_floor_at_runtime_when_infeasible() {
+        let mut b = DagBuilder::new("tight", Dur::from_us(1));
+        let a = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(4)));
+        let c = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(6)));
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let d = DeadlineAssignment::from_timing(&g, &timing(&g));
+        assert_eq!(d.node_deadline(NodeId(0)), Dur::from_us(4));
+        assert_eq!(d.node_deadline(NodeId(1)), Dur::from_us(6));
+    }
+
+    #[test]
+    fn hetsched_sdr() {
+        let g = diamond();
+        let t = timing(&g);
+        // b lies on the critical path (10): SDR = (2+3)/10 = 0.5.
+        assert!((t.sub_deadline_ratio(NodeId(1)) - 0.5).abs() < 1e-12);
+        // c lies on a-c-d (8): SDR = 3/8.
+        assert!((t.sub_deadline_ratio(NodeId(2)) - 0.375).abs() < 1e-12);
+        // Sinks always have SDR that scales to <= dag deadline; d's is 1.0.
+        assert!((t.sub_deadline_ratio(NodeId(3)) - 1.0).abs() < 1e-12);
+        let d = DeadlineAssignment::from_timing(&g, &t);
+        assert_eq!(d.hetsched_deadline(NodeId(1)), Dur::from_us(10));
+        assert_eq!(d.hetsched_deadline(NodeId(3)), Dur::from_us(20));
+    }
+
+    #[test]
+    fn single_node_dag() {
+        let mut b = DagBuilder::new("one", Dur::from_us(9));
+        let a = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(4)));
+        let g = b.build().unwrap();
+        let t = timing(&g);
+        assert_eq!(t.critical_path(), Dur::from_us(4));
+        let d = DeadlineAssignment::from_timing(&g, &t);
+        assert_eq!(d.node_deadline(a), Dur::from_us(9));
+        assert_eq!(d.hetsched_deadline(a), Dur::from_us(9));
+    }
+
+    #[test]
+    fn zero_runtime_nodes_are_handled() {
+        let mut b = DagBuilder::new("zero", Dur::from_us(5));
+        let a = b.add_node(NodeSpec::new(AccTypeId(0), Dur::ZERO));
+        let g = b.build().unwrap();
+        let t = timing(&g);
+        assert_eq!(t.sub_deadline_ratio(a), 1.0);
+        let d = DeadlineAssignment::from_timing(&g, &t);
+        assert_eq!(d.hetsched_deadline(a), Dur::from_us(5));
+    }
+}

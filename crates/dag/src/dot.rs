@@ -1,0 +1,84 @@
+//! Graphviz DOT export for task graphs.
+
+use crate::graph::Dag;
+use std::fmt::Write as _;
+
+impl Dag {
+    /// Renders the graph in Graphviz DOT format, one node per task with
+    /// its accelerator type, label, and compute time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relief_dag::{AccTypeId, DagBuilder, NodeSpec};
+    /// use relief_sim::Dur;
+    ///
+    /// # fn main() -> Result<(), relief_dag::DagError> {
+    /// let mut b = DagBuilder::new("demo", Dur::from_ms(1));
+    /// let a = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(5)).with_label("producer"));
+    /// let c = b.add_node(NodeSpec::new(AccTypeId(1), Dur::from_us(9)));
+    /// b.add_edge(a, c)?;
+    /// let dot = b.build()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("n0 -> n1"));
+    /// assert!(dot.contains("producer"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name().replace('"', "'"));
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=box, style=rounded];");
+        for id in self.node_ids() {
+            let spec = self.node(id);
+            let label = if spec.label.is_empty() { "task" } else { &spec.label };
+            let _ = writeln!(
+                out,
+                "  {id} [label=\"{}\\n{} {:.1}us\"];",
+                label.replace('"', "'"),
+                spec.acc,
+                spec.compute.as_us_f64()
+            );
+        }
+        for id in self.node_ids() {
+            for &c in self.children(id) {
+                let _ = writeln!(out, "  {id} -> {c};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccTypeId, DagBuilder, NodeSpec};
+    use relief_sim::Dur;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = DagBuilder::new("x", Dur::from_us(1));
+        let a = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(1)).with_label("a"));
+        let c = b.add_node(NodeSpec::new(AccTypeId(1), Dur::from_us(2)).with_label("c"));
+        let d = b.add_node(NodeSpec::new(AccTypeId(1), Dur::from_us(3)));
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        let dot = b.build().unwrap().to_dot();
+        assert_eq!(dot.matches(" -> ").count(), 2);
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n0 -> n2;"));
+        assert!(dot.contains("acc1 3.0us"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut b = DagBuilder::new("evil\"name", Dur::from_us(1));
+        b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(1)).with_label("la\"bel"));
+        let dot = b.build().unwrap().to_dot();
+        assert!(!dot.contains("\"evil\"name\""));
+        assert!(dot.contains("evil'name"));
+        assert!(dot.contains("la'bel"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Task-DAG model for accelerator scheduling.
+//!
+//! Applications offloaded to a chain of loosely-coupled accelerators are
+//! represented as directed acyclic graphs of tasks ("nodes", the paper uses
+//! the terms interchangeably). Each node runs on one accelerator *type*,
+//! produces an output buffer consumed by its children, and inherits a
+//! deadline from the DAG through critical-path analysis.
+//!
+//! This crate is purely structural: it knows nothing about scratchpads,
+//! DMA, or scheduling policies. It provides
+//!
+//! * [`Dag`] / [`DagBuilder`] — validated immutable task graphs,
+//! * [`analysis`] — topological order, longest-path (critical-path)
+//!   analysis, and the three deadline-assignment schemes the paper's
+//!   policies need (DAG deadline, GEDF-N node deadlines, HetSched
+//!   sub-deadline-ratio deadlines).
+//!
+//! # Examples
+//!
+//! Build a two-node producer/consumer graph and assign deadlines:
+//!
+//! ```
+//! use relief_dag::{AccTypeId, DagBuilder, NodeSpec};
+//! use relief_sim::Dur;
+//!
+//! # fn main() -> Result<(), relief_dag::DagError> {
+//! let mut b = DagBuilder::new("demo", Dur::from_us(100));
+//! let producer = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(10)).with_output_bytes(4096));
+//! let consumer = b.add_node(NodeSpec::new(AccTypeId(1), Dur::from_us(20)));
+//! b.add_edge(producer, consumer)?;
+//! let dag = b.build()?;
+//!
+//! assert_eq!(dag.len(), 2);
+//! assert_eq!(dag.edge_count(), 1);
+//! assert_eq!(dag.children(producer), &[consumer]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod graph;
+
+pub use analysis::{DagTiming, DeadlineAssignment};
+pub use builder::{DagBuilder, DagError};
+pub use graph::{AccTypeId, Dag, NodeId, NodeSpec};

@@ -1,0 +1,48 @@
+//! Memory-system models for the RELIEF SoC simulator.
+//!
+//! This crate models the data-movement substrate of Table VI's platform:
+//!
+//! * a single LPDDR5 channel ([`config::MemConfig::dram_bandwidth`],
+//!   calibrated to the *effective* bandwidth implied by Table I — see
+//!   DESIGN.md §8),
+//! * a full-duplex system bus or an n×m crossbar ([`Interconnect`]),
+//! * one DMA engine per accelerator,
+//! * a chunked [`TransferEngine`] that moves bytes along a [`Route`]
+//!   (DRAM↔scratchpad or scratchpad→scratchpad) and produces the queuing
+//!   delays the paper's contention scenarios study.
+//!
+//! Transfers are split into chunks (default 4 KiB); each chunk jointly
+//! reserves the resources on its route, so concurrent DMAs interleave at
+//! chunk granularity — a fair-sharing approximation of gem5's packet-level
+//! arbitration.
+//!
+//! # Examples
+//!
+//! ```
+//! use relief_mem::{MemConfig, Port, Progress, Route, TransferEngine};
+//! use relief_sim::Time;
+//!
+//! let mut engine = TransferEngine::new(MemConfig::default(), 2);
+//! // Read 64 KiB from DRAM into accelerator 0's scratchpad.
+//! let route = Route { src: Port::Dram, dst: Port::Spad(0) };
+//! let (id, first_chunk_done) = engine.begin(route, 65_536, 0, Time::ZERO);
+//! assert!(first_chunk_done > Time::ZERO);
+//! // Drive chunks until the transfer completes.
+//! let mut t = first_chunk_done;
+//! loop {
+//!     match engine.on_chunk_done(id, t) {
+//!         Progress::Chunk(next) => t = next,
+//!         Progress::Done { end, .. } => { assert_eq!(end, t); break; }
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod interconnect;
+pub mod transfer;
+
+pub use config::{InterconnectKind, MemConfig};
+pub use interconnect::Interconnect;
+pub use transfer::{Port, Progress, Route, TransferEngine, TransferId};

@@ -1,0 +1,23 @@
+//! Statistics, energy modeling, and reporting for RELIEF experiments.
+//!
+//! The simulator in `relief-accel` fills a [`RunStats`] per run; the bench
+//! harness aggregates runs with [`summary`] helpers and renders the paper's
+//! tables with [`report::Table`].
+//!
+//! # Examples
+//!
+//! ```
+//! use relief_metrics::summary::geometric_mean;
+//! let g = geometric_mean([2.0, 8.0].into_iter());
+//! assert!((g - 4.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod report;
+pub mod stats;
+pub mod summary;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use stats::{AppStats, RunStats, TrafficStats};

@@ -1,0 +1,131 @@
+//! Minimal fixed-width table rendering for the experiment binaries.
+//!
+//! Each paper table/figure binary prints rows through a [`Table`], so output
+//! across experiments is uniform and diff-friendly.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use relief_metrics::report::Table;
+/// let mut t = Table::new(vec!["mix".into(), "FCFS".into(), "RELIEF".into()]);
+/// t.row(vec!["CDG".into(), "41.2".into(), "78.9".into()]);
+/// let s = t.render();
+/// assert!(s.contains("RELIEF"));
+/// assert!(s.contains("CDG"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(cols: &[&str]) -> Self {
+        Table::new(cols.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Appends one row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of numbers formatted with `precision` decimals after a
+    /// leading label.
+    pub fn num_row(&mut self, label: &str, values: &[f64], precision: usize) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| {
+            if v.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{v:.precision$}")
+            }
+        }));
+        self.row(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as text.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{c:<w$}{sep}", w = width[i]);
+            }
+        };
+        line(&self.header, &mut out);
+        let rule: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::with_columns(&["a", "bb"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "extra".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains("extra"));
+    }
+
+    #[test]
+    fn num_row_formats() {
+        let mut t = Table::with_columns(&["p", "v", "w"]);
+        t.num_row("RELIEF", &[1.23456, f64::INFINITY], 2);
+        let s = t.render();
+        assert!(s.contains("1.23"));
+        assert!(s.contains("inf"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Aggregation math for experiment summaries.
+//!
+//! The paper reports geometric means across application mixes and
+//! percentile/variance statistics for fairness; these helpers implement
+//! those reductions with explicit edge-case behavior.
+
+/// Geometric mean of a sequence of positive values.
+///
+/// Values ≤ 0 are clamped to a small epsilon (the paper's gmean columns do
+/// the equivalent when a policy achieves zero forwards in a mix). Returns
+/// 0.0 for an empty sequence.
+pub fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    const EPS: f64 = 1e-9;
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(EPS).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty sequence.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance; 0.0 for sequences shorter than 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// `p`-th percentile (0–100) using nearest-rank on a sorted copy.
+///
+/// Returns 0.0 for an empty sequence.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or not finite.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(p.is_finite() && (0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Maximum of a sequence; 0.0 when empty. NaNs are ignored.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().filter(|v| !v.is_nan()).fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((geometric_mean([4.0, 9.0].into_iter()) - 6.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+        // A zero is clamped rather than zeroing the whole mean.
+        assert!(geometric_mean([0.0, 100.0].into_iter()) > 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_range_checked() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn max_ignores_nan() {
+        assert_eq!(max(&[1.0, f64::NAN, 3.0]), 3.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+}

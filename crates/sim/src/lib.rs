@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation kernel for the RELIEF SoC model.
+//!
+//! This crate provides the three primitives every component of the simulated
+//! SoC is built on:
+//!
+//! * [`Time`] / [`Dur`] — simulated time as integer picoseconds, so that
+//!   bandwidth arithmetic on sub-nanosecond bus transactions stays exact.
+//! * [`EventQueue`] — a priority queue of `(Time, sequence, E)` entries with
+//!   deterministic FIFO tie-breaking.
+//! * [`Timeline`] — a single-server resource model used for DMA engines,
+//!   interconnect lanes, and the DRAM channel.
+//!
+//! The kernel is intentionally free of wall-clock access, threads, and global
+//! state: given the same inputs, a simulation always produces the same event
+//! trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use relief_sim::{EventQueue, Time, Dur};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(Time::from_ns(20), "late");
+//! q.push(Time::from_ns(10), "early");
+//! q.push(Time::from_ns(10), "early-second");
+//!
+//! assert_eq!(q.pop(), Some((Time::from_ns(10), "early")));
+//! assert_eq!(q.pop(), Some((Time::from_ns(10), "early-second")));
+//! assert_eq!(q.pop(), Some((Time::from_ns(20), "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod time;
+pub mod timeline;
+
+pub use queue::EventQueue;
+pub use time::{Dur, Time};
+pub use timeline::{BusyStats, Timeline};

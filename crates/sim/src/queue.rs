@@ -1,0 +1,160 @@
+//! Deterministic event queue.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: fire time, insertion sequence, payload.
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, on ties, the
+        // first-inserted) entry surfaces first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timed events with deterministic FIFO tie-breaking.
+///
+/// Events scheduled for the same instant are delivered in insertion order,
+/// which keeps simulations reproducible regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use relief_sim::{EventQueue, Time};
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(5), 'b');
+/// q.push(Time::from_ns(1), 'a');
+/// assert_eq!(q.peek_time(), Some(Time::from_ns(1)));
+/// assert_eq!(q.pop(), Some((Time::from_ns(1), 'a')));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, popped: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            (e.at, e.event)
+        })
+    }
+
+    /// Fire time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far (dispatch counter).
+    pub fn dispatched(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("dispatched", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), 3);
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ns(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.push(Time::from_ns(7), "c");
+        q.push(Time::from_ns(7), "d");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(Time::ZERO, ());
+        q.push(Time::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.dispatched(), 1);
+        assert_eq!(q.peek_time(), Some(Time::ZERO));
+    }
+}

@@ -1,0 +1,128 @@
+//! Random task-graph generation for property-based testing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use relief_dag::{AccTypeId, Dag, DagBuilder, NodeId, NodeSpec};
+use relief_sim::Dur;
+use std::sync::Arc;
+
+/// Parameters for [`random_dag`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticParams {
+    /// Number of nodes (≥ 1).
+    pub nodes: usize,
+    /// Number of accelerator types nodes are drawn from (≥ 1).
+    pub acc_types: u32,
+    /// Probability of an edge between any forward-ordered node pair.
+    pub edge_prob: f64,
+    /// Compute-time range in microseconds.
+    pub compute_us: (u64, u64),
+    /// Output-size range in bytes.
+    pub output_bytes: (u64, u64),
+    /// Relative deadline.
+    pub deadline: Dur,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            nodes: 12,
+            acc_types: 3,
+            edge_prob: 0.25,
+            compute_us: (5, 50),
+            output_bytes: (1024, 65_536),
+            deadline: Dur::from_ms(10),
+        }
+    }
+}
+
+/// Generates a random acyclic task graph: nodes are ordered and edges only
+/// point forward, so the result is always a valid DAG. Every non-first
+/// node receives at least one parent, keeping the graph connected enough
+/// to exercise forwarding.
+///
+/// # Examples
+///
+/// ```
+/// use relief_workloads::synthetic::{random_dag, SyntheticParams};
+/// let dag = random_dag(&SyntheticParams::default(), 42);
+/// assert_eq!(dag.len(), 12);
+/// assert!(dag.edge_count() >= 11); // connected
+/// ```
+///
+/// # Panics
+///
+/// Panics if `params.nodes` or `params.acc_types` is zero.
+pub fn random_dag(params: &SyntheticParams, seed: u64) -> Arc<Dag> {
+    assert!(params.nodes >= 1, "need at least one node");
+    assert!(params.acc_types >= 1, "need at least one accelerator type");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DagBuilder::new(format!("synthetic-{seed}"), params.deadline);
+    let mut ids: Vec<NodeId> = Vec::with_capacity(params.nodes);
+    for _ in 0..params.nodes {
+        let acc = AccTypeId(rng.gen_range(0..params.acc_types));
+        let compute = Dur::from_us(rng.gen_range(params.compute_us.0..=params.compute_us.1));
+        let out = rng.gen_range(params.output_bytes.0..=params.output_bytes.1);
+        ids.push(b.add_node(NodeSpec::new(acc, compute).with_output_bytes(out)));
+    }
+    for j in 1..params.nodes {
+        let mut has_parent = false;
+        for i in 0..j {
+            if rng.gen_bool(params.edge_prob) {
+                b.add_edge(ids[i], ids[j]).expect("forward edge is valid");
+                has_parent = true;
+            }
+        }
+        if !has_parent {
+            let i = rng.gen_range(0..j);
+            b.add_edge(ids[i], ids[j]).expect("forward edge is valid");
+        }
+    }
+    Arc::new(b.build().expect("forward-ordered edges are acyclic"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = SyntheticParams::default();
+        assert_eq!(*random_dag(&p, 7), *random_dag(&p, 7));
+        assert_ne!(*random_dag(&p, 7), *random_dag(&p, 8));
+    }
+
+    #[test]
+    fn respects_parameters() {
+        let p = SyntheticParams {
+            nodes: 30,
+            acc_types: 2,
+            edge_prob: 0.1,
+            compute_us: (1, 2),
+            output_bytes: (64, 128),
+            deadline: Dur::from_ms(1),
+        };
+        let d = random_dag(&p, 1);
+        assert_eq!(d.len(), 30);
+        assert!(d.distinct_acc_types() <= 2);
+        assert_eq!(d.relative_deadline(), Dur::from_ms(1));
+        for spec in d.nodes() {
+            assert!((64..=128).contains(&spec.output_bytes));
+        }
+    }
+
+    #[test]
+    fn every_non_root_has_a_parent() {
+        let d = random_dag(&SyntheticParams::default(), 99);
+        let roots: Vec<_> = d.roots().collect();
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let p = SyntheticParams { nodes: 1, ..Default::default() };
+        let d = random_dag(&p, 0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.edge_count(), 0);
+    }
+}

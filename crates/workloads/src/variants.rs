@@ -1,0 +1,105 @@
+//! Parametric application variants.
+//!
+//! The paper fixes Richardson-Lucy at 5 iterations and both RNNs at a
+//! sequence length of 8 "to have a representative input size balanced
+//! with simulation time" (§IV-A). This simulator runs orders of magnitude
+//! faster than gem5, so these knobs are exposed: deeper deblurs for
+//! higher picture quality, longer sequences for longer utterances.
+//!
+//! Node compute times are the per-kernel Table I values (without the
+//! standard configuration's Table II scale factor, which is only defined
+//! for the paper's sizes).
+
+use crate::apps;
+use relief_dag::Dag;
+use relief_sim::Dur;
+use std::sync::Arc;
+
+/// Richardson-Lucy deblur with `iterations` refinement rounds
+/// (the paper uses 5; more iterations sharpen more).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use relief_workloads::variants::deblur;
+/// assert_eq!(deblur(5, relief_sim::Dur::from_us(16_600)).len(), 22);
+/// assert_eq!(deblur(10, relief_sim::Dur::from_ms(33)).len(), 42);
+/// ```
+pub fn deblur(iterations: usize, deadline: Dur) -> Arc<Dag> {
+    assert!(iterations > 0, "need at least one iteration");
+    Arc::new(with_deadline(apps::deblur(iterations), deadline))
+}
+
+/// GRU with a custom sequence length (the paper uses 8).
+///
+/// # Panics
+///
+/// Panics if `timesteps` is zero.
+pub fn gru(timesteps: usize, deadline: Dur) -> Arc<Dag> {
+    assert!(timesteps > 0, "need at least one timestep");
+    Arc::new(with_deadline(apps::gru(timesteps), deadline))
+}
+
+/// LSTM with a custom sequence length (the paper uses 8).
+///
+/// # Panics
+///
+/// Panics if `timesteps` is zero.
+pub fn lstm(timesteps: usize, deadline: Dur) -> Arc<Dag> {
+    assert!(timesteps > 0, "need at least one timestep");
+    Arc::new(with_deadline(apps::lstm(timesteps), deadline))
+}
+
+/// Rebuilds `dag` with a different relative deadline.
+fn with_deadline(dag: Dag, deadline: Dur) -> Dag {
+    let mut b = relief_dag::DagBuilder::new(dag.name(), deadline);
+    for spec in dag.nodes() {
+        b.add_node(spec.clone());
+    }
+    for from in dag.node_ids() {
+        for &to in dag.children(from) {
+            b.add_edge(from, to).expect("copying a valid dag");
+        }
+    }
+    b.build().expect("copying a valid dag")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_parameters() {
+        assert_eq!(deblur(1, Dur::from_ms(1)).len(), 6);
+        assert_eq!(deblur(8, Dur::from_ms(1)).len(), 2 + 32);
+        assert_eq!(gru(1, Dur::from_ms(1)).len(), 15);
+        assert_eq!(gru(16, Dur::from_ms(1)).len(), 240);
+        assert_eq!(lstm(2, Dur::from_ms(1)).len(), 34);
+    }
+
+    #[test]
+    fn deadline_is_applied() {
+        let d = gru(4, Dur::from_ms(3));
+        assert_eq!(d.relative_deadline(), Dur::from_ms(3));
+    }
+
+    #[test]
+    fn structure_matches_standard_apps() {
+        // 8 timesteps of the variant equals the calibrated App modulo the
+        // per-app compute scale factor.
+        let variant = gru(8, crate::App::Gru.deadline());
+        let standard = crate::App::Gru.dag();
+        assert_eq!(variant.len(), standard.len());
+        assert_eq!(variant.edge_count(), standard.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn zero_timesteps_rejected() {
+        gru(0, Dur::from_ms(1));
+    }
+}

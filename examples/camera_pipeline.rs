@@ -1,0 +1,55 @@
+//! Computational-photography burst: Deblur + Harris sharing the camera
+//! front-end accelerators — the panorama/deshake scenario from the paper's
+//! introduction (§II-A).
+//!
+//! Shows how to inspect data-movement breakdown and the memory energy
+//! model for a single mix.
+//!
+//! ```sh
+//! cargo run --release --example camera_pipeline
+//! ```
+
+use relief::prelude::*;
+
+fn main() {
+    println!("Camera pipeline: Richardson-Lucy deblur + Harris corners\n");
+    for policy in [PolicyKind::Lax, PolicyKind::Relief] {
+        let apps = vec![
+            AppSpec::once("D", App::Deblur.dag()),
+            AppSpec::once("H", App::Harris.dag()),
+        ];
+        let result = SocSim::new(SocConfig::mobile(policy), apps).run();
+        let s = &result.stats;
+        let t = &s.traffic;
+        let energy = EnergyModel::new().energy(t, s.exec_time);
+        println!("== {} ==", policy.name());
+        println!("  makespan            {:>10.2} ms", s.exec_time.as_ms_f64());
+        println!(
+            "  deadlines           D: {}  H: {}",
+            if s.apps["D"].dag_deadlines_met == 1 { "met" } else { "MISSED" },
+            if s.apps["H"].dag_deadlines_met == 1 { "met" } else { "MISSED" },
+        );
+        println!(
+            "  edges               {} total, {} forwarded, {} colocated",
+            s.edges_total,
+            s.forwards(),
+            s.colocations()
+        );
+        println!(
+            "  data movement       {:>7.0} KiB DRAM, {:>6.0} KiB SPAD-to-SPAD, {:>6.0} KiB eliminated",
+            t.dram_bytes() as f64 / 1024.0,
+            t.spad_to_spad_bytes as f64 / 1024.0,
+            t.colocated_bytes as f64 / 1024.0,
+        );
+        println!(
+            "  memory energy       {:>7.1} uJ DRAM + {:>5.1} uJ SPAD",
+            energy.dram_nj / 1000.0,
+            energy.spad_nj / 1000.0,
+        );
+        println!();
+    }
+    println!("Both pipelines are convolution-bound (Table II: Deblur spends only ~3% of");
+    println!("its time on data movement), so most edges forward under either policy and");
+    println!("the mix is compute- not memory-limited — exactly the paper's DH behavior.");
+    println!("Deblur's 0.2 ms solo laxity also makes it the mix's deadline casualty.");
+}

@@ -1,0 +1,180 @@
+//! `relief-cli` — run any application mix on the simulated SoC from the
+//! command line.
+//!
+//! ```sh
+//! cargo run --release --bin relief-cli -- --mix CGL --policy relief
+//! cargo run --release --bin relief-cli -- --mix DGL --policy lax --continuous
+//! cargo run --release --bin relief-cli -- --mix CDGHL --policy relief --no-forwarding
+//! cargo run --release --bin relief-cli -- --help
+//! ```
+
+use relief::prelude::*;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+relief-cli — RELIEF accelerator-scheduling simulator
+
+USAGE:
+    relief-cli [OPTIONS]
+
+OPTIONS:
+    --mix <SYMBOLS>     applications to run, by symbol: C (canny),
+                        D (deblur), G (gru), H (harris), L (lstm)
+                        [default: CGL]
+    --policy <NAME>     fcfs | gedf-d | gedf-n | ll | lax | hetsched |
+                        relief | relief-lax | relief-het [default: relief]
+    --continuous        loop every application; stops at --limit-ms
+    --limit-ms <MS>     simulated-time cap [default: 50 when --continuous]
+    --crossbar          crossbar interconnect instead of the bus
+    --no-forwarding     disable forwarding and colocation hardware
+    --partitions <N>    output scratchpad partitions per accelerator [2]
+    --help              print this help
+";
+
+struct Args {
+    mix: String,
+    policy: PolicyKind,
+    continuous: bool,
+    limit_ms: Option<u64>,
+    crossbar: bool,
+    no_forwarding: bool,
+    partitions: usize,
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "fcfs" => PolicyKind::Fcfs,
+        "gedf-d" | "gedfd" => PolicyKind::GedfD,
+        "gedf-n" | "gedfn" => PolicyKind::GedfN,
+        "ll" => PolicyKind::Ll,
+        "lax" => PolicyKind::Lax,
+        "hetsched" => PolicyKind::HetSched,
+        "relief" => PolicyKind::Relief,
+        "relief-lax" => PolicyKind::ReliefLax,
+        "relief-het" => PolicyKind::ReliefHet,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mix: "CGL".to_string(),
+        policy: PolicyKind::Relief,
+        continuous: false,
+        limit_ms: None,
+        crossbar: false,
+        no_forwarding: false,
+        partitions: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mix" => args.mix = it.next().ok_or("--mix needs a value")?,
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                args.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+            }
+            "--continuous" => args.continuous = true,
+            "--limit-ms" => {
+                let v = it.next().ok_or("--limit-ms needs a value")?;
+                args.limit_ms = Some(v.parse().map_err(|_| format!("bad --limit-ms '{v}'"))?);
+            }
+            "--crossbar" => args.crossbar = true,
+            "--no-forwarding" => args.no_forwarding = true,
+            "--partitions" => {
+                let v = it.next().ok_or("--partitions needs a value")?;
+                args.partitions = v.parse().map_err(|_| format!("bad --partitions '{v}'"))?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut apps = Vec::new();
+    for c in args.mix.chars() {
+        let Some(app) = App::from_symbol(c.to_ascii_uppercase()) else {
+            eprintln!("error: unknown application symbol '{c}' (use C, D, G, H, L)");
+            return ExitCode::FAILURE;
+        };
+        apps.push(if args.continuous {
+            AppSpec::continuous(app.symbol(), app.dag())
+        } else {
+            AppSpec::once(app.symbol(), app.dag())
+        });
+    }
+    if apps.is_empty() {
+        eprintln!("error: --mix must name at least one application");
+        return ExitCode::FAILURE;
+    }
+
+    let mut cfg = SocConfig::mobile(args.policy);
+    if args.no_forwarding {
+        cfg = cfg.without_forwarding();
+    }
+    if args.crossbar {
+        cfg.mem = cfg.mem.with_crossbar();
+    }
+    cfg.output_partitions = args.partitions;
+    let limit = args.limit_ms.or(args.continuous.then_some(50));
+    if let Some(ms) = limit {
+        cfg = cfg.with_time_limit(Time::from_ms(ms));
+    }
+
+    let result = SocSim::new(cfg, apps).run();
+    let s = &result.stats;
+    println!("policy            {}", s.policy);
+    println!("mix               {}", args.mix.to_ascii_uppercase());
+    println!("execution time    {:.3} ms", s.exec_time.as_ms_f64());
+    println!(
+        "edges             {} total | {} forwarded | {} colocated ({:.1}%)",
+        s.edges_total,
+        s.forwards(),
+        s.colocations(),
+        s.forward_percent()
+    );
+    println!(
+        "traffic           {:.2} MB DRAM | {:.2} MB SPAD-to-SPAD | {:.2} MB eliminated",
+        s.traffic.dram_bytes() as f64 / 1e6,
+        s.traffic.spad_to_spad_bytes as f64 / 1e6,
+        s.traffic.colocated_bytes as f64 / 1e6,
+    );
+    let e = EnergyModel::new().energy(&s.traffic, s.exec_time);
+    println!(
+        "memory energy     {:.1} uJ DRAM + {:.1} uJ SPAD",
+        e.dram_nj / 1000.0,
+        e.spad_nj / 1000.0
+    );
+    println!("node deadlines    {:.1}% met", s.node_deadline_percent());
+    println!("occupancy         accel {:.2} | interconnect {:.1}%",
+        s.accel_occupancy(), 100.0 * s.interconnect_occupancy());
+    println!("per application:");
+    for a in s.apps.values() {
+        let slow = a
+            .mean_slowdown()
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "inf".to_string());
+        println!(
+            "  {}: {} DAGs done, {} met deadline, slowdown {}{}",
+            a.name,
+            a.dags_completed,
+            a.dag_deadlines_met,
+            slow,
+            if a.starved { "  [STARVED]" } else { "" }
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,93 @@
+//! Stress tests: many applications, deep queues, long continuous runs.
+
+use relief::prelude::*;
+use relief_workloads::synthetic::{random_dag, SyntheticParams};
+
+/// Twenty random applications on a narrow platform: deep ready queues,
+/// heavy partition pressure, every invariant must survive.
+#[test]
+fn twenty_apps_on_a_narrow_platform() {
+    for policy in [PolicyKind::Fcfs, PolicyKind::Lax, PolicyKind::HetSched, PolicyKind::Relief] {
+        let apps: Vec<AppSpec> = (0..20)
+            .map(|i| {
+                let params = SyntheticParams {
+                    nodes: 15,
+                    acc_types: 3,
+                    edge_prob: 0.2,
+                    deadline: Dur::from_ms(50),
+                    ..SyntheticParams::default()
+                };
+                AppSpec::once(format!("a{i}"), random_dag(&params, i))
+            })
+            .collect();
+        let stats = SocSim::new(SocConfig::generic(vec![1, 1, 1], policy), apps).run().stats;
+        assert_eq!(stats.apps.len(), 20, "{policy}");
+        for app in stats.apps.values() {
+            assert_eq!(app.dags_completed, 1, "{policy}: {} unfinished", app.name);
+            assert_eq!(app.nodes_completed, 15, "{policy}");
+        }
+        assert!(stats.forwards() + stats.colocations() <= stats.edges_total);
+        assert!(stats.traffic.total_if_all_dram() <= stats.traffic.all_dram_bytes);
+    }
+}
+
+/// The full five-application mix (beyond the paper's triples) still
+/// drains; the paper skips it only because "combinations larger than 3
+/// meet very few deadlines".
+#[test]
+fn all_five_applications_together() {
+    let apps: Vec<AppSpec> =
+        App::ALL.iter().map(|a| AppSpec::once(a.symbol(), a.dag())).collect();
+    let stats = SocSim::new(SocConfig::mobile(PolicyKind::Relief), apps).run().stats;
+    for app in stats.apps.values() {
+        assert_eq!(app.dags_completed, 1, "{} unfinished", app.name);
+    }
+    // As the paper predicts, a 5-wide mix misses most RNN deadlines.
+    assert!(stats.node_deadline_percent() < 100.0);
+}
+
+/// A long continuous run (200 ms, 4x the paper's cap) with the heaviest
+/// RNN mix stays stable: bounded queues, monotone progress, no panic.
+#[test]
+fn long_continuous_run_is_stable() {
+    let mix: Vec<AppSpec> = [App::Gru, App::Harris, App::Lstm]
+        .iter()
+        .map(|a| AppSpec::continuous(a.symbol(), a.dag()))
+        .collect();
+    let cfg = SocConfig::mobile(PolicyKind::Relief).with_time_limit(Time::from_ms(200));
+    let result = SocSim::new(cfg, mix).run();
+    let stats = &result.stats;
+    assert_eq!(stats.exec_time, Dur::from_ms(200));
+    // Roughly 4x the 50 ms GHL instance counts (Table VII: RELIEF
+    // completes ~6-7 GRU, ~6 LSTM, ~2-3 Harris per 50 ms).
+    assert!(stats.apps["G"].dags_completed >= 20, "got {}", stats.apps["G"].dags_completed);
+    assert!(stats.apps["L"].dags_completed >= 16, "got {}", stats.apps["L"].dags_completed);
+    assert!(stats.apps["H"].dags_completed >= 6, "got {}", stats.apps["H"].dags_completed);
+    // Sanity on simulator effort: a 200 ms RNN-heavy run is a few hundred
+    // thousand events, not billions.
+    assert!(result.events_dispatched < 5_000_000);
+}
+
+/// Sixty-four single-node apps arriving simultaneously on one
+/// accelerator: a worst case for sorted insertion and FIFO fairness.
+#[test]
+fn burst_arrival_of_many_tasks() {
+    use std::sync::Arc;
+    let single = {
+        let mut b = DagBuilder::new("one", Dur::from_ms(100));
+        b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(10)).with_output_bytes(1024));
+        Arc::new(b.build().expect("valid"))
+    };
+    for policy in PolicyKind::ALL {
+        let apps: Vec<AppSpec> =
+            (0..64).map(|i| AppSpec::once(format!("t{i}"), single.clone())).collect();
+        let stats = SocSim::new(SocConfig::generic(vec![1], policy), apps).run().stats;
+        assert_eq!(
+            stats.apps.values().map(|a| a.dags_completed).sum::<u64>(),
+            64,
+            "{policy}"
+        );
+        // Sequential 10us tasks: makespan at least 640us.
+        assert!(stats.exec_time >= Dur::from_us(640), "{policy}: {}", stats.exec_time);
+    }
+}
