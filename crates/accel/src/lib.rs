@@ -57,5 +57,5 @@ pub use config::{BwPredictorKind, SocConfig};
 pub use kinds::{AccKind, PLANE_BYTES};
 pub use result::{PredictionStats, SimResult};
 pub use sim::SocSim;
-pub use trace::Trace;
+pub use trace::{Span, SpanCollector, Trace};
 pub use workload::AppSpec;

@@ -22,10 +22,8 @@
 
 use crate::config::SocConfig;
 use crate::result::{PredictionStats, SimResult};
-use crate::trace::{Span, Trace};
+use crate::trace::{SpanCollector, Trace};
 use crate::workload::AppSpec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use relief_core::predict::{DataMovePredictor, DataMoveQuery};
 use relief_core::{
     ComputeProfile, MemTimePredictor, Policy, ReadyQueues, TaskEntry, TaskKey,
@@ -33,9 +31,17 @@ use relief_core::{
 use relief_dag::{Dag, DagTiming, DeadlineAssignment, NodeId};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
 use relief_metrics::{AppStats, RunStats, TrafficStats};
-use relief_sim::{Dur, EventQueue, Time, Timeline};
+use relief_sim::{Dur, EventQueue, SplitMix64, Time, Timeline};
+use relief_trace::{EventKind, InputSource, ResourceId, TaskRef, Tracer};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 use std::sync::Arc;
+
+/// Converts a task key into the trace layer's id type.
+fn tref(key: TaskKey) -> TaskRef {
+    TaskRef { instance: key.instance, node: key.node }
+}
 
 /// Where a completed node's output currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,7 +239,7 @@ pub struct SocSim {
     manager: Timeline,
     mem_pred: MemTimePredictor,
     profile: ComputeProfile,
-    rng: SmallRng,
+    rng: SplitMix64,
     // --- statistics ---
     app_stats: Vec<AppStats>,
     per_app_mem_time: Vec<Dur>,
@@ -244,7 +250,11 @@ pub struct SocSim {
     sched_ops: u64,
     sched_time: Dur,
     prediction: PredictionStats,
-    trace: Trace,
+    /// Fan-out handle shared (as clones) by every instrumented component.
+    tracer: Tracer,
+    /// Internal sink distilling `ComputeEnd` events into the ASCII
+    /// schedule trace; attached only when `cfg.record_trace` is set.
+    span_sink: Option<Rc<RefCell<SpanCollector>>>,
     last_completion: Time,
     truncated: bool,
 }
@@ -301,7 +311,7 @@ impl SocSim {
             })
             .collect();
         let n_apps = apps.len();
-        SocSim {
+        let mut sim = SocSim {
             policy: cfg.policy.build(),
             queues: ReadyQueues::new(num_types),
             engine: TransferEngine::new(cfg.mem, total_insts),
@@ -315,7 +325,7 @@ impl SocSim {
             manager: Timeline::new(),
             mem_pred,
             profile: ComputeProfile::new(),
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rng: SplitMix64::new(cfg.seed),
             app_stats,
             per_app_mem_time: vec![Dur::ZERO; n_apps],
             per_app_compute_time: vec![Dur::ZERO; n_apps],
@@ -325,12 +335,40 @@ impl SocSim {
             sched_ops: 0,
             sched_time: Dur::ZERO,
             prediction: PredictionStats::default(),
-            trace: Trace::default(),
+            tracer: Tracer::off(),
+            span_sink: None,
             last_completion: Time::ZERO,
             truncated: false,
             cfg,
             apps,
+        };
+        if sim.cfg.record_trace {
+            let sink = Rc::new(RefCell::new(SpanCollector::new()));
+            sim.tracer.attach(sink.clone());
+            sim.span_sink = Some(sink);
         }
+        sim.wire_tracer();
+        sim
+    }
+
+    /// Attaches every sink of `tracer` to the simulation: the event queue,
+    /// the transfer engine, the scheduling policy, the manager timeline,
+    /// and the task-lifecycle instrumentation all report through it.
+    /// Composes with `record_trace` (the internal span collector stays
+    /// attached) and may be called with several tracers to fan out.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer.merge(tracer);
+        self.wire_tracer();
+        self
+    }
+
+    /// Re-distributes clones of the current tracer to every instrumented
+    /// component. Must be called whenever the sink set changes.
+    fn wire_tracer(&mut self) {
+        self.events.set_tracer(self.tracer.clone());
+        self.engine.set_tracer(self.tracer.clone());
+        self.policy.set_tracer(self.tracer.clone());
+        self.manager.set_tracer(self.tracer.clone(), ResourceId::Manager);
     }
 
     /// Runs the simulation to completion (all work drained, or the
@@ -382,6 +420,11 @@ impl SocSim {
         let remaining = dag.len();
         let instance = self.dags.len() as u32;
         self.dags.push(DagInst { app_idx, dag, arrival: self.now, deadlines, nodes, remaining });
+        self.tracer.emit(self.now.as_ps(), || EventKind::DagArrived {
+            instance,
+            app: self.apps[app_idx].symbol.clone(),
+            nodes: remaining as u32,
+        });
 
         let d = &self.dags[instance as usize];
         let roots: Vec<NodeId> = d.dag.roots().collect();
@@ -488,6 +531,10 @@ impl SocSim {
     /// the modeled manager latency.
     fn enqueue_batch(&mut self, batch: Vec<TaskEntry>) {
         let inserted = batch.len() as u64;
+        for e in &batch {
+            self.tracer
+                .emit(self.now.as_ps(), || EventKind::TaskReady { task: tref(e.key), acc: e.acc.0 });
+        }
         let idle = self.idle_counts();
         self.policy.enqueue_ready(&mut self.queues, batch, self.now, &idle);
         self.sched_ops += inserted;
@@ -563,6 +610,10 @@ impl SocSim {
     fn launch(&mut self, inst_idx: usize, entry: TaskEntry) {
         let key = entry.key;
         self.node_rt_mut(key).phase = NodePhase::Launched;
+        self.tracer.emit(self.now.as_ps(), || EventKind::TaskDispatched {
+            task: tref(key),
+            inst: inst_idx as u32,
+        });
         // Colocation check: the previously executed node on this
         // accelerator is a parent whose output is still live here.
         let coloc_part = if self.cfg.colocation && self.cfg.output_partitions >= 2 {
@@ -644,7 +695,7 @@ impl SocSim {
 
         let Some(p) = chosen else {
             if let Some(h) = lazy_wb {
-                self.issue_writeback(h);
+                self.issue_writeback(h, true);
             }
             return; // stay in WaitPartition; retried on partition events
         };
@@ -694,6 +745,13 @@ impl SocSim {
                 self.colocated_bytes += bytes;
                 self.consume_reader(pk);
                 self.insts[inst_idx].running.as_mut().expect("task assigned").coloc_inputs += 1;
+                self.tracer.emit(self.now.as_ps(), || EventKind::InputSourced {
+                    task: tref(key),
+                    inst: inst_idx as u32,
+                    parent: Some(tref(pk)),
+                    source: InputSource::Colocated,
+                    bytes,
+                });
                 continue;
             }
 
@@ -722,6 +780,16 @@ impl SocSim {
                     (Route { src: Port::Dram, dst: Port::Spad(inst_idx) }, None)
                 }
             };
+            self.tracer.emit(self.now.as_ps(), || EventKind::InputSourced {
+                task: tref(key),
+                inst: inst_idx as u32,
+                parent: Some(tref(pk)),
+                source: match src_spad {
+                    Some((si, _)) => InputSource::Forwarded { from_inst: si as u32 },
+                    None => InputSource::Dram,
+                },
+                bytes,
+            });
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
             self.transfers.insert(id, Purpose::InputEdge { child: key, parent: pk, src_spad });
             self.events.push(first, Ev::Chunk(id));
@@ -733,6 +801,13 @@ impl SocSim {
             let bytes = spec.dram_input_bytes;
             input_bytes += bytes;
             self.spad_access_bytes += bytes;
+            self.tracer.emit(self.now.as_ps(), || EventKind::InputSourced {
+                task: tref(key),
+                inst: inst_idx as u32,
+                parent: None,
+                source: InputSource::Dram,
+                bytes,
+            });
             let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
             self.transfers.insert(id, Purpose::DramInput { child: key });
@@ -764,10 +839,14 @@ impl SocSim {
             r.compute_start = now;
             (r.key, r.input_bytes)
         };
+        self.tracer.emit(self.now.as_ps(), || EventKind::ComputeStart {
+            task: tref(key),
+            inst: inst_idx as u32,
+        });
         let d = &self.dags[key.instance as usize];
         let spec = d.dag.node(NodeId(key.node));
         let jitter = if self.cfg.compute_jitter > 0.0 {
-            1.0 + self.rng.gen_range(-self.cfg.compute_jitter..=self.cfg.compute_jitter)
+            1.0 + self.rng.f64_range(-self.cfg.compute_jitter, self.cfg.compute_jitter)
         } else {
             1.0
         };
@@ -796,13 +875,12 @@ impl SocSim {
             let out = self.dags[key.instance as usize].dag.node(NodeId(key.node)).output_bytes;
             self.all_dram_baseline_bytes += r.input_bytes + out;
         }
-        if self.cfg.record_trace {
+        {
             let app_idx = self.dags[key.instance as usize].app_idx;
-            self.trace.spans.push(Span {
-                inst: inst_idx,
-                start: r.compute_start,
-                end: self.now,
-                key,
+            self.tracer.emit(self.now.as_ps(), || EventKind::ComputeEnd {
+                task: tref(key),
+                inst: inst_idx as u32,
+                start_ps: r.compute_start.as_ps(),
                 label: format!("{}:n{}", self.apps[app_idx].symbol, key.node),
                 forwarded_inputs: r.fwd_inputs,
                 colocated_inputs: r.coloc_inputs,
@@ -906,7 +984,7 @@ impl SocSim {
                 }
             });
         if !all_next_in_line {
-            self.issue_writeback(key);
+            self.issue_writeback(key, false);
         }
 
         if dag_done {
@@ -915,6 +993,7 @@ impl SocSim {
     }
 
     fn on_dag_done(&mut self, instance: u32, app_idx: usize, met: bool) {
+        self.tracer.emit(self.now.as_ps(), || EventKind::DagDone { instance, met });
         let runtime = self.now.saturating_since(self.dags[instance as usize].arrival);
         let stats = &mut self.app_stats[app_idx];
         stats.dags_completed += 1;
@@ -932,8 +1011,10 @@ impl SocSim {
     // ------------------------------------------------------------------
 
     /// Starts writing `key`'s output back to main memory, if it is live in
-    /// a scratchpad and not already written back or in flight.
-    fn issue_writeback(&mut self, key: TaskKey) {
+    /// a scratchpad and not already written back or in flight. `lazy`
+    /// marks write-backs triggered by partition reclamation rather than
+    /// task completion (§III-C.2).
+    fn issue_writeback(&mut self, key: TaskKey, lazy: bool) {
         let (inst, part) = match self.node_rt(key).out {
             OutLoc::Spad { inst, part } => (inst, part),
             _ => return,
@@ -945,6 +1026,12 @@ impl SocSim {
         };
         self.spad_access_bytes += bytes; // producer SPAD read
         self.node_rt_mut(key).actual_bytes += bytes;
+        self.tracer.emit(self.now.as_ps(), || EventKind::WritebackIssued {
+            task: tref(key),
+            inst: inst as u32,
+            bytes,
+            lazy,
+        });
         let route = Route { src: Port::Spad(inst), dst: Port::Dram };
         let (id, first) = self.engine.begin(route, bytes, inst, self.now);
         self.transfers.insert(id, Purpose::WriteBack { node: key });
@@ -1125,12 +1212,16 @@ impl SocSim {
             per_app_mem_time.insert(app.symbol.clone(), self.per_app_mem_time[i]);
             per_app_compute_time.insert(app.symbol.clone(), self.per_app_compute_time[i]);
         }
+        let trace = match &self.span_sink {
+            Some(sink) => Trace { spans: sink.borrow_mut().take_spans() },
+            None => Trace::default(),
+        };
         SimResult {
             stats,
             per_app_mem_time,
             per_app_compute_time,
             prediction: self.prediction,
-            trace: self.trace,
+            trace,
             events_dispatched: self.events.dispatched(),
         }
     }

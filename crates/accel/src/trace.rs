@@ -1,13 +1,16 @@
 //! Schedule traces: what ran where, when, and how its data arrived.
 //!
 //! When [`SocConfig::record_trace`](crate::SocConfig) is set, the
-//! simulator records one [`Span`] per executed task. [`Trace::render`]
-//! prints the per-accelerator schedule the way the paper's Figure 2 draws
-//! it, with forwarding (`~`) and colocation (`=`) annotations on each
-//! task's input.
+//! simulator attaches a [`SpanCollector`] sink to its `relief-trace`
+//! tracer; the collector distills the structured event stream down to one
+//! [`Span`] per executed task (from `ComputeEnd` events, which are
+//! self-contained). [`Trace::render`] prints the per-accelerator schedule
+//! the way the paper's Figure 2 draws it, with forwarding (`~`) and
+//! colocation (`=`) annotations on each task's input.
 
 use relief_core::TaskKey;
 use relief_sim::Time;
+use relief_trace::{EventKind, TraceEvent, TraceSink};
 use std::fmt::Write as _;
 
 /// One executed task's compute interval.
@@ -50,6 +53,16 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Builds a trace from a structured event stream, keeping one span per
+    /// `ComputeEnd` event (other event kinds are ignored).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut collector = SpanCollector::default();
+        for ev in events {
+            collector.emit(ev.clone());
+        }
+        Trace { spans: collector.take_spans() }
+    }
+
     /// Spans that ran on `inst`, in start order.
     pub fn per_instance(&self, inst: usize) -> Vec<&Span> {
         let mut spans: Vec<&Span> = self.spans.iter().filter(|s| s.inst == inst).collect();
@@ -96,6 +109,44 @@ impl Trace {
         match (find(a), find(b)) {
             (Some(sa), Some(sb)) => sa.end <= sb.start,
             _ => false,
+        }
+    }
+}
+
+/// A [`TraceSink`] that keeps only `ComputeEnd` events, each distilled
+/// into a [`Span`]. The simulator attaches one internally when
+/// [`SocConfig::record_trace`](crate::SocConfig) is set.
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    spans: Vec<Span>,
+}
+
+impl SpanCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SpanCollector::default()
+    }
+
+    /// Removes and returns the collected spans, in completion order.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        std::mem::take(&mut self.spans)
+    }
+}
+
+impl TraceSink for SpanCollector {
+    fn emit(&mut self, ev: TraceEvent) {
+        if let EventKind::ComputeEnd { task, inst, start_ps, label, forwarded_inputs, colocated_inputs } =
+            ev.kind
+        {
+            self.spans.push(Span {
+                inst: inst as usize,
+                start: Time::from_ps(start_ps),
+                end: Time::from_ps(ev.at_ps),
+                key: TaskKey::new(task.instance, task.node),
+                label,
+                forwarded_inputs,
+                colocated_inputs,
+            });
         }
     }
 }

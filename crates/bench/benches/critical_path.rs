@@ -1,23 +1,17 @@
 //! Cost of the per-arrival DAG analysis (critical-path timing + deadline
 //! assignment) the hardware manager performs when a DAG is submitted.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use relief_bench::microbench::bench;
 use relief_dag::{DagTiming, DeadlineAssignment};
 use relief_workloads::App;
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dag_analysis");
+fn main() {
+    println!("[dag_analysis]");
     for app in App::ALL {
         let dag = app.dag();
-        group.bench_function(app.name(), |b| {
-            b.iter(|| {
-                let timing = DagTiming::compute(&dag, |n| dag.node(n).compute);
-                DeadlineAssignment::from_timing(&dag, &timing)
-            });
+        bench(app.name(), 10_000, || {
+            let timing = DagTiming::compute(&dag, |n| dag.node(n).compute);
+            DeadlineAssignment::from_timing(&dag, &timing)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

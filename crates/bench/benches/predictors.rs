@@ -1,7 +1,7 @@
 //! Cost of the runtime predictors on the manager's critical path
 //! (§III-B): one bandwidth observation + one memory-time prediction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use relief_bench::microbench::bench;
 use relief_core::predict::{BandwidthPredictor, DataMoveQuery};
 use relief_core::MemTimePredictor;
 use relief_mem::MemConfig;
@@ -16,9 +16,9 @@ fn query() -> DataMoveQuery {
     }
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn main() {
     let cfg = MemConfig::default();
-    let mut group = c.benchmark_group("predict");
+    println!("[predict]");
     let variants: [(&str, BandwidthPredictor); 4] = [
         ("max", BandwidthPredictor::max(cfg.dram_bandwidth)),
         ("last", BandwidthPredictor::last(cfg.dram_bandwidth)),
@@ -32,15 +32,9 @@ fn bench_predictors(c: &mut Criterion) {
             icn_bandwidth: cfg.interconnect_bandwidth,
         };
         let q = query();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                pred.observe_bandwidth(5.9e9);
-                pred.predict(&q)
-            });
+        bench(name, 100_000, || {
+            pred.observe_bandwidth(5.9e9);
+            pred.predict(&q)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);

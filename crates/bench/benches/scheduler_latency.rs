@@ -1,10 +1,9 @@
-//! Fig. 12 companion: latency of one ready-queue insertion per policy,
-//! measured rigorously with Criterion. The paper measures a Cortex-A7
-//! microcontroller; the reproducible claim is the *relative* ordering
-//! (FCFS cheapest, RELIEF most expensive but still trivially overlapped
-//! with 10–1500 µs accelerator tasks).
+//! Fig. 12 companion: latency of one ready-queue insertion per policy.
+//! The paper measures a Cortex-A7 microcontroller; the reproducible claim
+//! is the *relative* ordering (FCFS cheapest, RELIEF most expensive but
+//! still trivially overlapped with 10–1500 µs accelerator tasks).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use relief_bench::microbench::bench_consume;
 use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
 use relief_dag::AccTypeId;
 use relief_sim::{Dur, Time};
@@ -27,53 +26,33 @@ fn prefilled(policy: PolicyKind, depth: u32) -> (Box<dyn relief_core::Policy>, R
     (p, q)
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ready_queue_insert");
+fn incoming() -> TaskEntry {
+    TaskEntry::new(TaskKey::new(1, 0), AccTypeId(0), Dur::from_us(15), Time::from_us(250))
+        .with_seq(10_000)
+        .forwarding_candidate()
+}
+
+fn main() {
+    const ITERS: usize = 2_000;
+    println!("[ready_queue_insert]");
     for policy in PolicyKind::ALL {
         for depth in [8u32, 32, 128] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.name(), depth),
-                &depth,
-                |b, &depth| {
-                    b.iter_batched(
-                        || {
-                            let state = prefilled(policy, depth);
-                            let entry = TaskEntry::new(
-                                TaskKey::new(1, 0),
-                                AccTypeId(0),
-                                Dur::from_us(15),
-                                Time::from_us(250),
-                            )
-                            .with_seq(10_000)
-                            .forwarding_candidate();
-                            (state, entry)
-                        },
-                        |((mut p, mut q), entry)| {
-                            p.enqueue_ready(&mut q, vec![entry], Time::from_us(1), &[1]);
-                            q.len()
-                        },
-                        BatchSize::SmallInput,
-                    );
+            let states: Vec<_> = (0..ITERS).map(|_| (prefilled(policy, depth), incoming())).collect();
+            bench_consume(
+                &format!("insert/{}/depth{depth}", policy.name()),
+                states,
+                |((mut p, mut q), entry)| {
+                    p.enqueue_ready(&mut q, vec![entry], Time::from_us(1), &[1]);
+                    q.len()
                 },
             );
         }
     }
-    group.finish();
-}
-
-fn bench_pop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ready_queue_pop");
+    println!("\n[ready_queue_pop]");
     for policy in [PolicyKind::Fcfs, PolicyKind::Lax, PolicyKind::Relief] {
-        group.bench_function(policy.name(), |b| {
-            b.iter_batched(
-                || prefilled(policy, 64),
-                |(mut p, mut q)| p.pop(&mut q, AccTypeId(0), Time::from_us(1)),
-                BatchSize::SmallInput,
-            );
+        let states: Vec<_> = (0..ITERS).map(|_| prefilled(policy, 64)).collect();
+        bench_consume(&format!("pop/{}", policy.name()), states, |(mut p, mut q)| {
+            p.pop(&mut q, AccTypeId(0), Time::from_us(1))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_insert, bench_pop);
-criterion_main!(benches);

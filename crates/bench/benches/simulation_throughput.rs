@@ -2,35 +2,26 @@
 //! application mix (relevant to anyone sweeping the design space with this
 //! repository; gem5 runs of the same workloads take hours).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use relief_accel::SocSim;
 use relief_bench::config_for;
+use relief_bench::microbench::bench;
 use relief_core::PolicyKind;
 use relief_workloads::Contention;
 
-fn bench_mixes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_mix");
-    group.sample_size(10);
+fn main() {
+    println!("[simulate_mix]");
     // CDG under high contention — the first triple of Fig. 4c.
     let mix = &Contention::High.mixes()[0];
     for policy in [PolicyKind::Fcfs, PolicyKind::Relief] {
-        group.bench_function(format!("high/CDG/{}", policy.name()), |b| {
-            b.iter(|| {
-                SocSim::new(config_for(policy, Contention::High), mix.workload()).run().stats
-            });
+        bench(&format!("high/CDG/{}", policy.name()), 10, || {
+            SocSim::new(config_for(policy, Contention::High), mix.workload()).run().stats
         });
     }
     // GHL continuous: the heaviest RNN-dominated 50 ms run.
     let ghl = Contention::Continuous.mixes().into_iter().last().expect("GHL exists");
-    group.bench_function("continuous/GHL/RELIEF", |b| {
-        b.iter(|| {
-            SocSim::new(config_for(PolicyKind::Relief, Contention::Continuous), ghl.workload())
-                .run()
-                .stats
-        });
+    bench("continuous/GHL/RELIEF", 5, || {
+        SocSim::new(config_for(PolicyKind::Relief, Contention::Continuous), ghl.workload())
+            .run()
+            .stats
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_mixes);
-criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Overhead of the tracing subsystem on a full simulation run.
+//!
+//! Three configurations of the same CDG high-contention RELIEF run:
+//! tracing off (no sinks — emit sites must be near-free), a `NullSink`
+//! (plumbing cost: events are built and discarded), and a bounded
+//! `RingBufferSink` (the realistic collection cost). The "off" case is
+//! the one that matters: it is what every non-tracing user pays.
+
+use relief_accel::SocSim;
+use relief_bench::config_for;
+use relief_bench::microbench::bench;
+use relief_core::PolicyKind;
+use relief_trace::{NullSink, RingBufferSink, Tracer};
+use relief_workloads::Contention;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    println!("[trace_overhead: CDG/high/RELIEF]");
+    let mix = &Contention::High.mixes()[0];
+    let cfg = || config_for(PolicyKind::Relief, Contention::High);
+
+    let off = bench("tracing off", 10, || SocSim::new(cfg(), mix.workload()).run().stats);
+
+    let null = bench("null sink attached", 10, || {
+        let tracer = Tracer::to_sink(Rc::new(RefCell::new(NullSink)));
+        SocSim::new(cfg(), mix.workload()).with_tracer(&tracer).run().stats
+    });
+
+    let ring = bench("ring buffer (1M events)", 10, || {
+        let sink = RingBufferSink::shared(1_000_000);
+        let tracer = Tracer::to_sink(sink.clone());
+        let stats = SocSim::new(cfg(), mix.workload()).with_tracer(&tracer).run().stats;
+        let total = sink.borrow().total();
+        (total, stats)
+    });
+
+    println!();
+    println!("null-sink overhead vs off: {:+.1}%", 100.0 * (null - off) / off);
+    println!("ring-buffer overhead vs off: {:+.1}%", 100.0 * (ring - off) / off);
+}

@@ -115,3 +115,5 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod microbench;
+pub mod traceio;

@@ -1,0 +1,40 @@
+//! Minimal self-contained timing harness.
+//!
+//! The sandbox cannot fetch `criterion`, so the `benches/` targets use
+//! this instead: fixed iteration counts, a short warm-up, and a
+//! one-line-per-case report. Numbers are indicative (no outlier
+//! rejection); the relative ordering across cases is the claim.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `iters` calls of `f` after a short warm-up and prints one
+/// aligned report line. Returns nanoseconds per iteration.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    for _ in 0..(iters / 10).max(1) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+    println!("{name:<44} {iters:>7} iters  {ns:>14.1} ns/iter");
+    ns
+}
+
+/// Times one call each of pre-built closures (for cases where per-call
+/// state must be prepared up front, like destructive queue operations).
+/// Returns nanoseconds per call.
+pub fn bench_consume<S, T>(name: &str, states: Vec<S>, mut f: impl FnMut(S) -> T) -> f64 {
+    let n = states.len() as f64;
+    assert!(n > 0.0, "need at least one state");
+    let t0 = Instant::now();
+    for s in states {
+        black_box(f(s));
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / n;
+    println!("{name:<44} {n:>7.0} iters  {ns:>14.1} ns/iter");
+    ns
+}

@@ -1,0 +1,149 @@
+//! Trace capture and file export shared by the experiment binaries.
+//!
+//! Any binary that accepts `--trace-out <STEM>` funnels through here: the
+//! run is re-executed with a [`RingBufferSink`] attached, and the captured
+//! stream is written as both Chrome/Perfetto JSON (`<STEM>.json`, open in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) and the canonical text
+//! format (`<STEM>.txt`, the input `trace-diff` compares).
+
+use relief_accel::{AccKind, AppSpec, SimResult, SocConfig, SocSim};
+use relief_trace::chrome::{to_chrome_json, ChromeOptions};
+use relief_trace::{text, RingBufferSink, TraceEvent, Tracer};
+use std::path::{Path, PathBuf};
+
+/// Ring capacity used for file export: large enough that the paper's
+/// single-shot mixes never evict (a 50 ms continuous run stays under a
+/// million events).
+pub const TRACE_RING_CAPACITY: usize = 1 << 20;
+
+/// Runs a workload with a lossless ring sink attached, returning both the
+/// simulation result and the captured event stream (in emission order).
+pub fn run_traced(cfg: SocConfig, apps: Vec<AppSpec>) -> (SimResult, Vec<TraceEvent>) {
+    let ring = RingBufferSink::shared(TRACE_RING_CAPACITY);
+    let mut tracer = Tracer::off();
+    tracer.attach(ring.clone());
+    let result = SocSim::new(cfg, apps).with_tracer(&tracer).run();
+    let events = ring.borrow_mut().take();
+    (result, events)
+}
+
+/// Display names for a configuration's accelerator instances, in the
+/// simulator's global instance order (type-major). On the Table VI mobile
+/// platform these are the Table I accelerator names; synthetic platforms
+/// fall back to `t<type>.<index>`.
+pub fn instance_names(cfg: &SocConfig) -> Vec<String> {
+    let mut names = Vec::with_capacity(cfg.total_instances());
+    for (t, &count) in cfg.acc_instances.iter().enumerate() {
+        for i in 0..count {
+            let name = match AccKind::ALL.get(t) {
+                Some(kind) if cfg.acc_instances.len() == AccKind::ALL.len() => {
+                    if count > 1 {
+                        format!("{}.{i}", kind.name())
+                    } else {
+                        kind.name().to_string()
+                    }
+                }
+                _ => format!("t{t}.{i}"),
+            };
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Writes `<stem>.json` (Chrome trace) and `<stem>.txt` (canonical text)
+/// for an event stream, returning the two paths written.
+pub fn write_trace_files(
+    events: &[TraceEvent],
+    accel_names: Vec<String>,
+    stem: &Path,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let json_path = stem.with_extension("json");
+    let txt_path = stem.with_extension("txt");
+    std::fs::write(&json_path, to_chrome_json(events, &ChromeOptions { accel_names }))?;
+    std::fs::write(&txt_path, text::to_text(events))?;
+    Ok((json_path, txt_path))
+}
+
+/// Captures one traced run and exports it under `stem`, printing the
+/// written paths to stderr. Returns the simulation result so callers can
+/// keep reporting on the same run.
+pub fn export_run(cfg: SocConfig, apps: Vec<AppSpec>, stem: &Path) -> std::io::Result<SimResult> {
+    let names = instance_names(&cfg);
+    let (result, events) = run_traced(cfg, apps);
+    let (json, txt) = write_trace_files(&events, names, stem)?;
+    eprintln!("trace: {} events -> {} + {}", events.len(), json.display(), txt.display());
+    Ok(result)
+}
+
+/// Extracts `--trace-out <STEM>` from an argument list, returning the stem
+/// and the remaining arguments.
+///
+/// # Errors
+///
+/// Fails when `--trace-out` is present without a value.
+pub fn take_trace_out_arg(args: Vec<String>) -> Result<(Option<PathBuf>, Vec<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut stem = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace-out" {
+            let v = it.next().ok_or("--trace-out needs a value")?;
+            stem = Some(PathBuf::from(v));
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((stem, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relief_core::PolicyKind;
+    use relief_trace::EventKind;
+
+    #[test]
+    fn traced_run_matches_untraced_stats() {
+        let mk = || {
+            let apps = crate::experiments::fig2_workload();
+            (SocConfig::generic(vec![1, 1], PolicyKind::Relief), apps)
+        };
+        let (cfg, apps) = mk();
+        let (traced, events) = run_traced(cfg, apps);
+        let (cfg, apps) = mk();
+        let plain = SocSim::new(cfg, apps).run();
+        assert_eq!(traced.stats.exec_time, plain.stats.exec_time);
+        assert_eq!(traced.stats.traffic, plain.stats.traffic);
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ComputeEnd { .. })));
+    }
+
+    #[test]
+    fn mobile_instance_names_use_table_i() {
+        let names = instance_names(&SocConfig::mobile(PolicyKind::Fcfs));
+        assert_eq!(names.len(), AccKind::ALL.len());
+        assert_eq!(names[0], AccKind::ALL[0].name());
+    }
+
+    #[test]
+    fn generic_instance_names_fall_back() {
+        let names = instance_names(&SocConfig::generic(vec![2, 1], PolicyKind::Fcfs));
+        assert_eq!(names, vec!["t0.0", "t0.1", "t1.0"]);
+    }
+
+    #[test]
+    fn trace_out_arg_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (stem, rest) =
+            take_trace_out_arg(args(&["--mix", "CGL", "--trace-out", "/tmp/t"])).unwrap();
+        assert_eq!(stem, Some(PathBuf::from("/tmp/t")));
+        assert_eq!(rest, args(&["--mix", "CGL"]));
+        assert!(take_trace_out_arg(args(&["--trace-out"])).is_err());
+        let (stem, rest) = take_trace_out_arg(args(&["--help"])).unwrap();
+        assert_eq!(stem, None);
+        assert_eq!(rest, args(&["--help"]));
+    }
+}

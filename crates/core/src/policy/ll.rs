@@ -5,6 +5,7 @@ use crate::queue::ReadyQueues;
 use crate::task::TaskEntry;
 use relief_dag::AccTypeId;
 use relief_sim::Time;
+use relief_trace::Tracer;
 
 /// LL: sort by Eq. 1 laxity (`deadline − runtime − now`), critical-path
 /// node deadlines (§II-C.3). Because `now` is common to all queued tasks,
@@ -17,7 +18,9 @@ pub struct Ll(());
 /// make theirs (§II-C.4, Yeh et al.). Improves deadlines met, but §V-E
 /// shows it can starve tight-laxity applications like Deblur.
 #[derive(Debug, Clone, Default)]
-pub struct Lax(());
+pub struct Lax {
+    tracer: Tracer,
+}
 
 impl Ll {
     /// Creates the policy.
@@ -29,7 +32,7 @@ impl Ll {
 impl Lax {
     /// Creates the policy.
     pub fn new() -> Self {
-        Lax(())
+        Lax::default()
     }
 }
 
@@ -81,7 +84,11 @@ impl Policy for Lax {
     }
 
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
-        pop_lax(queues, acc, now)
+        pop_lax(queues, acc, now, &self.tracer)
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

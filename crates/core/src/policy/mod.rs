@@ -18,10 +18,16 @@ pub use ll::{Lax, Ll};
 pub use relief::{is_feasible, Relief};
 
 use crate::queue::ReadyQueues;
-use crate::task::TaskEntry;
+use crate::task::{TaskEntry, TaskKey};
 use relief_dag::AccTypeId;
 use relief_sim::Time;
+use relief_trace::{EventKind, TaskRef, Tracer};
 use std::fmt;
+
+/// Converts a scheduler task key into the trace layer's id type.
+pub(crate) fn task_ref(key: TaskKey) -> TaskRef {
+    TaskRef { instance: key.instance, node: key.node }
+}
 
 /// How per-node absolute deadlines are derived from the DAG deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +74,11 @@ pub trait Policy {
     /// Selects the next task to launch on an idle accelerator of type
     /// `acc`, or `None` when its queue is empty.
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry>;
+
+    /// Attaches a tracer for scheduling-decision events (escalations,
+    /// feasibility verdicts, queue bypasses). Policies without decision
+    /// events ignore it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }
 
 /// Identifies a policy; use [`build`](PolicyKind::build) to instantiate it.
@@ -179,14 +190,29 @@ pub(crate) fn insert_batch<K: Ord>(
 /// Pop with LAX's de-prioritization: an escalated forwarding head always
 /// launches; otherwise the first non-negative-laxity task bypasses any
 /// negative-laxity tasks ahead of it; if every task is negative, the head
-/// launches.
-pub(crate) fn pop_lax(queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
+/// launches. An out-of-order pop emits a `QueueBypass` trace event.
+pub(crate) fn pop_lax(
+    queues: &mut ReadyQueues,
+    acc: AccTypeId,
+    now: Time,
+    tracer: &Tracer,
+) -> Option<TaskEntry> {
     let q = queues.queue(acc);
     if q.front()?.is_fwd {
         return queues.pop_front(acc);
     }
     match q.iter().position(|t| t.curr_laxity(now) >= 0) {
-        Some(i) => Some(queues.remove_at(acc, i)),
+        Some(i) => {
+            let entry = queues.remove_at(acc, i);
+            if i > 0 {
+                tracer.emit(now.as_ps(), || EventKind::QueueBypass {
+                    task: task_ref(entry.key),
+                    acc: acc.0,
+                    skipped: i as u64,
+                });
+            }
+            Some(entry)
+        }
         None => queues.pop_front(acc),
     }
 }

@@ -1,10 +1,11 @@
 //! RELIEF: RElaxing Least-laxIty to Enable Forwarding (Algorithms 1 & 2).
 
-use crate::policy::{pop_lax, DeadlineScheme, Policy, PolicyKind};
+use crate::policy::{pop_lax, task_ref, DeadlineScheme, Policy, PolicyKind};
 use crate::queue::ReadyQueues;
 use crate::task::TaskEntry;
 use relief_dag::AccTypeId;
 use relief_sim::Time;
+use relief_trace::{DenyReason, EventKind, Tracer};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
@@ -81,6 +82,7 @@ pub struct Relief {
     feasibility: bool,
     escalations: u64,
     rejected: u64,
+    tracer: Tracer,
 }
 
 impl Default for Relief {
@@ -91,6 +93,7 @@ impl Default for Relief {
             feasibility: true,
             escalations: 0,
             rejected: 0,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -176,14 +179,41 @@ impl Policy for Relief {
 
             for node in candidates {
                 let index = queues.find_pos(acc, &node, |t| (t.laxity, t.seq));
-                let feasible = max_forwards > 0
-                    && (!self.feasibility
-                        || is_feasible(queues.queue_mut(acc), &node, index, now));
-                if feasible {
+                let task = task_ref(node.key);
+                // Run Algorithm 2 only when an idle instance exists and the
+                // throttle is enabled; trace its verdict when it runs.
+                let check_passed = if max_forwards > 0 && self.feasibility {
+                    let ok = is_feasible(queues.queue_mut(acc), &node, index, now);
+                    self.tracer.emit(now.as_ps(), || EventKind::FeasibilityCheck {
+                        task,
+                        acc: acc.0,
+                        index: index as u64,
+                        feasible: ok,
+                    });
+                    ok
+                } else {
+                    true
+                };
+                if max_forwards > 0 && check_passed {
+                    self.tracer.emit(now.as_ps(), || EventKind::EscalationGranted {
+                        task,
+                        acc: acc.0,
+                        index: index as u64,
+                    });
                     queues.push_front_fwd(node);
                     max_forwards -= 1;
                     self.escalations += 1;
                 } else {
+                    let reason = if max_forwards == 0 {
+                        DenyReason::NoIdleBudget
+                    } else {
+                        DenyReason::Infeasible
+                    };
+                    self.tracer.emit(now.as_ps(), || EventKind::EscalationDenied {
+                        task,
+                        acc: acc.0,
+                        reason,
+                    });
                     self.rejected += 1;
                     queues.insert_sorted(node, |t| (t.laxity, t.seq));
                 }
@@ -193,10 +223,14 @@ impl Policy for Relief {
 
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
         if self.lax_deprioritize {
-            pop_lax(queues, acc, now)
+            pop_lax(queues, acc, now, &self.tracer)
         } else {
             queues.pop_front(acc)
         }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -1,10 +1,13 @@
-//! Property-based tests of the ready-queue invariants every policy must
+//! Property-style tests of the ready-queue invariants every policy must
 //! preserve under arbitrary interleavings of batch insertions and pops.
+//!
+//! Scripts are generated with the in-tree SplitMix64 generator instead of
+//! proptest (unfetchable in the sandbox): fixed seeds, deterministic
+//! cases, and every failure message carries the case seed for replay.
 
-use proptest::prelude::*;
-use relief_core::{Policy, PolicyKind, ReadyQueues, TaskEntry, TaskKey};
+use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
 use relief_dag::AccTypeId;
-use relief_sim::{Dur, Time};
+use relief_sim::{Dur, SplitMix64, Time};
 
 /// One scripted scheduler interaction.
 #[derive(Debug, Clone)]
@@ -17,17 +20,29 @@ enum Op {
     Advance(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        prop::collection::vec((1u64..200, 1u64..2000, proptest::bool::ANY), 1..4)
-            .prop_map(Op::Enqueue),
-        Just(Op::Pop),
-        (1u64..300).prop_map(Op::Advance),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    match rng.u32_below(3) {
+        0 => {
+            let n = 1 + rng.usize_below(3);
+            let batch = (0..n)
+                .map(|_| {
+                    (1 + rng.u64_below(199), 1 + rng.u64_below(1999), rng.chance(0.5))
+                })
+                .collect();
+            Op::Enqueue(batch)
+        }
+        1 => Op::Pop,
+        _ => Op::Advance(1 + rng.u64_below(299)),
+    }
+}
+
+fn random_script(rng: &mut SplitMix64) -> Vec<Op> {
+    let len = 1 + rng.usize_below(39);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 /// Drives a policy through a script, checking invariants after each step.
-fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize) -> Result<(), TestCaseError> {
+fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize, ctx: &str) {
     let mut policy = policy_kind.build();
     let mut queues = ReadyQueues::new(1);
     let acc = AccTypeId(0);
@@ -63,7 +78,7 @@ fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize) -> Result<(), Te
             }
             Op::Pop => {
                 let popped = policy.pop(&mut queues, acc, now);
-                prop_assert_eq!(popped.is_some(), queued > 0, "pop iff non-empty");
+                assert_eq!(popped.is_some(), queued > 0, "{ctx}: pop iff non-empty");
                 if popped.is_some() {
                     queued -= 1;
                     idle_now = idle_now.saturating_sub(1);
@@ -73,23 +88,26 @@ fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize) -> Result<(), Te
         }
 
         // Invariant 1: no entries lost or duplicated.
-        prop_assert_eq!(queues.len(), queued);
+        assert_eq!(queues.len(), queued, "{ctx}");
         let q = queues.queue(acc);
         // Invariant 2: escalated entries form a prefix...
         let fwd_prefix = q.iter().take_while(|t| t.is_fwd).count();
-        prop_assert!(
+        assert!(
             q.iter().skip(fwd_prefix).all(|t| !t.is_fwd),
-            "{policy_kind}: is_fwd entries must be a queue prefix"
+            "{ctx}: is_fwd entries must be a queue prefix"
         );
         // ...bounded by the idle budget.
-        prop_assert!(
+        assert!(
             fwd_prefix <= idle,
-            "{policy_kind}: escalations ({fwd_prefix}) exceed idle budget ({idle})"
+            "{ctx}: escalations ({fwd_prefix}) exceed idle budget ({idle})"
         );
         // Invariant 3: the non-escalated suffix is sorted by the policy's
         // key (laxity/deadline/seq), allowing equal keys.
         let sorted_by = |key: &dyn Fn(&TaskEntry) -> i128| {
-            q.iter().skip(fwd_prefix).zip(q.iter().skip(fwd_prefix + 1)).all(|(a, b)| key(a) <= key(b))
+            q.iter()
+                .skip(fwd_prefix)
+                .zip(q.iter().skip(fwd_prefix + 1))
+                .all(|(a, b)| key(a) <= key(b))
         };
         let ok = match policy_kind {
             PolicyKind::Fcfs => sorted_by(&|t: &TaskEntry| t.seq as i128),
@@ -98,47 +116,44 @@ fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize) -> Result<(), Te
             }
             _ => sorted_by(&|t: &TaskEntry| t.laxity),
         };
-        prop_assert!(ok, "{policy_kind}: queue must stay key-sorted");
+        assert!(ok, "{ctx}: queue must stay key-sorted");
         // Invariant 4: no task id appears twice.
         let mut keys: Vec<TaskKey> = q.iter().map(|t| t.key).collect();
         keys.sort();
         keys.dedup();
-        prop_assert_eq!(keys.len(), q.len());
+        assert_eq!(keys.len(), q.len(), "{ctx}");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn queue_invariants_hold_for_every_policy(
-        script in prop::collection::vec(op_strategy(), 1..40),
-        policy in prop::sample::select(
-            PolicyKind::ALL.iter().copied().chain(PolicyKind::EXTENSIONS).collect::<Vec<_>>()
-        ),
-        idle in 0usize..3,
-    ) {
-        drive(policy, script, idle)?;
+#[test]
+fn queue_invariants_hold_for_every_policy() {
+    let all: Vec<PolicyKind> =
+        PolicyKind::ALL.iter().copied().chain(PolicyKind::EXTENSIONS).collect();
+    let mut rng = SplitMix64::new(0x0BAD_5EED);
+    for case in 0..64 {
+        let policy = all[rng.usize_below(all.len())];
+        let idle = rng.usize_below(3);
+        let script = random_script(&mut rng);
+        drive(policy, script, idle, &format!("case={case} policy={policy} idle={idle}"));
     }
+}
 
-    /// Pops drain the queue in a policy-consistent order: for LL, popped
-    /// laxities are non-decreasing when popped back-to-back at one instant.
-    #[test]
-    fn ll_pops_in_laxity_order(
-        runtimes in prop::collection::vec((1u64..100, 1u64..1000), 1..20),
-    ) {
+/// Pops drain the queue in a policy-consistent order: for LL, popped
+/// laxities are non-decreasing when popped back-to-back at one instant.
+#[test]
+fn ll_pops_in_laxity_order() {
+    let mut rng = SplitMix64::new(0x11AA);
+    for case in 0..64 {
+        let n = 1 + rng.usize_below(19);
         let mut policy = PolicyKind::Ll.build();
         let mut queues = ReadyQueues::new(1);
-        let entries: Vec<TaskEntry> = runtimes
-            .iter()
-            .enumerate()
-            .map(|(i, &(rt, ddl))| {
+        let entries: Vec<TaskEntry> = (0..n)
+            .map(|i| {
                 TaskEntry::new(
                     TaskKey::new(0, i as u32),
                     AccTypeId(0),
-                    Dur::from_us(rt),
-                    Time::from_us(ddl),
+                    Dur::from_us(1 + rng.u64_below(99)),
+                    Time::from_us(1 + rng.u64_below(999)),
                 )
                 .with_seq(i as u64)
             })
@@ -146,30 +161,29 @@ proptest! {
         policy.enqueue_ready(&mut queues, entries, Time::ZERO, &[1]);
         let mut last = i128::MIN;
         while let Some(t) = policy.pop(&mut queues, AccTypeId(0), Time::ZERO) {
-            prop_assert!(t.laxity >= last);
+            assert!(t.laxity >= last, "case={case}");
             last = t.laxity;
         }
     }
+}
 
-    /// LAX never pops a negative-laxity task while a non-negative one is
-    /// queued (unless the head is an escalated forwarding node).
-    #[test]
-    fn lax_never_prefers_doomed_tasks(
-        runtimes in prop::collection::vec((1u64..500, 1u64..600), 2..20),
-        now_us in 0u64..400,
-    ) {
+/// LAX never pops a negative-laxity task while a non-negative one is
+/// queued (unless the head is an escalated forwarding node).
+#[test]
+fn lax_never_prefers_doomed_tasks() {
+    let mut rng = SplitMix64::new(0x22BB);
+    for case in 0..64 {
+        let n = 2 + rng.usize_below(18);
+        let now = Time::from_us(rng.u64_below(400));
         let mut policy = PolicyKind::Lax.build();
         let mut queues = ReadyQueues::new(1);
-        let now = Time::from_us(now_us);
-        let entries: Vec<TaskEntry> = runtimes
-            .iter()
-            .enumerate()
-            .map(|(i, &(rt, ddl))| {
+        let entries: Vec<TaskEntry> = (0..n)
+            .map(|i| {
                 TaskEntry::new(
                     TaskKey::new(0, i as u32),
                     AccTypeId(0),
-                    Dur::from_us(rt),
-                    Time::from_us(ddl),
+                    Dur::from_us(1 + rng.u64_below(499)),
+                    Time::from_us(1 + rng.u64_below(599)),
                 )
                 .with_seq(i as u64)
             })
@@ -178,9 +192,9 @@ proptest! {
         while let Some(t) = policy.pop(&mut queues, AccTypeId(0), now) {
             if t.curr_laxity(now) < 0 {
                 // Everything still queued must also be negative.
-                prop_assert!(
+                assert!(
                     queues.queue(AccTypeId(0)).iter().all(|r| r.curr_laxity(now) < 0),
-                    "LAX popped a doomed task over a viable one"
+                    "case={case}: LAX popped a doomed task over a viable one"
                 );
             }
         }

@@ -4,6 +4,7 @@ use crate::config::MemConfig;
 use crate::interconnect::Interconnect;
 use relief_sim::timeline::reserve_joint;
 use relief_sim::{Dur, Time, Timeline};
+use relief_trace::{Endpoint, EventKind, ResourceId, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -22,6 +23,13 @@ impl Port {
         match self {
             Port::Dram => None,
             Port::Spad(i) => Some(i),
+        }
+    }
+
+    fn endpoint(self) -> Endpoint {
+        match self {
+            Port::Dram => Endpoint::Dram,
+            Port::Spad(i) => Endpoint::Spad(i as u32),
         }
     }
 }
@@ -82,6 +90,8 @@ struct Active {
     bytes: u64,
     first_start: Option<Time>,
     last_end: Time,
+    /// Accumulated time chunks waited before service began.
+    queued: Dur,
 }
 
 /// Moves bytes along routes through the DRAM channel, the interconnect, and
@@ -106,6 +116,7 @@ pub struct TransferEngine {
     dram_read_bytes: u64,
     dram_write_bytes: u64,
     spad_to_spad_bytes: u64,
+    tracer: Tracer,
 }
 
 impl TransferEngine {
@@ -127,7 +138,15 @@ impl TransferEngine {
             dram_read_bytes: 0,
             dram_write_bytes: 0,
             spad_to_spad_bytes: 0,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a tracer: transfers emit `DmaStart` / `DmaEnd` records and
+    /// the DRAM channel timeline reports `ResourceBusy` occupancy.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dram.set_tracer(tracer.clone(), ResourceId::Dram);
+        self.tracer = tracer;
     }
 
     /// Starts a transfer of `bytes` along `route`, driven by accelerator
@@ -147,8 +166,23 @@ impl TransferEngine {
         self.next_id += 1;
         self.active.insert(
             id,
-            Active { route, dma, remaining: bytes, bytes, first_start: None, last_end: now },
+            Active {
+                route,
+                dma,
+                remaining: bytes,
+                bytes,
+                first_start: None,
+                last_end: now,
+                queued: Dur::ZERO,
+            },
         );
+        self.tracer.emit(now.as_ps(), || EventKind::DmaStart {
+            xfer: id,
+            dma: dma as u32,
+            src: route.src.endpoint(),
+            dst: route.dst.endpoint(),
+            bytes,
+        });
         match route {
             Route { src: Port::Dram, .. } => self.dram_read_bytes += bytes,
             Route { dst: Port::Dram, .. } => self.dram_write_bytes += bytes,
@@ -167,11 +201,17 @@ impl TransferEngine {
         let st = self.active.get(&id.0).expect("unknown or completed transfer");
         if st.remaining == 0 {
             let st = self.active.remove(&id.0).expect("checked above");
-            return Progress::Done {
-                start: st.first_start.unwrap_or(st.last_end),
-                end: st.last_end,
+            let start = st.first_start.unwrap_or(st.last_end);
+            self.tracer.emit(st.last_end.as_ps(), || EventKind::DmaEnd {
+                xfer: id.0,
+                dma: st.dma as u32,
+                src: st.route.src.endpoint(),
+                dst: st.route.dst.endpoint(),
                 bytes: st.bytes,
-            };
+                start_ps: start.as_ps(),
+                queued_ps: st.queued.as_ps(),
+            });
+            return Progress::Done { start, end: st.last_end, bytes: st.bytes };
         }
         Progress::Chunk(self.issue_chunk(id.0, now))
     }
@@ -221,6 +261,7 @@ impl TransferEngine {
         if st.first_start.is_none() {
             st.first_start = Some(start);
         }
+        st.queued += start.saturating_since(now);
         st.last_end = st.last_end.max(end);
         end
     }

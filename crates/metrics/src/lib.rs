@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod reconcile;
 pub mod report;
 pub mod stats;
 pub mod summary;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use reconcile::{reconcile, Mismatch};
 pub use stats::{AppStats, RunStats, TrafficStats};

@@ -1,0 +1,137 @@
+//! Event/stats reconciliation.
+//!
+//! The simulator maintains two independent bookkeeping systems: the
+//! counters inside [`RunStats`] (incremented inline by the SoC simulator)
+//! and the structured event stream of `relief-trace` (emitted by the
+//! instrumentation hooks). [`reconcile`] folds an event stream's
+//! [`EventCounters`] against a run's [`RunStats`] and reports every field
+//! where the two disagree — if they do, one of the paths is lying, which
+//! is exactly the kind of bug a tracing layer tends to hide.
+//!
+//! Equality is only guaranteed for *drained* runs (no time-limit
+//! truncation) observed through a lossless sink (no ring-buffer
+//! eviction): the transfer engine attributes bytes at `begin` time while
+//! `DmaEnd` events attribute them at completion, so a truncated run can
+//! legitimately disagree on byte totals.
+
+use crate::stats::RunStats;
+use relief_trace::EventCounters;
+use std::fmt;
+
+/// One field where event-derived and simulator-maintained counts differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Which counter disagreed.
+    pub field: &'static str,
+    /// The value derived from the trace event stream.
+    pub from_events: u64,
+    /// The value reported by [`RunStats`].
+    pub from_stats: u64,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: events say {}, stats say {}",
+            self.field, self.from_events, self.from_stats
+        )
+    }
+}
+
+/// Compares an event stream's counters against a run's statistics,
+/// returning every disagreement (empty means consistent).
+///
+/// # Examples
+///
+/// ```
+/// use relief_metrics::{reconcile, RunStats};
+/// use relief_trace::EventCounters;
+/// assert!(reconcile(&EventCounters::default(), &RunStats::default()).is_empty());
+/// ```
+#[must_use]
+pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
+    let nodes: u64 = stats.apps.values().map(|a| a.nodes_completed).sum();
+    let dags: u64 = stats.apps.values().map(|a| a.dags_completed).sum();
+    let dags_met: u64 = stats.apps.values().map(|a| a.dag_deadlines_met).sum();
+    let checks: [(&'static str, u64, u64); 8] = [
+        ("tasks_completed", counters.tasks_completed, nodes),
+        ("dags_done", counters.dags_done, dags),
+        ("dags_met", counters.dags_met, dags_met),
+        ("forwards", counters.forwards, stats.forwards()),
+        ("colocations", counters.colocations, stats.colocations()),
+        ("dram_read_bytes", counters.dram_read_bytes, stats.traffic.dram_read_bytes),
+        ("dram_write_bytes", counters.dram_write_bytes, stats.traffic.dram_write_bytes),
+        ("spad_to_spad_bytes", counters.spad_to_spad_bytes, stats.traffic.spad_to_spad_bytes),
+    ];
+    checks
+        .into_iter()
+        .filter(|&(_, ev, st)| ev != st)
+        .map(|(field, from_events, from_stats)| Mismatch { field, from_events, from_stats })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{AppStats, TrafficStats};
+
+    fn consistent_pair() -> (EventCounters, RunStats) {
+        let counters = EventCounters {
+            tasks_completed: 5,
+            dags_done: 1,
+            dags_met: 1,
+            forwards: 2,
+            colocations: 1,
+            dram_read_bytes: 4096,
+            dram_write_bytes: 1024,
+            spad_to_spad_bytes: 2048,
+            ..EventCounters::default()
+        };
+        let mut stats = RunStats {
+            traffic: TrafficStats {
+                dram_read_bytes: 4096,
+                dram_write_bytes: 1024,
+                spad_to_spad_bytes: 2048,
+                ..TrafficStats::default()
+            },
+            ..RunStats::default()
+        };
+        stats.apps.insert(
+            "A".into(),
+            AppStats {
+                name: "A".into(),
+                nodes_completed: 5,
+                dags_completed: 1,
+                dag_deadlines_met: 1,
+                forwards: 2,
+                colocations: 1,
+                ..AppStats::default()
+            },
+        );
+        (counters, stats)
+    }
+
+    #[test]
+    fn consistent_run_reports_nothing() {
+        let (counters, stats) = consistent_pair();
+        assert!(reconcile(&counters, &stats).is_empty());
+    }
+
+    #[test]
+    fn each_disagreement_is_reported() {
+        let (mut counters, stats) = consistent_pair();
+        counters.forwards += 1;
+        counters.dram_read_bytes -= 100;
+        let mismatches = reconcile(&counters, &stats);
+        assert_eq!(mismatches.len(), 2);
+        assert_eq!(mismatches[0].field, "forwards");
+        assert_eq!(mismatches[0].from_events, 3);
+        assert_eq!(mismatches[0].from_stats, 2);
+        assert_eq!(mismatches[1].field, "dram_read_bytes");
+        assert_eq!(
+            mismatches[1].to_string(),
+            "dram_read_bytes: events say 3996, stats say 4096"
+        );
+    }
+}

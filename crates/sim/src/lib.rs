@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod queue;
+pub mod rng;
 pub mod time;
 pub mod timeline;
 
 pub use queue::EventQueue;
+pub use rng::SplitMix64;
 pub use time::{Dur, Time};
 pub use timeline::{BusyStats, Timeline};

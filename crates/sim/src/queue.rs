@@ -1,6 +1,7 @@
 //! Deterministic event queue.
 
 use crate::time::Time;
+use relief_trace::{EventKind, Tracer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -49,12 +50,19 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     popped: u64,
+    tracer: Tracer,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, popped: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, popped: 0, tracer: Tracer::off() }
+    }
+
+    /// Attaches a tracer; every subsequent [`EventQueue::pop`] emits an
+    /// `EventDispatched` record at the popped event's fire time.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Schedules `event` to fire at `at`.
@@ -67,7 +75,9 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         self.heap.pop().map(|e| {
+            let index = self.popped;
             self.popped += 1;
+            self.tracer.emit(e.at.as_ps(), || EventKind::EventDispatched { index });
             (e.at, e.event)
         })
     }

@@ -8,6 +8,7 @@
 //! directly.
 
 use crate::time::{Dur, Time};
+use relief_trace::{EventKind, ResourceId, Tracer};
 
 /// Accumulated utilization of a timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,12 +38,21 @@ pub struct BusyStats {
 pub struct Timeline {
     free_at: Time,
     stats: BusyStats,
+    tracer: Tracer,
+    id: Option<ResourceId>,
 }
 
 impl Timeline {
     /// Creates an idle timeline at t = 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a tracer and names this resource; every subsequent
+    /// reservation (direct or joint) emits a `ResourceBusy` record.
+    pub fn set_tracer(&mut self, tracer: Tracer, id: ResourceId) {
+        self.tracer = tracer;
+        self.id = Some(id);
     }
 
     /// Reserves `dur` of service starting no earlier than `now`, returning
@@ -54,6 +64,13 @@ impl Timeline {
         self.stats.requests += 1;
         self.stats.queued += start.saturating_since(now);
         self.free_at = end;
+        if let Some(resource) = self.id {
+            self.tracer.emit(now.as_ps(), || EventKind::ResourceBusy {
+                resource,
+                start_ps: start.as_ps(),
+                end_ps: end.as_ps(),
+            });
+        }
         (start, end)
     }
 
@@ -111,6 +128,13 @@ pub fn reserve_joint(resources: &mut [&mut Timeline], durs: &[Dur], now: Time) -
         r.stats.requests += 1;
         r.stats.queued += start.saturating_since(now);
         r.free_at = start + d;
+        if let Some(resource) = r.id {
+            r.tracer.emit(now.as_ps(), || EventKind::ResourceBusy {
+                resource,
+                start_ps: start.as_ps(),
+                end_ps: (start + d).as_ps(),
+            });
+        }
         end = end.max(start + d);
     }
     (start, end)

@@ -1,0 +1,53 @@
+//! `trace-diff` — compare two text-format trace exports and report the
+//! first divergence.
+//!
+//! ```sh
+//! cargo run -p relief-trace --bin trace-diff -- left.trace right.trace
+//! ```
+//!
+//! Exit codes: `0` identical, `1` divergent, `2` usage or I/O error.
+
+use relief_trace::diff::first_divergence_lines;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+trace-diff — first-divergence comparison of two relief-trace text exports
+
+USAGE:
+    trace-diff <LEFT> <RIGHT>
+
+Compares line-by-line (the text format is one event per line, in
+deterministic order) and reports the first difference with its cause:
+a timing shift, a different event at the same time, or one stream
+ending early. Identical files exit 0; any divergence exits 1.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [left_path, right_path] = args.as_slice() else {
+        eprint!("error: expected exactly two files\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: cannot read '{path}': {e}");
+        })
+    };
+    let (Ok(left), Ok(right)) = (read(left_path), read(right_path)) else {
+        return ExitCode::from(2);
+    };
+    match first_divergence_lines(&left, &right) {
+        None => {
+            println!("identical: {} events", left.lines().count());
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            print!("{}", d.report());
+            ExitCode::FAILURE
+        }
+    }
+}

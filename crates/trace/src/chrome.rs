@@ -1,0 +1,494 @@
+//! Chrome/Perfetto `trace.json` export.
+//!
+//! Produces the Trace Event Format consumed by `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev): a JSON object with a
+//! `traceEvents` array of complete (`"ph":"X"`) and instant (`"ph":"i"`)
+//! events. The writer is hand-rolled — no serde — and emits timestamps in
+//! microseconds as exact decimals of the picosecond event times, so the
+//! output is deterministic byte-for-byte.
+//!
+//! Track layout:
+//!
+//! * **pid 1 "accelerators"** — one thread per accelerator instance;
+//!   compute spans plus write-back/input-sourcing instants.
+//! * **pid 2 "memory"** — one thread per DMA engine with transfer spans,
+//!   plus a DRAM-channel occupancy thread.
+//! * **pid 3 "scheduler"** — policy decision instants (escalations,
+//!   feasibility verdicts, queue bypasses), application arrival/completion
+//!   instants, and manager occupancy spans.
+
+use crate::event::{Endpoint, EventKind, ResourceId, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+const PID_ACCEL: u32 = 1;
+const PID_MEM: u32 = 2;
+const PID_SCHED: u32 = 3;
+
+/// Thread ids on the memory process.
+const TID_DRAM: u32 = 0;
+const TID_DMA_BASE: u32 = 10;
+
+/// Thread ids on the scheduler process.
+const TID_DECISIONS: u32 = 0;
+const TID_APPS: u32 = 1;
+const TID_MANAGER: u32 = 2;
+
+/// Options for [`to_chrome_json`].
+#[derive(Debug, Clone, Default)]
+pub struct ChromeOptions {
+    /// Display names for accelerator instances, indexed by instance id.
+    /// Instances beyond the list fall back to `acc<i>`.
+    pub accel_names: Vec<String>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats picoseconds as an exact microsecond decimal (`ps / 1e6`).
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"), first: true }
+    }
+
+    /// Appends one raw JSON object (without surrounding comma handling).
+    fn push(&mut self, obj: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str(obj);
+    }
+
+    fn meta_process(&mut self, pid: u32, name: &str) {
+        let mut o = format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\""
+        );
+        escape_into(&mut o, name);
+        o.push_str("\"}}");
+        self.push(&o);
+    }
+
+    fn meta_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        let mut o = format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        );
+        escape_into(&mut o, name);
+        o.push_str("\"}}");
+        self.push(&o);
+    }
+
+    fn complete(&mut self, pid: u32, tid: u32, name: &str, start_ps: u64, end_ps: u64, args: &str) {
+        let mut o = String::from("{\"ph\":\"X\",\"pid\":");
+        write!(
+            o,
+            "{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"",
+            us(start_ps),
+            us(end_ps.saturating_sub(start_ps))
+        )
+        .expect("write to String");
+        escape_into(&mut o, name);
+        o.push_str("\",\"args\":{");
+        o.push_str(args);
+        o.push_str("}}");
+        self.push(&o);
+    }
+
+    fn instant(&mut self, pid: u32, tid: u32, name: &str, at_ps: u64, args: &str) {
+        let mut o = String::from("{\"ph\":\"i\",\"s\":\"t\",\"pid\":");
+        write!(o, "{pid},\"tid\":{tid},\"ts\":{},\"name\":\"", us(at_ps)).expect("write to String");
+        escape_into(&mut o, name);
+        o.push_str("\",\"args\":{");
+        o.push_str(args);
+        o.push_str("}}");
+        self.push(&o);
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+fn route_name(src: Endpoint, dst: Endpoint) -> &'static str {
+    match (src, dst) {
+        (Endpoint::Dram, _) => "dram-read",
+        (_, Endpoint::Dram) => "dram-write",
+        _ => "spad-to-spad",
+    }
+}
+
+/// Serializes an event stream into Chrome Trace Event Format JSON.
+///
+/// The output opens in `chrome://tracing` or Perfetto directly. Events
+/// keep their stream order; metadata records naming the processes and
+/// threads come first.
+#[must_use]
+pub fn to_chrome_json(events: &[TraceEvent], opts: &ChromeOptions) -> String {
+    let mut w = Writer::new();
+
+    // Discover which accelerator instances and DMA engines appear so
+    // metadata only names real tracks.
+    let mut insts: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut dmas: BTreeMap<u32, ()> = BTreeMap::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::TaskDispatched { inst, .. }
+            | EventKind::ComputeStart { inst, .. }
+            | EventKind::ComputeEnd { inst, .. }
+            | EventKind::InputSourced { inst, .. }
+            | EventKind::WritebackIssued { inst, .. } => {
+                insts.insert(*inst, ());
+            }
+            EventKind::DmaStart { dma, .. } | EventKind::DmaEnd { dma, .. } => {
+                dmas.insert(*dma, ());
+            }
+            _ => {}
+        }
+    }
+
+    w.meta_process(PID_ACCEL, "accelerators");
+    w.meta_process(PID_MEM, "memory");
+    w.meta_process(PID_SCHED, "scheduler");
+    for (&i, ()) in &insts {
+        let fallback = format!("acc{i}");
+        let name = opts.accel_names.get(i as usize).map(String::as_str).unwrap_or(&fallback);
+        w.meta_thread(PID_ACCEL, i, name);
+    }
+    w.meta_thread(PID_MEM, TID_DRAM, "dram-channel");
+    for (&d, ()) in &dmas {
+        w.meta_thread(PID_MEM, TID_DMA_BASE + d, &format!("dma{d}"));
+    }
+    w.meta_thread(PID_SCHED, TID_DECISIONS, "decisions");
+    w.meta_thread(PID_SCHED, TID_APPS, "applications");
+    w.meta_thread(PID_SCHED, TID_MANAGER, "manager");
+
+    for ev in events {
+        let at = ev.at_ps;
+        match &ev.kind {
+            EventKind::EventDispatched { .. } => {} // too dense to chart
+            EventKind::ResourceBusy { resource, start_ps, end_ps } => {
+                let (pid, tid) = match resource {
+                    ResourceId::Manager => (PID_SCHED, TID_MANAGER),
+                    ResourceId::Dram => (PID_MEM, TID_DRAM),
+                    ResourceId::Dma(d) => (PID_MEM, TID_DMA_BASE + d),
+                    ResourceId::IcnLane(l) => (PID_MEM, 100 + l),
+                    ResourceId::SpadPort(p) => (PID_MEM, 200 + p),
+                };
+                w.complete(pid, tid, "busy", *start_ps, *end_ps, "");
+            }
+            EventKind::DmaStart { .. } => {} // spans are drawn at DmaEnd
+            EventKind::DmaEnd { xfer, dma, src, dst, bytes, start_ps, queued_ps } => {
+                let args = format!(
+                    "\"xfer\":{xfer},\"bytes\":{bytes},\"queued_us\":{},\"route\":\"{src}->{dst}\"",
+                    us(*queued_ps)
+                );
+                w.complete(
+                    PID_MEM,
+                    TID_DMA_BASE + dma,
+                    route_name(*src, *dst),
+                    *start_ps,
+                    at,
+                    &args,
+                );
+            }
+            EventKind::EscalationGranted { task, acc, index } => {
+                let args = format!("\"task\":\"{task}\",\"acc\":{acc},\"index\":{index}");
+                w.instant(PID_SCHED, TID_DECISIONS, "escalation-granted", at, &args);
+            }
+            EventKind::EscalationDenied { task, acc, reason } => {
+                let args = format!("\"task\":\"{task}\",\"acc\":{acc},\"reason\":\"{reason}\"");
+                w.instant(PID_SCHED, TID_DECISIONS, "escalation-denied", at, &args);
+            }
+            EventKind::FeasibilityCheck { task, acc, index, feasible } => {
+                let args = format!(
+                    "\"task\":\"{task}\",\"acc\":{acc},\"index\":{index},\"feasible\":{feasible}"
+                );
+                w.instant(PID_SCHED, TID_DECISIONS, "feasibility-check", at, &args);
+            }
+            EventKind::QueueBypass { task, acc, skipped } => {
+                let args = format!("\"task\":\"{task}\",\"acc\":{acc},\"skipped\":{skipped}");
+                w.instant(PID_SCHED, TID_DECISIONS, "queue-bypass", at, &args);
+            }
+            EventKind::DagArrived { instance, app, nodes } => {
+                let mut args = format!("\"instance\":{instance},\"nodes\":{nodes},\"app\":\"");
+                escape_into(&mut args, app);
+                args.push('"');
+                w.instant(PID_SCHED, TID_APPS, "dag-arrival", at, &args);
+            }
+            EventKind::TaskReady { task, acc } => {
+                let args = format!("\"task\":\"{task}\",\"acc\":{acc}");
+                w.instant(PID_SCHED, TID_DECISIONS, "task-ready", at, &args);
+            }
+            EventKind::TaskDispatched { .. } | EventKind::ComputeStart { .. } => {
+                // Subsumed by the ComputeEnd span.
+            }
+            EventKind::InputSourced { task, inst, source, bytes, .. } => {
+                let args = format!("\"task\":\"{task}\",\"source\":\"{source}\",\"bytes\":{bytes}");
+                w.instant(PID_ACCEL, *inst, "input", at, &args);
+            }
+            EventKind::ComputeEnd { task, inst, start_ps, label, forwarded_inputs, colocated_inputs } => {
+                let args = format!(
+                    "\"task\":\"{task}\",\"forwarded_inputs\":{forwarded_inputs},\"colocated_inputs\":{colocated_inputs}"
+                );
+                w.complete(PID_ACCEL, *inst, label, *start_ps, at, &args);
+            }
+            EventKind::WritebackIssued { task, inst, bytes, lazy } => {
+                let args = format!("\"task\":\"{task}\",\"bytes\":{bytes},\"lazy\":{lazy}");
+                w.instant(PID_ACCEL, *inst, "writeback", at, &args);
+            }
+            EventKind::DagDone { instance, met } => {
+                let args = format!("\"instance\":{instance},\"met\":{met}");
+                w.instant(PID_SCHED, TID_APPS, "dag-done", at, &args);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// A minimal JSON well-formedness checker (objects, arrays, strings,
+/// numbers, booleans, null). Used by the exporter's tests and available to
+/// integration tests; not a full validator, but strict enough to catch
+/// unbalanced structure, bad escapes, and trailing garbage.
+#[must_use]
+pub fn is_well_formed_json(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let ok = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    ok && pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() - *pos < 5 || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit) {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            c if c < 0x20 => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TaskRef;
+
+    #[test]
+    fn json_checker_accepts_and_rejects() {
+        assert!(is_well_formed_json("{\"a\":[1,2.5,-3e4,\"x\\n\",true,null]}"));
+        assert!(is_well_formed_json("[]"));
+        assert!(!is_well_formed_json("{\"a\":}"));
+        assert!(!is_well_formed_json("[1,2"));
+        assert!(!is_well_formed_json("{\"a\":1} trailing"));
+        assert!(!is_well_formed_json("\"bad\\escape\""));
+    }
+
+    #[test]
+    fn exact_microsecond_formatting() {
+        assert_eq!(us(0), "0.000000");
+        assert_eq!(us(1), "0.000001");
+        assert_eq!(us(1_500_000), "1.500000");
+        assert_eq!(us(123_456_789), "123.456789");
+    }
+
+    #[test]
+    fn export_is_well_formed_and_tracked() {
+        let events = vec![
+            TraceEvent {
+                at_ps: 30_000_000,
+                kind: EventKind::ComputeEnd {
+                    task: TaskRef { instance: 0, node: 0 },
+                    inst: 1,
+                    start_ps: 10_000_000,
+                    label: "A:n0".to_string(),
+                    forwarded_inputs: 0,
+                    colocated_inputs: 1,
+                },
+            },
+            TraceEvent {
+                at_ps: 5_000_000,
+                kind: EventKind::EscalationGranted {
+                    task: TaskRef { instance: 0, node: 1 },
+                    acc: 0,
+                    index: 0,
+                },
+            },
+        ];
+        let json = to_chrome_json(&events, &ChromeOptions::default());
+        assert!(is_well_formed_json(&json), "exporter must emit valid JSON:\n{json}");
+        assert!(json.contains("\"escalation-granted\""));
+        assert!(json.contains("\"A:n0\""));
+        assert!(json.contains("\"ts\":10.000000,\"dur\":20.000000"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let events = vec![TraceEvent {
+            at_ps: 0,
+            kind: EventKind::DagArrived { instance: 0, app: "we\"ird\\app".to_string(), nodes: 1 },
+        }];
+        let json = to_chrome_json(&events, &ChromeOptions::default());
+        assert!(is_well_formed_json(&json), "{json}");
+        assert!(json.contains("we\\\"ird\\\\app"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Aggregate counters derived from an event stream.
+//!
+//! These exist so higher layers can cross-check the tracing path against
+//! their independently maintained statistics (`relief-metrics` reconciles
+//! them against `RunStats`): if the two bookkeeping systems disagree, one
+//! of them is lying.
+
+use crate::event::{Endpoint, EventKind, InputSource, TraceEvent};
+
+/// Counters accumulated over a full event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// Simulation-kernel events dispatched.
+    pub events_dispatched: u64,
+    /// Tasks whose compute finished.
+    pub tasks_completed: u64,
+    /// DAG instances that arrived.
+    pub dags_arrived: u64,
+    /// DAG instances that completed.
+    pub dags_done: u64,
+    /// Completed DAGs that met their deadline.
+    pub dags_met: u64,
+    /// Bytes read from DRAM (DRAM → SPAD transfers).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (SPAD → DRAM transfers).
+    pub dram_write_bytes: u64,
+    /// Bytes moved SPAD-to-SPAD (forwards).
+    pub spad_to_spad_bytes: u64,
+    /// Input edges served by forwarding.
+    pub forwards: u64,
+    /// Input edges served by colocation.
+    pub colocations: u64,
+    /// Input edges (and primary inputs) loaded from DRAM.
+    pub dram_inputs: u64,
+    /// Escalations granted by the policy.
+    pub escalations_granted: u64,
+    /// Escalations denied by the policy.
+    pub escalations_denied: u64,
+    /// Feasibility checks that passed.
+    pub feasibility_pass: u64,
+    /// Feasibility checks that failed.
+    pub feasibility_fail: u64,
+    /// Laxity-driven out-of-order pops.
+    pub queue_bypasses: u64,
+    /// Write-backs issued.
+    pub writebacks: u64,
+    /// Total bytes scheduled for write-back.
+    pub writeback_bytes: u64,
+}
+
+impl EventCounters {
+    /// Accumulates counters over `events`.
+    #[must_use]
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut c = EventCounters::default();
+        for ev in events {
+            c.add(ev);
+        }
+        c
+    }
+
+    /// Folds a single event into the counters.
+    pub fn add(&mut self, ev: &TraceEvent) {
+        match &ev.kind {
+            EventKind::EventDispatched { .. } => self.events_dispatched += 1,
+            EventKind::ComputeEnd { .. } => self.tasks_completed += 1,
+            EventKind::DagArrived { .. } => self.dags_arrived += 1,
+            EventKind::DagDone { met, .. } => {
+                self.dags_done += 1;
+                if *met {
+                    self.dags_met += 1;
+                }
+            }
+            EventKind::DmaEnd { src, dst, bytes, .. } => match (src, dst) {
+                (Endpoint::Dram, _) => self.dram_read_bytes += bytes,
+                (_, Endpoint::Dram) => self.dram_write_bytes += bytes,
+                _ => self.spad_to_spad_bytes += bytes,
+            },
+            EventKind::InputSourced { source, .. } => match source {
+                InputSource::Dram => self.dram_inputs += 1,
+                InputSource::Forwarded { .. } => self.forwards += 1,
+                InputSource::Colocated => self.colocations += 1,
+            },
+            EventKind::EscalationGranted { .. } => self.escalations_granted += 1,
+            EventKind::EscalationDenied { .. } => self.escalations_denied += 1,
+            EventKind::FeasibilityCheck { feasible, .. } => {
+                if *feasible {
+                    self.feasibility_pass += 1;
+                } else {
+                    self.feasibility_fail += 1;
+                }
+            }
+            EventKind::QueueBypass { .. } => self.queue_bypasses += 1,
+            EventKind::WritebackIssued { bytes, .. } => {
+                self.writebacks += 1;
+                self.writeback_bytes += bytes;
+            }
+            EventKind::ResourceBusy { .. }
+            | EventKind::DmaStart { .. }
+            | EventKind::TaskReady { .. }
+            | EventKind::TaskDispatched { .. }
+            | EventKind::ComputeStart { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TaskRef;
+
+    #[test]
+    fn counters_classify_routes_and_sources() {
+        let t = TaskRef { instance: 0, node: 0 };
+        let events = vec![
+            TraceEvent {
+                at_ps: 1,
+                kind: EventKind::DmaEnd {
+                    xfer: 0,
+                    dma: 0,
+                    src: Endpoint::Dram,
+                    dst: Endpoint::Spad(1),
+                    bytes: 100,
+                    start_ps: 0,
+                    queued_ps: 0,
+                },
+            },
+            TraceEvent {
+                at_ps: 2,
+                kind: EventKind::DmaEnd {
+                    xfer: 1,
+                    dma: 1,
+                    src: Endpoint::Spad(0),
+                    dst: Endpoint::Dram,
+                    bytes: 30,
+                    start_ps: 1,
+                    queued_ps: 0,
+                },
+            },
+            TraceEvent {
+                at_ps: 3,
+                kind: EventKind::DmaEnd {
+                    xfer: 2,
+                    dma: 0,
+                    src: Endpoint::Spad(0),
+                    dst: Endpoint::Spad(1),
+                    bytes: 7,
+                    start_ps: 2,
+                    queued_ps: 0,
+                },
+            },
+            TraceEvent {
+                at_ps: 4,
+                kind: EventKind::InputSourced {
+                    task: t,
+                    inst: 0,
+                    parent: None,
+                    source: InputSource::Colocated,
+                    bytes: 7,
+                },
+            },
+            TraceEvent {
+                at_ps: 5,
+                kind: EventKind::FeasibilityCheck { task: t, acc: 0, index: 0, feasible: false },
+            },
+        ];
+        let c = EventCounters::from_events(&events);
+        assert_eq!(c.dram_read_bytes, 100);
+        assert_eq!(c.dram_write_bytes, 30);
+        assert_eq!(c.spad_to_spad_bytes, 7);
+        assert_eq!(c.colocations, 1);
+        assert_eq!(c.feasibility_fail, 1);
+        assert_eq!(c.feasibility_pass, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! First-divergence comparison of two event streams.
+//!
+//! The simulator is deterministic: identical configuration and seed must
+//! produce identical event streams. `trace-diff` turns that guarantee
+//! into a regression test — compare the text exports of two runs and the
+//! first differing line localizes exactly when and where behavior
+//! changed, which is far more actionable than a failing end-to-end
+//! assertion.
+
+use crate::event::TraceEvent;
+use std::fmt;
+
+/// Why two streams diverged at a given position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceCause {
+    /// The left stream ended while the right continued.
+    LeftEnded,
+    /// The right stream ended while the left continued.
+    RightEnded,
+    /// Both have an event, at different simulated times.
+    TimeMismatch,
+    /// Same simulated time, different event content.
+    ContentMismatch,
+}
+
+impl fmt::Display for DivergenceCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceCause::LeftEnded => write!(f, "left stream ended early"),
+            DivergenceCause::RightEnded => write!(f, "right stream ended early"),
+            DivergenceCause::TimeMismatch => write!(f, "events at different times"),
+            DivergenceCause::ContentMismatch => write!(f, "different events at the same time"),
+        }
+    }
+}
+
+/// The first point at which two streams disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based position (event index or line number) of the disagreement.
+    pub index: usize,
+    /// Classification of the disagreement.
+    pub cause: DivergenceCause,
+    /// The left side's entry at `index`, if any.
+    pub left: Option<String>,
+    /// The right side's entry at `index`, if any.
+    pub right: Option<String>,
+}
+
+impl Divergence {
+    /// Human-readable multi-line report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = format!("divergence at entry {} ({}):\n", self.index, self.cause);
+        out.push_str(&format!("  left:  {}\n", self.left.as_deref().unwrap_or("<end of stream>")));
+        out.push_str(&format!("  right: {}\n", self.right.as_deref().unwrap_or("<end of stream>")));
+        out
+    }
+}
+
+/// Classifies a pair of text-format lines by comparing their leading
+/// picosecond timestamps when both parse.
+fn classify(left: &str, right: &str) -> DivergenceCause {
+    let ts = |line: &str| line.split_whitespace().next().and_then(|t| t.parse::<u64>().ok());
+    match (ts(left), ts(right)) {
+        (Some(a), Some(b)) if a != b => DivergenceCause::TimeMismatch,
+        _ => DivergenceCause::ContentMismatch,
+    }
+}
+
+/// Finds the first index where two event slices differ. `None` means the
+/// streams are identical.
+#[must_use]
+pub fn first_divergence_events(left: &[TraceEvent], right: &[TraceEvent]) -> Option<Divergence> {
+    let n = left.len().max(right.len());
+    for i in 0..n {
+        match (left.get(i), right.get(i)) {
+            (Some(l), Some(r)) if l == r => continue,
+            (Some(l), Some(r)) => {
+                return Some(Divergence {
+                    index: i,
+                    cause: if l.at_ps != r.at_ps {
+                        DivergenceCause::TimeMismatch
+                    } else {
+                        DivergenceCause::ContentMismatch
+                    },
+                    left: Some(l.to_string()),
+                    right: Some(r.to_string()),
+                });
+            }
+            (None, Some(r)) => {
+                return Some(Divergence {
+                    index: i,
+                    cause: DivergenceCause::LeftEnded,
+                    left: None,
+                    right: Some(r.to_string()),
+                });
+            }
+            (Some(l), None) => {
+                return Some(Divergence {
+                    index: i,
+                    cause: DivergenceCause::RightEnded,
+                    left: Some(l.to_string()),
+                    right: None,
+                });
+            }
+            (None, None) => unreachable!("loop bounded by max length"),
+        }
+    }
+    None
+}
+
+/// Finds the first differing line between two text-format exports.
+/// `None` means the exports are byte-identical per line.
+#[must_use]
+pub fn first_divergence_lines(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut i = 0usize;
+    loop {
+        match (l.next(), r.next()) {
+            (Some(a), Some(b)) if a == b => i += 1,
+            (Some(a), Some(b)) => {
+                return Some(Divergence {
+                    index: i,
+                    cause: classify(a, b),
+                    left: Some(a.to_string()),
+                    right: Some(b.to_string()),
+                });
+            }
+            (None, Some(b)) => {
+                return Some(Divergence {
+                    index: i,
+                    cause: DivergenceCause::LeftEnded,
+                    left: None,
+                    right: Some(b.to_string()),
+                });
+            }
+            (Some(a), None) => {
+                return Some(Divergence {
+                    index: i,
+                    cause: DivergenceCause::RightEnded,
+                    left: Some(a.to_string()),
+                    right: None,
+                });
+            }
+            (None, None) => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(at: u64, index: u64) -> TraceEvent {
+        TraceEvent { at_ps: at, kind: EventKind::EventDispatched { index } }
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        let a = vec![ev(1, 0), ev(2, 1)];
+        assert_eq!(first_divergence_events(&a, &a.clone()), None);
+        assert_eq!(first_divergence_lines("x\ny\n", "x\ny\n"), None);
+    }
+
+    #[test]
+    fn time_vs_content_mismatch() {
+        let a = vec![ev(1, 0), ev(2, 1)];
+        let b = vec![ev(1, 0), ev(3, 1)];
+        let d = first_divergence_events(&a, &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.cause, DivergenceCause::TimeMismatch);
+
+        let c = vec![ev(1, 0), ev(2, 9)];
+        let d = first_divergence_events(&a, &c).expect("diverges");
+        assert_eq!(d.cause, DivergenceCause::ContentMismatch);
+    }
+
+    #[test]
+    fn length_mismatch_reports_ended_side() {
+        let a = vec![ev(1, 0)];
+        let b = vec![ev(1, 0), ev(2, 1)];
+        let d = first_divergence_events(&a, &b).expect("diverges");
+        assert_eq!(d.cause, DivergenceCause::LeftEnded);
+        assert_eq!(d.index, 1);
+        let d = first_divergence_events(&b, &a).expect("diverges");
+        assert_eq!(d.cause, DivergenceCause::RightEnded);
+    }
+
+    #[test]
+    fn line_diff_classifies_timestamps() {
+        let left = "           100 dispatch #0\n           200 dispatch #1\n";
+        let right = "           100 dispatch #0\n           250 dispatch #1\n";
+        let d = first_divergence_lines(left, right).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.cause, DivergenceCause::TimeMismatch);
+        assert!(d.report().contains("different times"));
+    }
+}

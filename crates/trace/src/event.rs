@@ -1,0 +1,397 @@
+//! The structured event taxonomy emitted by every layer of the simulator.
+//!
+//! Events deliberately use raw integers (`u64` picoseconds, `u32`
+//! instance/node ids) rather than the typed wrappers from `relief-sim` /
+//! `relief-core`: this crate sits *below* every other crate in the
+//! workspace, so it cannot name their types. The emitting layers convert
+//! at the instrumentation point.
+
+use std::fmt;
+
+/// Identity of one task: DAG instance index plus node index. Mirrors
+/// `relief_core::TaskKey` and renders the same way (`d3:n7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskRef {
+    /// Index of the DAG instance the task belongs to.
+    pub instance: u32,
+    /// Node index within the DAG.
+    pub node: u32,
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}:n{}", self.instance, self.node)
+    }
+}
+
+/// One end of a data transfer: main memory or an accelerator scratchpad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The DRAM channel.
+    Dram,
+    /// The scratchpad of accelerator instance `0` (by instance index).
+    Spad(u32),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Dram => write!(f, "dram"),
+            Endpoint::Spad(i) => write!(f, "spad{i}"),
+        }
+    }
+}
+
+/// Where a task input physically came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSource {
+    /// Loaded from main memory.
+    Dram,
+    /// SPAD-to-SPAD forward from another accelerator instance.
+    Forwarded {
+        /// Producing accelerator instance index.
+        from_inst: u32,
+    },
+    /// Producer output already resident in this instance's scratchpad.
+    Colocated,
+}
+
+impl fmt::Display for InputSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputSource::Dram => write!(f, "dram"),
+            InputSource::Forwarded { from_inst } => write!(f, "fwd(inst{from_inst})"),
+            InputSource::Colocated => write!(f, "coloc"),
+        }
+    }
+}
+
+/// Why a forwarding-node priority escalation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenyReason {
+    /// No idle accelerator budget: every possible forward slot is taken.
+    NoIdleBudget,
+    /// Algorithm 2 found no victim whose laxity can absorb the insertion.
+    Infeasible,
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenyReason::NoIdleBudget => write!(f, "no-idle-budget"),
+            DenyReason::Infeasible => write!(f, "infeasible"),
+        }
+    }
+}
+
+/// A single-server resource whose occupancy is traced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceId {
+    /// The hardware-manager scheduling engine.
+    Manager,
+    /// The DRAM channel.
+    Dram,
+    /// DMA engine `0`.
+    Dma(u32),
+    /// Interconnect lane `0`.
+    IcnLane(u32),
+    /// Scratchpad port of accelerator instance `0`.
+    SpadPort(u32),
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::Manager => write!(f, "manager"),
+            ResourceId::Dram => write!(f, "dram"),
+            ResourceId::Dma(i) => write!(f, "dma{i}"),
+            ResourceId::IcnLane(i) => write!(f, "icn{i}"),
+            ResourceId::SpadPort(i) => write!(f, "spad-port{i}"),
+        }
+    }
+}
+
+/// A timestamped structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event, in picoseconds.
+    pub at_ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Everything the stack can report. Variants are grouped by the crate
+/// that emits them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    // ---- relief-sim ----
+    /// The simulation kernel dispatched an event from its queue.
+    EventDispatched {
+        /// Running count of dispatched events (0-based).
+        index: u64,
+    },
+    /// A traced [`ResourceId`] was reserved for `[start_ps, end_ps)`.
+    ResourceBusy {
+        /// Which resource.
+        resource: ResourceId,
+        /// Reservation start, picoseconds.
+        start_ps: u64,
+        /// Reservation end, picoseconds.
+        end_ps: u64,
+    },
+
+    // ---- relief-mem ----
+    /// A DMA transfer was accepted by the transfer engine.
+    DmaStart {
+        /// Engine-assigned transfer id.
+        xfer: u64,
+        /// DMA engine index carrying the transfer.
+        dma: u32,
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A DMA transfer fully completed.
+    DmaEnd {
+        /// Engine-assigned transfer id (matches the `DmaStart`).
+        xfer: u64,
+        /// DMA engine index that carried the transfer.
+        dma: u32,
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// When the first chunk started moving, picoseconds.
+        start_ps: u64,
+        /// Total time chunks spent waiting for resources, picoseconds.
+        queued_ps: u64,
+    },
+
+    // ---- relief-core ----
+    /// RELIEF Algorithm 1 escalated a forwarding node to the queue front.
+    EscalationGranted {
+        /// The escalated task.
+        task: TaskRef,
+        /// Accelerator type the task queued on.
+        acc: u32,
+        /// Laxity-order position the node would have taken — i.e. how many
+        /// queued entries the escalation jumped past.
+        index: u64,
+    },
+    /// RELIEF declined to escalate a forwarding node.
+    EscalationDenied {
+        /// The rejected task.
+        task: TaskRef,
+        /// Accelerator type the task queued on.
+        acc: u32,
+        /// Why escalation was rejected.
+        reason: DenyReason,
+    },
+    /// RELIEF Algorithm 2 evaluated whether an escalation is feasible.
+    FeasibilityCheck {
+        /// The candidate forwarding task.
+        task: TaskRef,
+        /// Accelerator type whose queue was inspected.
+        acc: u32,
+        /// Queue position the candidate would take.
+        index: u64,
+        /// The verdict.
+        feasible: bool,
+    },
+    /// A laxity-driven pop bypassed `skipped` queued tasks (queue
+    /// reordering at dispatch time).
+    QueueBypass {
+        /// The task that was popped out of order.
+        task: TaskRef,
+        /// Accelerator type of the queue.
+        acc: u32,
+        /// How many earlier entries were skipped.
+        skipped: u64,
+    },
+
+    // ---- relief-accel ----
+    /// A DAG instance arrived and its tasks entered the system.
+    DagArrived {
+        /// DAG instance index.
+        instance: u32,
+        /// Application symbol/name.
+        app: String,
+        /// Node count of the DAG.
+        nodes: u32,
+    },
+    /// A task's dependencies resolved; it entered a ready queue.
+    TaskReady {
+        /// The task.
+        task: TaskRef,
+        /// Accelerator type it queues on.
+        acc: u32,
+    },
+    /// The manager dispatched a task to a concrete accelerator instance.
+    TaskDispatched {
+        /// The task.
+        task: TaskRef,
+        /// Accelerator instance index it runs on.
+        inst: u32,
+    },
+    /// One input edge of a dispatched task was sourced.
+    InputSourced {
+        /// The consuming task.
+        task: TaskRef,
+        /// Accelerator instance the task runs on.
+        inst: u32,
+        /// The producing task, if the input is an edge (DRAM loads of
+        /// primary inputs have no producer).
+        parent: Option<TaskRef>,
+        /// Where the bytes came from.
+        source: InputSource,
+        /// Edge payload in bytes.
+        bytes: u64,
+    },
+    /// A task's functional unit started computing.
+    ComputeStart {
+        /// The task.
+        task: TaskRef,
+        /// Accelerator instance index.
+        inst: u32,
+    },
+    /// A task's functional unit finished. Self-contained record of the
+    /// whole compute span so span-based views need no other events.
+    ComputeEnd {
+        /// The task.
+        task: TaskRef,
+        /// Accelerator instance index.
+        inst: u32,
+        /// Compute start time, picoseconds.
+        start_ps: u64,
+        /// Render label, `"<app>:n<node>"`.
+        label: String,
+        /// Inputs that arrived via SPAD-to-SPAD forwarding.
+        forwarded_inputs: u32,
+        /// Inputs consumed in place via colocation.
+        colocated_inputs: u32,
+    },
+    /// A task output write-back to DRAM was issued.
+    WritebackIssued {
+        /// The producing task.
+        task: TaskRef,
+        /// Accelerator instance index holding the output.
+        inst: u32,
+        /// Output size in bytes.
+        bytes: u64,
+        /// True when this is a lazy write-back (partition reclaimed later
+        /// than compute completion).
+        lazy: bool,
+    },
+    /// A DAG instance finished all nodes.
+    DagDone {
+        /// DAG instance index.
+        instance: u32,
+        /// Whether the end-to-end deadline was met.
+        met: bool,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>14} {}", self.at_ps, self.kind)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use EventKind::*;
+        match self {
+            EventDispatched { index } => write!(f, "dispatch #{index}"),
+            ResourceBusy { resource, start_ps, end_ps } => {
+                write!(f, "busy {resource} {start_ps}..{end_ps}")
+            }
+            DmaStart { xfer, dma, src, dst, bytes } => {
+                write!(f, "dma-start #{xfer} dma{dma} {src}->{dst} {bytes}B")
+            }
+            DmaEnd { xfer, dma, src, dst, bytes, start_ps, queued_ps } => write!(
+                f,
+                "dma-end #{xfer} dma{dma} {src}->{dst} {bytes}B start={start_ps} queued={queued_ps}"
+            ),
+            EscalationGranted { task, acc, index } => {
+                write!(f, "escalation-granted {task} acc{acc} idx={index}")
+            }
+            EscalationDenied { task, acc, reason } => {
+                write!(f, "escalation-denied {task} acc{acc} {reason}")
+            }
+            FeasibilityCheck { task, acc, index, feasible } => write!(
+                f,
+                "feasibility {task} acc{acc} idx={index} {}",
+                if *feasible { "feasible" } else { "infeasible" }
+            ),
+            QueueBypass { task, acc, skipped } => {
+                write!(f, "queue-bypass {task} acc{acc} skipped={skipped}")
+            }
+            DagArrived { instance, app, nodes } => {
+                write!(f, "dag-arrival inst{instance} {app} nodes={nodes}")
+            }
+            TaskReady { task, acc } => write!(f, "task-ready {task} acc{acc}"),
+            TaskDispatched { task, inst } => write!(f, "task-dispatch {task} inst{inst}"),
+            InputSourced { task, inst, parent, source, bytes } => {
+                write!(f, "input {task} inst{inst} <- {source}")?;
+                if let Some(p) = parent {
+                    write!(f, " from {p}")?;
+                }
+                write!(f, " {bytes}B")
+            }
+            ComputeStart { task, inst } => write!(f, "compute-start {task} inst{inst}"),
+            ComputeEnd { task, inst, start_ps, label, forwarded_inputs, colocated_inputs } => {
+                write!(
+                    f,
+                    "compute-end {task} inst{inst} start={start_ps} fwd={forwarded_inputs} coloc={colocated_inputs} {label}"
+                )
+            }
+            WritebackIssued { task, inst, bytes, lazy } => {
+                write!(f, "writeback {task} inst{inst} {bytes}B lazy={lazy}")
+            }
+            DagDone { instance, met } => write!(f, "dag-done inst{instance} met={met}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let ev = TraceEvent {
+            at_ps: 1_500_000,
+            kind: EventKind::EscalationGranted {
+                task: TaskRef { instance: 2, node: 5 },
+                acc: 1,
+                index: 0,
+            },
+        };
+        assert_eq!(ev.to_string(), "       1500000 escalation-granted d2:n5 acc1 idx=0");
+    }
+
+    #[test]
+    fn input_with_and_without_parent() {
+        let with = EventKind::InputSourced {
+            task: TaskRef { instance: 0, node: 1 },
+            inst: 3,
+            parent: Some(TaskRef { instance: 0, node: 0 }),
+            source: InputSource::Forwarded { from_inst: 2 },
+            bytes: 4096,
+        };
+        assert_eq!(with.to_string(), "input d0:n1 inst3 <- fwd(inst2) from d0:n0 4096B");
+        let without = EventKind::InputSourced {
+            task: TaskRef { instance: 0, node: 0 },
+            inst: 3,
+            parent: None,
+            source: InputSource::Dram,
+            bytes: 64,
+        };
+        assert_eq!(without.to_string(), "input d0:n0 inst3 <- dram 64B");
+    }
+}

@@ -1,0 +1,55 @@
+//! Compact line-oriented text export.
+//!
+//! One event per line, fixed-width picosecond timestamp first, exactly
+//! the [`std::fmt::Display`] form of [`TraceEvent`]. The format is
+//! deterministic byte-for-byte for deterministic runs, which makes it the
+//! canonical input for `trace-diff`.
+
+use crate::event::TraceEvent;
+
+/// Renders events as the line-oriented text format, one line per event,
+/// each terminated by `\n`.
+///
+/// # Examples
+///
+/// ```
+/// use relief_trace::{text, EventKind, TraceEvent};
+/// let events = vec![TraceEvent { at_ps: 42, kind: EventKind::EventDispatched { index: 0 } }];
+/// assert_eq!(text::to_text(&events), "            42 dispatch #0\n");
+/// ```
+#[must_use]
+pub fn to_text(events: &[TraceEvent]) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(events.len() * 48);
+    for ev in events {
+        writeln!(out, "{ev}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TaskRef};
+
+    #[test]
+    fn one_line_per_event_in_order() {
+        let events = vec![
+            TraceEvent { at_ps: 10, kind: EventKind::EventDispatched { index: 0 } },
+            TraceEvent {
+                at_ps: 20,
+                kind: EventKind::TaskReady { task: TaskRef { instance: 0, node: 1 }, acc: 2 },
+            },
+        ];
+        let text = to_text(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("dispatch #0"));
+        assert!(lines[1].ends_with("task-ready d0:n1 acc2"));
+    }
+
+    #[test]
+    fn empty_stream_is_empty_string() {
+        assert_eq!(to_text(&[]), "");
+    }
+}

@@ -1,9 +1,7 @@
 //! Random task-graph generation for property-based testing.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use relief_dag::{AccTypeId, Dag, DagBuilder, NodeId, NodeSpec};
-use relief_sim::Dur;
+use relief_sim::{Dur, SplitMix64};
 use std::sync::Arc;
 
 /// Parameters for [`random_dag`].
@@ -56,25 +54,25 @@ impl Default for SyntheticParams {
 pub fn random_dag(params: &SyntheticParams, seed: u64) -> Arc<Dag> {
     assert!(params.nodes >= 1, "need at least one node");
     assert!(params.acc_types >= 1, "need at least one accelerator type");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = DagBuilder::new(format!("synthetic-{seed}"), params.deadline);
     let mut ids: Vec<NodeId> = Vec::with_capacity(params.nodes);
     for _ in 0..params.nodes {
-        let acc = AccTypeId(rng.gen_range(0..params.acc_types));
-        let compute = Dur::from_us(rng.gen_range(params.compute_us.0..=params.compute_us.1));
-        let out = rng.gen_range(params.output_bytes.0..=params.output_bytes.1);
+        let acc = AccTypeId(rng.u32_below(params.acc_types));
+        let compute = Dur::from_us(rng.u64_inclusive(params.compute_us.0, params.compute_us.1));
+        let out = rng.u64_inclusive(params.output_bytes.0, params.output_bytes.1);
         ids.push(b.add_node(NodeSpec::new(acc, compute).with_output_bytes(out)));
     }
     for j in 1..params.nodes {
         let mut has_parent = false;
         for i in 0..j {
-            if rng.gen_bool(params.edge_prob) {
+            if rng.chance(params.edge_prob) {
                 b.add_edge(ids[i], ids[j]).expect("forward edge is valid");
                 has_parent = true;
             }
         }
         if !has_parent {
-            let i = rng.gen_range(0..j);
+            let i = rng.usize_below(j);
             b.add_edge(ids[i], ids[j]).expect("forward edge is valid");
         }
     }

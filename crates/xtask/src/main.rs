@@ -1,0 +1,79 @@
+//! `cargo run -p xtask -- check` — the hermetic CI gate.
+//!
+//! Verifies what the sandboxed environment actually guarantees:
+//!
+//! 1. `cargo build --offline --workspace --benches` — the tree, including
+//!    every benchmark target, builds with zero network access (no registry
+//!    dependencies may creep back in).
+//! 2. `cargo clippy --offline -p relief-trace --all-targets -- -D warnings`
+//!    — the tracing subsystem stays lint-clean. Skipped with a notice when
+//!    the clippy component is not installed.
+//!
+//! Exit code is nonzero if any executed step fails.
+
+use std::process::{Command, ExitCode};
+
+fn run(desc: &str, cmd: &mut Command) -> bool {
+    println!("==> {desc}");
+    match cmd.status() {
+        Ok(status) if status.success() => true,
+        Ok(status) => {
+            eprintln!("xtask: '{desc}' failed with {status}");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot spawn '{desc}': {e}");
+            false
+        }
+    }
+}
+
+fn have_clippy() -> bool {
+    Command::new("cargo")
+        .args(["clippy", "--version"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+fn check() -> ExitCode {
+    let mut ok = true;
+    ok &= run(
+        "cargo build --offline --workspace --benches",
+        Command::new("cargo").args(["build", "--offline", "--workspace", "--benches"]),
+    );
+    if have_clippy() {
+        ok &= run(
+            "cargo clippy --offline -p relief-trace --all-targets -- -D warnings",
+            Command::new("cargo").args([
+                "clippy",
+                "--offline",
+                "-p",
+                "relief-trace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ]),
+        );
+    } else {
+        println!("==> clippy component not installed; skipping lint gate");
+    }
+    if ok {
+        println!("xtask check: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1);
+    match task.as_deref() {
+        Some("check") => check(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- check");
+            ExitCode::from(2)
+        }
+    }
+}

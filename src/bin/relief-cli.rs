@@ -28,6 +28,9 @@ OPTIONS:
     --crossbar          crossbar interconnect instead of the bus
     --no-forwarding     disable forwarding and colocation hardware
     --partitions <N>    output scratchpad partitions per accelerator [2]
+    --trace-out <STEM>  capture a structured event trace and write
+                        <STEM>.json (chrome://tracing / Perfetto) and
+                        <STEM>.txt (canonical text, for trace-diff)
     --help              print this help
 ";
 
@@ -39,6 +42,7 @@ struct Args {
     crossbar: bool,
     no_forwarding: bool,
     partitions: usize,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         crossbar: false,
         no_forwarding: false,
         partitions: 2,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -84,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
             "--partitions" => {
                 let v = it.next().ok_or("--partitions needs a value")?;
                 args.partitions = v.parse().map_err(|_| format!("bad --partitions '{v}'"))?;
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a value")?;
+                args.trace_out = Some(v.into());
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -134,7 +143,48 @@ fn main() -> ExitCode {
         cfg = cfg.with_time_limit(Time::from_ms(ms));
     }
 
-    let result = SocSim::new(cfg, apps).run();
+    // Instance display names for the Chrome export, in the simulator's
+    // type-major instance order.
+    let accel_names: Vec<String> = cfg
+        .acc_instances
+        .iter()
+        .enumerate()
+        .flat_map(|(t, &count)| {
+            (0..count).map(move |i| match relief::accel::AccKind::ALL.get(t) {
+                Some(kind) if count == 1 => kind.name().to_string(),
+                Some(kind) => format!("{}.{i}", kind.name()),
+                None => format!("t{t}.{i}"),
+            })
+        })
+        .collect();
+
+    let ring = args.trace_out.as_ref().map(|_| RingBufferSink::shared(1 << 20));
+    let mut sim = SocSim::new(cfg, apps);
+    if let Some(ring) = &ring {
+        let mut tracer = Tracer::off();
+        tracer.attach(ring.clone());
+        sim = sim.with_tracer(&tracer);
+    }
+    let result = sim.run();
+
+    if let (Some(stem), Some(ring)) = (&args.trace_out, &ring) {
+        use relief::trace::chrome::{to_chrome_json, ChromeOptions};
+        let events = ring.borrow_mut().take();
+        let json = to_chrome_json(&events, &ChromeOptions { accel_names });
+        let write = std::fs::write(stem.with_extension("json"), json).and_then(|()| {
+            std::fs::write(stem.with_extension("txt"), relief::trace::text::to_text(&events))
+        });
+        if let Err(e) = write {
+            eprintln!("error: writing trace files for {}: {e}", stem.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace: {} events -> {}.json + {}.txt",
+            events.len(),
+            stem.display(),
+            stem.display()
+        );
+    }
     let s = &result.stats;
     println!("policy            {}", s.policy);
     println!("mix               {}", args.mix.to_ascii_uppercase());

@@ -15,6 +15,8 @@
 //! * [`workloads`] — the five benchmark applications and the paper's
 //!   contention scenarios
 //! * [`metrics`] — statistics, the memory energy model, reporting
+//! * [`trace`] — structured event tracing, Chrome/Perfetto export, and
+//!   the `trace-diff` regression tool
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub use relief_dag as dag;
 pub use relief_mem as mem;
 pub use relief_metrics as metrics;
 pub use relief_sim as sim;
+pub use relief_trace as trace;
 pub use relief_workloads as workloads;
 
 /// The names most programs need.
@@ -45,6 +48,7 @@ pub mod prelude {
     pub use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
     pub use relief_dag::{AccTypeId, Dag, DagBuilder, NodeId, NodeSpec};
     pub use relief_metrics::{EnergyModel, RunStats};
-    pub use relief_sim::{Dur, Time};
+    pub use relief_sim::{Dur, SplitMix64, Time};
+    pub use relief_trace::{RingBufferSink, Tracer};
     pub use relief_workloads::{App, Contention, Mix, CONTINUOUS_TIME_LIMIT};
 }

@@ -1,0 +1,108 @@
+//! End-to-end tests of the structured tracing subsystem: determinism of
+//! the event stream, exporter well-formedness, divergence detection, and
+//! consistency between event-derived counters and the simulator's own
+//! statistics.
+
+use relief::prelude::*;
+use relief_accel::{SimResult, Trace};
+use relief_trace::chrome::{to_chrome_json, is_well_formed_json, ChromeOptions};
+use relief_trace::{
+    first_divergence_events, first_divergence_lines, text, EventCounters, TraceEvent,
+};
+use relief_workloads::App;
+
+/// Runs the Canny + LSTM lane-detection mix (§IV-C) under `policy` with a
+/// lossless ring sink attached.
+fn run_traced(policy: PolicyKind) -> (SimResult, Vec<TraceEvent>) {
+    let ring = RingBufferSink::shared(1 << 20);
+    let mut tracer = Tracer::off();
+    tracer.attach(ring.clone());
+    let apps = vec![
+        AppSpec::once("C", App::Canny.dag()),
+        AppSpec::once("L", App::Lstm.dag()),
+    ];
+    let mut cfg = SocConfig::mobile(policy);
+    cfg.record_trace = true;
+    let result = SocSim::new(cfg, apps).with_tracer(&tracer).run();
+    let events = ring.borrow_mut().take();
+    assert!(!events.is_empty(), "traced run must emit events");
+    (result, events)
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_streams() {
+    let (_, a) = run_traced(PolicyKind::Relief);
+    let (_, b) = run_traced(PolicyKind::Relief);
+    assert!(first_divergence_events(&a, &b).is_none());
+    assert_eq!(text::to_text(&a), text::to_text(&b));
+}
+
+#[test]
+fn different_policies_diverge() {
+    let (_, relief) = run_traced(PolicyKind::Relief);
+    let (_, fcfs) = run_traced(PolicyKind::Fcfs);
+    let div = first_divergence_events(&relief, &fcfs).expect("policies must diverge");
+    let report = div.report();
+    assert!(report.contains("divergence at entry"), "unexpected report: {report}");
+    assert!(
+        first_divergence_lines(&text::to_text(&relief), &text::to_text(&fcfs)).is_some(),
+        "text-level diff must also diverge"
+    );
+}
+
+#[test]
+fn chrome_export_is_well_formed_and_contains_decisions() {
+    let (_, relief) = run_traced(PolicyKind::Relief);
+    let (_, fcfs) = run_traced(PolicyKind::Fcfs);
+    for events in [&relief, &fcfs] {
+        let json = to_chrome_json(events, &ChromeOptions::default());
+        assert!(is_well_formed_json(&json), "exporter produced malformed JSON");
+        assert!(json.contains("\"traceEvents\""));
+    }
+    // RELIEF escalates forwarding nodes and runs the Algorithm 2
+    // feasibility check; both decisions must be visible in the export.
+    let json = to_chrome_json(&relief, &ChromeOptions::default());
+    assert!(json.contains("escalation-granted"), "no escalation events exported");
+    assert!(json.contains("feasibility"), "no feasibility-check events exported");
+    // FCFS never escalates.
+    assert!(!to_chrome_json(&fcfs, &ChromeOptions::default()).contains("escalation"));
+}
+
+#[test]
+fn event_counters_reconcile_with_run_stats() {
+    for policy in [PolicyKind::Fcfs, PolicyKind::Lax, PolicyKind::Relief] {
+        let (result, events) = run_traced(policy);
+        let counters = EventCounters::from_events(&events);
+        let mismatches = relief_metrics::reconcile(&counters, &result.stats);
+        assert!(
+            mismatches.is_empty(),
+            "{policy:?}: {}",
+            mismatches
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        assert_eq!(counters.events_dispatched, result.events_dispatched, "{policy:?}");
+    }
+}
+
+#[test]
+fn attaching_a_tracer_does_not_perturb_the_simulation() {
+    let (traced, _) = run_traced(PolicyKind::Relief);
+    let apps = vec![
+        AppSpec::once("C", App::Canny.dag()),
+        AppSpec::once("L", App::Lstm.dag()),
+    ];
+    let plain = SocSim::new(SocConfig::mobile(PolicyKind::Relief), apps).run();
+    assert_eq!(traced.stats.exec_time, plain.stats.exec_time);
+    assert_eq!(traced.stats.traffic, plain.stats.traffic);
+    assert_eq!(traced.stats.apps, plain.stats.apps);
+}
+
+#[test]
+fn recorded_trace_matches_trace_rebuilt_from_events() {
+    let (result, events) = run_traced(PolicyKind::Relief);
+    assert_eq!(result.trace, Trace::from_events(&events));
+    assert!(!result.trace.spans.is_empty());
+}
