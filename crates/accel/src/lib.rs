@@ -59,3 +59,30 @@ pub use result::{PredictionStats, SimResult};
 pub use sim::SocSim;
 pub use trace::{Span, SpanCollector, Trace};
 pub use workload::AppSpec;
+
+// Thread-safety audit for the campaign engine's worker contract: the
+// *inputs* a worker receives (`SocConfig`, `AppSpec`) and the *outputs*
+// it returns (`SimResult`) must cross threads...
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<SocConfig>();
+    assert_send_sync::<SimResult>();
+    assert_send::<AppSpec>();
+};
+
+// ...while `SocSim` itself must NOT: it shares `Rc<RefCell<…>>` trace
+// sinks with its policy, so each worker is required to construct, run,
+// and drop the whole simulator thread-locally (the second leg of the
+// determinism contract in `relief_bench::campaign`). If `SocSim` ever
+// became `Send`, the `AmbiguousIfSend` impls below would both apply and
+// this constant would stop compiling — a prompt to re-review that the
+// engine's construct-inside-worker invariant still holds.
+trait AmbiguousIfSend<A> {
+    fn some_item() {}
+}
+impl<T: ?Sized> AmbiguousIfSend<()> for T {}
+#[allow(dead_code)]
+struct NotSendGuard;
+impl<T: ?Sized + Send> AmbiguousIfSend<NotSendGuard> for T {}
+const _: fn() = <SocSim as AmbiguousIfSend<_>>::some_item;

@@ -1,29 +1,65 @@
 //! Runs every experiment in sequence — the full paper reproduction.
 //! Output is suitable for diffing against EXPERIMENTS.md.
+//!
+//! The full simulation grid ([`ex::grid::full_grid`]) is executed up
+//! front on the deterministic campaign engine (`--jobs N` worker
+//! threads, default = available parallelism); the artifact renderers
+//! then draw every result from the prewarmed cache. Stdout is
+//! byte-identical to the historical serial runner for any `--jobs`
+//! value — only wall-clock time changes. Fig. 12 measures host insert
+//! latency and therefore still runs inline.
 
+use relief_bench::campaign::{self, Ctx, ExecOptions};
 use relief_bench::experiments as ex;
 
 fn main() {
     let t0 = std::time::Instant::now();
+    let jobs = match campaign::parse_jobs(std::env::args().skip(1)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let grid = ex::grid::full_grid();
+    eprintln!("== prewarming {} runs on {jobs} worker(s) ==", grid.len());
+    let results = campaign::execute(grid, &ExecOptions { jobs, ..Default::default() });
+    let failures = results.failures();
+    for (label, msg) in &failures {
+        eprintln!("run {label} panicked: {msg}");
+    }
+    for (label, mismatches) in results.mismatched() {
+        eprintln!("run {label} failed event/stats reconciliation:");
+        for m in mismatches {
+            eprintln!("  {m}");
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("== {} run(s) failed; aborting before rendering ==", failures.len());
+        std::process::exit(1);
+    }
+    let ctx = Ctx::from_results(&results);
+    eprintln!("== grid done, rendering ({:.0?} elapsed) ==", t0.elapsed());
+
     for (name, f) in [
-        ("table2", ex::table2 as fn() -> String),
-        ("fig2", ex::fig2),
-        ("fig4", ex::fig4),
-        ("fig4-col", ex::fig4_colocations),
-        ("fig5", ex::fig5),
-        ("fig6", ex::fig6),
-        ("fig7", ex::fig7),
-        ("fig8", ex::fig8),
-        ("fig9", ex::fig9),
-        ("fig10", ex::fig10),
-        ("table7", ex::table7),
-        ("table8", ex::table8),
-        ("fig11", ex::fig11),
-        ("fig12", ex::fig12),
-        ("fig13", ex::fig13),
+        ("table2", ex::table2_with as fn(&Ctx) -> String),
+        ("fig2", ex::fig2_with),
+        ("fig4", ex::fig4_with),
+        ("fig4-col", ex::fig4_colocations_with),
+        ("fig5", ex::fig5_with),
+        ("fig6", ex::fig6_with),
+        ("fig7", ex::fig7_with),
+        ("fig8", ex::fig8_with),
+        ("fig9", ex::fig9_with),
+        ("fig10", ex::fig10_with),
+        ("table7", ex::table7_with),
+        ("table8", ex::table8_with),
+        ("fig11", ex::fig11_with),
+        ("fig12", |_: &Ctx| ex::fig12()),
+        ("fig13", ex::fig13_with),
     ] {
         eprintln!("== running {name} ({:.0?} elapsed) ==", t0.elapsed());
-        print!("{}", f());
+        print!("{}", f(&ctx));
         println!();
     }
     eprintln!("== done in {:.0?} ==", t0.elapsed());

@@ -7,16 +7,56 @@
 //!
 //! Each row runs GRU+LSTM at the given sequence length together with
 //! Canny (camera) under high contention; deadlines scale linearly with
-//! the paper's 7 ms @ len 8.
+//! the paper's 7 ms @ len 8. The (length × policy) grid executes on the
+//! campaign engine (`--jobs N`, default = available parallelism).
 
-use relief_accel::{AppSpec, SocSim};
-use relief_bench::config_for;
+use relief_accel::AppSpec;
+use relief_bench::campaign::{self, Ctx, ExecOptions, PlatformSpec, RunSpec, WorkloadSpec};
 use relief_core::PolicyKind;
 use relief_metrics::report::Table;
 use relief_sim::Dur;
-use relief_workloads::{variants, App, Contention};
+use relief_workloads::{variants, App};
+
+const LENGTHS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Canny + GRU + LSTM at one sequence length, deadlines scaled linearly.
+fn rnn_cell(len: usize, policy: PolicyKind) -> RunSpec {
+    let deadline = Dur::from_us((7_000 * len as u64) / 8);
+    let workload = WorkloadSpec::custom(format!("rnn-len{len}"), None, move || {
+        vec![
+            AppSpec::once("C", App::Canny.dag()),
+            AppSpec::once("G", variants::gru(len, deadline)),
+            AppSpec::once("L", variants::lstm(len, deadline)),
+        ]
+    });
+    RunSpec::new(policy, workload, PlatformSpec::mobile())
+}
 
 fn main() {
+    let jobs = match campaign::parse_jobs(std::env::args().skip(1)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let grid: Vec<RunSpec> = LENGTHS
+        .iter()
+        .flat_map(|&len| {
+            [PolicyKind::Lax, PolicyKind::Relief].map(|policy| rnn_cell(len, policy))
+        })
+        .collect();
+    eprintln!("== prewarming {} runs on {jobs} worker(s) ==", grid.len());
+    let results = campaign::execute(grid, &ExecOptions { jobs, ..Default::default() });
+    let failures = results.failures();
+    for (label, msg) in &failures {
+        eprintln!("run {label} panicked: {msg}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+    let ctx = Ctx::from_results(&results);
+
     let mut t = Table::with_columns(&[
         "seq len",
         "fwd+coloc %: LAX",
@@ -26,18 +66,9 @@ fn main() {
         "exec ms: LAX",
         "RELIEF",
     ]);
-    for len in [2usize, 4, 8, 16, 32] {
-        let deadline = Dur::from_us((7_000 * len as u64) / 8);
-        let run = |policy: PolicyKind| {
-            let apps = vec![
-                AppSpec::once("C", App::Canny.dag()),
-                AppSpec::once("G", variants::gru(len, deadline)),
-                AppSpec::once("L", variants::lstm(len, deadline)),
-            ];
-            SocSim::new(config_for(policy, Contention::High), apps).run().stats
-        };
-        let lax = run(PolicyKind::Lax);
-        let relief = run(PolicyKind::Relief);
+    for len in LENGTHS {
+        let lax = ctx.run(&rnn_cell(len, PolicyKind::Lax)).stats;
+        let relief = ctx.run(&rnn_cell(len, PolicyKind::Relief)).stats;
         t.row(vec![
             len.to_string(),
             format!("{:.1}", lax.forward_percent()),

@@ -8,32 +8,106 @@
 //! 2. **Accelerator replication** — 1 vs 2 instances of every type.
 //! 3. **Transfer chunk size** — the simulator's fair-sharing granularity
 //!    (a model-fidelity knob, documented in DESIGN.md §6).
+//!
+//! Every (platform, policy, mix) cell is a [`RunSpec`] on a labeled
+//! custom platform; the whole sweep executes on the campaign engine
+//! (`--jobs N`, default = available parallelism) before rendering.
 
-use relief_bench::{config_for, run_mix_with};
+use relief_bench::campaign::{self, Ctx, ExecOptions, PlatformSpec, RunSpec, WorkloadSpec};
 use relief_core::PolicyKind;
 use relief_metrics::report::Table;
 use relief_metrics::summary::geometric_mean;
 use relief_workloads::Contention;
 
+/// One high-contention cell on a tweaked platform.
+fn cell(platform: &PlatformSpec, policy: PolicyKind, mix: &relief_workloads::Mix) -> RunSpec {
+    RunSpec::new(policy, WorkloadSpec::mix(Contention::High, mix), platform.clone())
+}
+
 fn gmean_high(
+    ctx: &Ctx,
+    platform: &PlatformSpec,
     policy: PolicyKind,
-    tweak: impl Fn(&mut relief_accel::SocConfig),
     metric: impl Fn(&relief_accel::SimResult) -> f64,
 ) -> f64 {
-    geometric_mean(Contention::High.mixes().iter().map(|mix| {
-        let mut cfg = config_for(policy, Contention::High);
-        tweak(&mut cfg);
-        metric(&run_mix_with(cfg, mix))
-    }))
+    geometric_mean(
+        Contention::High
+            .mixes()
+            .iter()
+            .map(|mix| metric(&ctx.run(&cell(platform, policy, mix)))),
+    )
 }
+
+fn bandwidth_platform(scale: f64) -> PlatformSpec {
+    PlatformSpec::custom(format!("mobile-bw-x{scale}"), move |p| {
+        let mut cfg = relief_accel::SocConfig::mobile(p);
+        cfg.mem.dram_bandwidth = (cfg.mem.dram_bandwidth as f64 * scale) as u64;
+        cfg
+    })
+}
+
+fn replication_platform(n: usize) -> PlatformSpec {
+    PlatformSpec::custom(format!("mobile-rep{n}"), move |p| {
+        let mut cfg = relief_accel::SocConfig::mobile(p);
+        cfg.acc_instances = vec![n; cfg.acc_instances.len()];
+        cfg
+    })
+}
+
+fn chunk_platform(chunk: u64) -> PlatformSpec {
+    PlatformSpec::custom(format!("mobile-chunk{chunk}"), move |p| {
+        let mut cfg = relief_accel::SocConfig::mobile(p);
+        cfg.mem.chunk_bytes = chunk;
+        cfg
+    })
+}
+
+const BW_SCALES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+const REPLICATIONS: [usize; 2] = [1, 2];
+const CHUNKS: [u64; 4] = [1024, 4096, 16_384, 65_536];
 
 fn main() {
-    bandwidth();
-    replication();
-    chunk_size();
+    let jobs = match campaign::parse_jobs(std::env::args().skip(1)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mixes = Contention::High.mixes();
+    let mut grid = Vec::new();
+    for scale in BW_SCALES {
+        let platform = bandwidth_platform(scale);
+        for policy in [PolicyKind::Lax, PolicyKind::Relief] {
+            grid.extend(mixes.iter().map(|m| cell(&platform, policy, m)));
+        }
+    }
+    for n in REPLICATIONS {
+        let platform = replication_platform(n);
+        for policy in [PolicyKind::Lax, PolicyKind::Relief] {
+            grid.extend(mixes.iter().map(|m| cell(&platform, policy, m)));
+        }
+    }
+    for chunk in CHUNKS {
+        let platform = chunk_platform(chunk);
+        grid.extend(mixes.iter().map(|m| cell(&platform, PolicyKind::Relief, m)));
+    }
+    eprintln!("== prewarming {} runs on {jobs} worker(s) ==", grid.len());
+    let results = campaign::execute(grid, &ExecOptions { jobs, ..Default::default() });
+    let failures = results.failures();
+    for (label, msg) in &failures {
+        eprintln!("run {label} panicked: {msg}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+    let ctx = Ctx::from_results(&results);
+    bandwidth(&ctx);
+    replication(&ctx);
+    chunk_size(&ctx);
 }
 
-fn bandwidth() {
+fn bandwidth(ctx: &Ctx) {
     let mut t = Table::with_columns(&[
         "DRAM BW scale",
         "exec ms LAX",
@@ -42,14 +116,16 @@ fn bandwidth() {
         "ddl% LAX",
         "ddl% RELIEF",
     ]);
-    for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let tweak = |cfg: &mut relief_accel::SocConfig| {
-            cfg.mem.dram_bandwidth = (cfg.mem.dram_bandwidth as f64 * scale) as u64;
-        };
-        let lax_t = gmean_high(PolicyKind::Lax, tweak, |r| r.stats.exec_time.as_ms_f64());
-        let rel_t = gmean_high(PolicyKind::Relief, tweak, |r| r.stats.exec_time.as_ms_f64());
-        let lax_d = gmean_high(PolicyKind::Lax, tweak, |r| r.stats.node_deadline_percent());
-        let rel_d = gmean_high(PolicyKind::Relief, tweak, |r| r.stats.node_deadline_percent());
+    for scale in BW_SCALES {
+        let platform = bandwidth_platform(scale);
+        let lax_t =
+            gmean_high(ctx, &platform, PolicyKind::Lax, |r| r.stats.exec_time.as_ms_f64());
+        let rel_t =
+            gmean_high(ctx, &platform, PolicyKind::Relief, |r| r.stats.exec_time.as_ms_f64());
+        let lax_d =
+            gmean_high(ctx, &platform, PolicyKind::Lax, |r| r.stats.node_deadline_percent());
+        let rel_d =
+            gmean_high(ctx, &platform, PolicyKind::Relief, |r| r.stats.node_deadline_percent());
         t.row(vec![
             format!("x{scale}"),
             format!("{lax_t:.2}"),
@@ -66,7 +142,7 @@ fn bandwidth() {
     );
 }
 
-fn replication() {
+fn replication(ctx: &Ctx) {
     let mut t = Table::with_columns(&[
         "instances/type",
         "fwd+coloc % LAX",
@@ -74,34 +150,48 @@ fn replication() {
         "exec ms LAX",
         "RELIEF",
     ]);
-    for n in [1usize, 2] {
-        let tweak = |cfg: &mut relief_accel::SocConfig| {
-            cfg.acc_instances = vec![n; cfg.acc_instances.len()];
-        };
+    for n in REPLICATIONS {
+        let platform = replication_platform(n);
         t.row(vec![
             n.to_string(),
-            format!("{:.1}", gmean_high(PolicyKind::Lax, tweak, |r| r.stats.forward_percent())),
-            format!("{:.1}", gmean_high(PolicyKind::Relief, tweak, |r| r.stats.forward_percent())),
-            format!("{:.2}", gmean_high(PolicyKind::Lax, tweak, |r| r.stats.exec_time.as_ms_f64())),
-            format!("{:.2}", gmean_high(PolicyKind::Relief, tweak, |r| r.stats.exec_time.as_ms_f64())),
+            format!(
+                "{:.1}",
+                gmean_high(ctx, &platform, PolicyKind::Lax, |r| r.stats.forward_percent())
+            ),
+            format!(
+                "{:.1}",
+                gmean_high(ctx, &platform, PolicyKind::Relief, |r| r.stats.forward_percent())
+            ),
+            format!(
+                "{:.2}",
+                gmean_high(ctx, &platform, PolicyKind::Lax, |r| r.stats.exec_time.as_ms_f64())
+            ),
+            format!(
+                "{:.2}",
+                gmean_high(ctx, &platform, PolicyKind::Relief, |r| {
+                    r.stats.exec_time.as_ms_f64()
+                })
+            ),
         ]);
     }
     println!("[Sensitivity 2] accelerator replication (high contention, gmean)\n{}", t.render());
 }
 
-fn chunk_size() {
+fn chunk_size(ctx: &Ctx) {
     let mut t = Table::with_columns(&["chunk bytes", "exec ms RELIEF", "fwd+coloc %"]);
-    for chunk in [1024u64, 4096, 16_384, 65_536] {
-        let tweak = |cfg: &mut relief_accel::SocConfig| cfg.mem.chunk_bytes = chunk;
+    for chunk in CHUNKS {
+        let platform = chunk_platform(chunk);
         t.row(vec![
             chunk.to_string(),
             format!(
                 "{:.3}",
-                gmean_high(PolicyKind::Relief, tweak, |r| r.stats.exec_time.as_ms_f64())
+                gmean_high(ctx, &platform, PolicyKind::Relief, |r| {
+                    r.stats.exec_time.as_ms_f64()
+                })
             ),
             format!(
                 "{:.1}",
-                gmean_high(PolicyKind::Relief, tweak, |r| r.stats.forward_percent())
+                gmean_high(ctx, &platform, PolicyKind::Relief, |r| r.stats.forward_percent())
             ),
         ]);
     }

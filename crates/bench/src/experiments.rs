@@ -1,8 +1,18 @@
 //! One function per paper artifact. Each returns the rendered text the
 //! corresponding `src/bin/` binary prints (and `all_experiments` chains).
+//!
+//! Every artifact exists in two forms: a `*_with(&Ctx)` variant that
+//! answers each simulation from a campaign-prewarmed [`Ctx`] (falling
+//! back to inline execution on cache misses, with byte-identical
+//! output), and a zero-argument wrapper preserving the original
+//! signature for the standalone per-figure binaries. The [`grid`]
+//! module is the single source of truth for the canonical [`RunSpec`]s
+//! both sides use, so a cache hit and an inline run are always the same
+//! simulation.
 
-use crate::{config_for, run_mix, run_mix_with, PolicySweep, FAIRNESS_POLICIES, MAIN_POLICIES};
-use relief_accel::{AppSpec, BwPredictorKind, SocConfig, SocSim};
+use crate::campaign::Ctx;
+use crate::{PolicySweep, FAIRNESS_POLICIES, MAIN_POLICIES};
+use relief_accel::{AppSpec, BwPredictorKind, SocConfig};
 use relief_core::predict::DataMovePredictor;
 use relief_core::PolicyKind;
 use relief_metrics::report::Table;
@@ -11,9 +21,160 @@ use relief_metrics::EnergyModel;
 use relief_workloads::{App, Contention, Mix};
 use std::fmt::Write as _;
 
+/// Canonical [`RunSpec`]s for every simulation the paper artifacts need,
+/// plus [`grid::full_grid`] — the deduplicated union the campaign engine
+/// prewarms before `all_experiments` renders.
+pub mod grid {
+    use super::*;
+    use crate::campaign::{PlatformSpec, WorkloadSpec};
+    pub use crate::campaign::RunSpec;
+    use std::collections::BTreeSet;
+
+    /// The Table VI mobile platform.
+    pub fn mobile() -> PlatformSpec {
+        PlatformSpec::mobile()
+    }
+
+    /// Mobile with forwarding and colocation hardware removed
+    /// (Table II's "no fwd" baseline).
+    pub fn mobile_nofwd() -> PlatformSpec {
+        PlatformSpec::custom("mobile-nofwd", |p| SocConfig::mobile(p).without_forwarding())
+    }
+
+    /// Mobile with a crossbar interconnect instead of the bus (Fig. 13).
+    pub fn mobile_xbar() -> PlatformSpec {
+        PlatformSpec::custom("mobile-xbar", |p| {
+            let mut cfg = SocConfig::mobile(p);
+            cfg.mem = cfg.mem.with_crossbar();
+            cfg
+        })
+    }
+
+    /// The Fig. 2 pedagogical platform: one A and one B accelerator,
+    /// schedule trace recorded.
+    pub fn fig2_platform() -> PlatformSpec {
+        PlatformSpec::custom("fig2[1A+1B]", |p| {
+            let mut cfg = SocConfig::generic(vec![1, 1], p);
+            cfg.record_trace = true;
+            cfg
+        })
+    }
+
+    /// Mobile with explicit bandwidth / data-movement predictors
+    /// (Table VIII, Fig. 11).
+    pub fn predictor_platform(bw: BwPredictorKind, dm: DataMovePredictor) -> PlatformSpec {
+        let bw_label = match bw {
+            BwPredictorKind::Max => "max".to_string(),
+            BwPredictorKind::Last => "last".to_string(),
+            BwPredictorKind::Average(n) => format!("avg{n}"),
+            BwPredictorKind::Ewma(a) => format!("ewma{a}"),
+        };
+        let dm_label = match dm {
+            DataMovePredictor::Max => "max",
+            DataMovePredictor::Predicted => "pred",
+        };
+        PlatformSpec::custom(format!("pred[bw={bw_label},dm={dm_label}]"), move |p| {
+            let mut cfg = SocConfig::mobile(p);
+            cfg.bw_predictor = bw;
+            cfg.dm_predictor = dm;
+            cfg
+        })
+    }
+
+    /// One paper mix under one policy on the mobile platform — the cell
+    /// every contention sweep is made of.
+    pub fn mix_run(policy: PolicyKind, contention: Contention, mix: &Mix) -> RunSpec {
+        RunSpec::new(policy, WorkloadSpec::mix(contention, mix), mobile())
+    }
+
+    /// One application running alone (Table II), with or without
+    /// forwarding hardware.
+    pub fn solo_run(app: App, forwarding: bool) -> RunSpec {
+        let workload = WorkloadSpec::custom(format!("solo/{}", app.symbol()), None, move || {
+            vec![AppSpec::once(app.symbol(), app.dag())]
+        });
+        let platform = if forwarding { mobile() } else { mobile_nofwd() };
+        RunSpec::new(PolicyKind::Relief, workload, platform)
+    }
+
+    /// The Fig. 2 example DAGs under one policy.
+    pub fn fig2_run(policy: PolicyKind) -> RunSpec {
+        RunSpec::new(
+            policy,
+            WorkloadSpec::custom("fig2", None, super::fig2_workload),
+            fig2_platform(),
+        )
+    }
+
+    /// RELIEF on one high-contention mix with explicit predictors.
+    pub fn predictor_run(bw: BwPredictorKind, dm: DataMovePredictor, mix: &Mix) -> RunSpec {
+        RunSpec::new(
+            PolicyKind::Relief,
+            WorkloadSpec::mix(Contention::High, mix),
+            predictor_platform(bw, dm),
+        )
+    }
+
+    /// RELIEF on one high-contention mix over the crossbar (Fig. 13).
+    pub fn xbar_run(mix: &Mix) -> RunSpec {
+        RunSpec::new(
+            PolicyKind::Relief,
+            WorkloadSpec::mix(Contention::High, mix),
+            mobile_xbar(),
+        )
+    }
+
+    /// The union of every run the paper artifacts consume, deduplicated
+    /// by canonical label, in stable order. `all_experiments` executes
+    /// this grid on the campaign engine and renders from the cache;
+    /// Fig. 12 is absent because it measures *host* wall-clock latency,
+    /// not simulated behavior.
+    pub fn full_grid() -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        // Figs. 4–10, Tables VII & XIII base cells: every policy × mix.
+        for contention in Contention::ALL {
+            for mix in contention.mixes() {
+                for &policy in &FAIRNESS_POLICIES {
+                    specs.push(mix_run(policy, contention, &mix));
+                }
+            }
+        }
+        // Table II solo calibration runs.
+        for app in App::ALL {
+            specs.push(solo_run(app, true));
+            specs.push(solo_run(app, false));
+        }
+        // Fig. 2 example schedules.
+        for &policy in &FAIRNESS_POLICIES {
+            specs.push(fig2_run(policy));
+        }
+        // Table VIII / Fig. 11 predictor variants and Fig. 13 crossbar.
+        for mix in Contention::High.mixes() {
+            for bw in [
+                BwPredictorKind::Max,
+                BwPredictorKind::Last,
+                BwPredictorKind::Average(15),
+                BwPredictorKind::Ewma(0.25),
+            ] {
+                specs.push(predictor_run(bw, DataMovePredictor::Max, &mix));
+            }
+            specs.push(predictor_run(BwPredictorKind::Max, DataMovePredictor::Predicted, &mix));
+            specs.push(predictor_run(
+                BwPredictorKind::Average(15),
+                DataMovePredictor::Predicted,
+                &mix,
+            ));
+            specs.push(xbar_run(&mix));
+        }
+        let mut seen = BTreeSet::new();
+        specs.retain(|s| seen.insert(s.label()));
+        specs
+    }
+}
+
 /// Table II: absolute time in compute vs data movement per application,
 /// comparing no-forwarding to forwarding-whenever-possible (ideal).
-pub fn table2() -> String {
+pub fn table2_with(ctx: &Ctx) -> String {
     let mut t = Table::with_columns(&[
         "app",
         "compute us",
@@ -31,11 +192,8 @@ pub fn table2() -> String {
         (App::Lstm, 1470.02, 3879.98, 1797.77),
     ];
     for (app, p_compute, p_nofwd, p_ideal) in paper {
-        let solo = |cfg: SocConfig| {
-            SocSim::new(cfg, vec![AppSpec::once(app.symbol(), app.dag())]).run()
-        };
-        let nofwd = solo(SocConfig::mobile(PolicyKind::Relief).without_forwarding());
-        let ideal = solo(SocConfig::mobile(PolicyKind::Relief));
+        let nofwd = ctx.run(&grid::solo_run(app, false));
+        let ideal = ctx.run(&grid::solo_run(app, true));
         t.row(vec![
             app.name().to_string(),
             format!("{:.2}", ideal.per_app_compute_time[app.symbol()].as_us_f64()),
@@ -47,6 +205,11 @@ pub fn table2() -> String {
         ]);
     }
     format!("[Table II] compute vs data movement, modeled vs paper\n{}", t.render())
+}
+
+/// Zero-argument [`table2_with`] for the standalone binary.
+pub fn table2() -> String {
+    table2_with(&Ctx::empty())
 }
 
 /// The Figure 2 pedagogical scenario, reconstructed (the figure text in
@@ -80,7 +243,7 @@ pub fn fig2_workload() -> Vec<AppSpec> {
 /// Fig. 2: schedules of the example DAGs under each policy. RELIEF
 /// achieves the ideal schedule: maximum colocations, all deadlines met,
 /// shortest makespan.
-pub fn fig2() -> String {
+pub fn fig2_with(ctx: &Ctx) -> String {
     let mut t = Table::with_columns(&[
         "policy",
         "forwards",
@@ -91,9 +254,7 @@ pub fn fig2() -> String {
     let names = vec!["  A".to_string(), "  B".to_string()];
     let mut schedules = String::new();
     for policy in FAIRNESS_POLICIES {
-        let mut cfg = SocConfig::generic(vec![1, 1], policy);
-        cfg.record_trace = true;
-        let r = SocSim::new(cfg, fig2_workload()).run();
+        let r = ctx.run(&grid::fig2_run(policy));
         let met: u64 = r.stats.apps.values().map(|a| a.dag_deadlines_met).sum();
         t.row(vec![
             policy.name().to_string(),
@@ -111,22 +272,32 @@ pub fn fig2() -> String {
     )
 }
 
+/// Zero-argument [`fig2_with`] for the standalone binary.
+pub fn fig2() -> String {
+    fig2_with(&Ctx::empty())
+}
+
 /// Figs. 4a–d: percent of edges satisfied by forwards + colocations.
-pub fn fig4() -> String {
-    sweep_all_contention("Fig. 4", "forwards+colocations / edges (%)", 1, |r| {
+pub fn fig4_with(ctx: &Ctx) -> String {
+    sweep_all_contention(ctx, "Fig. 4", "forwards+colocations / edges (%)", 1, |r| {
         r.stats.forward_percent()
     })
 }
 
+/// Zero-argument [`fig4_with`] for the standalone binary.
+pub fn fig4() -> String {
+    fig4_with(&Ctx::empty())
+}
+
 /// Figs. 5a–d: data movement reaching DRAM as a percent of the all-DRAM
 /// baseline (the paper's lower bars; 100 − this − SPAD% = colocated).
-pub fn fig5() -> String {
+pub fn fig5_with(ctx: &Ctx) -> String {
     let mut out = String::new();
     for contention in Contention::ALL {
-        let dram = PolicySweep::collect(contention, &MAIN_POLICIES, |r| {
+        let dram = PolicySweep::collect_with(ctx, contention, &MAIN_POLICIES, |r| {
             100.0 * r.stats.traffic.dram_fraction()
         });
-        let spad = PolicySweep::collect(contention, &MAIN_POLICIES, |r| {
+        let spad = PolicySweep::collect_with(ctx, contention, &MAIN_POLICIES, |r| {
             100.0 * r.stats.traffic.spad_fraction()
         });
         let _ = writeln!(
@@ -139,19 +310,24 @@ pub fn fig5() -> String {
     out
 }
 
+/// Zero-argument [`fig5_with`] for the standalone binary.
+pub fn fig5() -> String {
+    fig5_with(&Ctx::empty())
+}
+
 /// Fig. 6: main-memory and scratchpad energy under high contention,
 /// normalized to LAX.
-pub fn fig6() -> String {
+pub fn fig6_with(ctx: &Ctx) -> String {
     let model = EnergyModel::new();
     let energy = |r: &relief_accel::SimResult| model.energy(&r.stats.traffic, r.stats.exec_time);
     let mut dram_rows = Vec::new();
     let mut spad_rows = Vec::new();
     for mix in Contention::High.mixes() {
-        let base = energy(&run_mix(PolicyKind::Lax, Contention::High, &mix));
+        let base = energy(&ctx.run(&grid::mix_run(PolicyKind::Lax, Contention::High, &mix)));
         let mut dram = Vec::new();
         let mut spad = Vec::new();
         for p in MAIN_POLICIES {
-            let e = energy(&run_mix(p, Contention::High, &mix));
+            let e = energy(&ctx.run(&grid::mix_run(p, Contention::High, &mix)));
             dram.push(e.dram_nj / base.dram_nj);
             spad.push(e.spad_nj / base.spad_nj);
         }
@@ -178,30 +354,57 @@ pub fn fig6() -> String {
     )
 }
 
+/// Zero-argument [`fig6_with`] for the standalone binary.
+pub fn fig6() -> String {
+    fig6_with(&Ctx::empty())
+}
+
 /// Figs. 7a–d: accelerator occupancy.
+pub fn fig7_with(ctx: &Ctx) -> String {
+    sweep_all_contention(ctx, "Fig. 7", "accelerator occupancy", 3, |r| {
+        r.stats.accel_occupancy()
+    })
+}
+
+/// Zero-argument [`fig7_with`] for the standalone binary.
 pub fn fig7() -> String {
-    sweep_all_contention("Fig. 7", "accelerator occupancy", 3, |r| r.stats.accel_occupancy())
+    fig7_with(&Ctx::empty())
 }
 
 /// Figs. 8a–d: percent of node deadlines met.
-pub fn fig8() -> String {
-    sweep_all_contention("Fig. 8", "node deadlines met (%)", 1, |r| {
+pub fn fig8_with(ctx: &Ctx) -> String {
+    sweep_all_contention(ctx, "Fig. 8", "node deadlines met (%)", 1, |r| {
         r.stats.node_deadline_percent()
     })
 }
 
+/// Zero-argument [`fig8_with`] for the standalone binary.
+pub fn fig8() -> String {
+    fig8_with(&Ctx::empty())
+}
+
 /// Fig. 9: per-application slowdown and DAG deadlines met under high
 /// contention, eight policies.
+pub fn fig9_with(ctx: &Ctx) -> String {
+    fairness(ctx, Contention::High, "Fig. 9")
+}
+
+/// Zero-argument [`fig9_with`] for the standalone binary.
 pub fn fig9() -> String {
-    fairness(Contention::High, "Fig. 9")
+    fig9_with(&Ctx::empty())
 }
 
 /// Fig. 10: the same under continuous contention (`inf` = starved).
-pub fn fig10() -> String {
-    fairness(Contention::Continuous, "Fig. 10")
+pub fn fig10_with(ctx: &Ctx) -> String {
+    fairness(ctx, Contention::Continuous, "Fig. 10")
 }
 
-fn fairness(contention: Contention, name: &str) -> String {
+/// Zero-argument [`fig10_with`] for the standalone binary.
+pub fn fig10() -> String {
+    fig10_with(&Ctx::empty())
+}
+
+fn fairness(ctx: &Ctx, contention: Contention, name: &str) -> String {
     let mut out = String::new();
     let mut slow = Table::with_columns(&["mix", "policy", "slowdown per app", "max", "variance"]);
     let mut ddl = {
@@ -212,7 +415,7 @@ fn fairness(contention: Contention, name: &str) -> String {
     for mix in contention.mixes() {
         let mut ddl_row = Vec::new();
         for p in FAIRNESS_POLICIES {
-            let r = run_mix(p, contention, &mix);
+            let r = ctx.run(&grid::mix_run(p, contention, &mix));
             let slowdowns: Vec<(String, f64)> = mix
                 .apps
                 .iter()
@@ -258,14 +461,14 @@ fn fairness(contention: Contention, name: &str) -> String {
 
 /// Table VII: finished DAG instances per application under continuous
 /// contention.
-pub fn table7() -> String {
+pub fn table7_with(ctx: &Ctx) -> String {
     let mut out = String::new();
     for mix in Contention::Continuous.mixes() {
         let mut cols = vec!["policy".to_string()];
         cols.extend(mix.apps.iter().map(|a| a.symbol().to_string()));
         let mut t = Table::new(cols);
         for p in FAIRNESS_POLICIES {
-            let r = run_mix(p, Contention::Continuous, &mix);
+            let r = ctx.run(&grid::mix_run(p, Contention::Continuous, &mix));
             let mut row = vec![p.name().to_string()];
             row.extend(
                 mix.apps.iter().map(|a| r.stats.apps[a.symbol()].dags_completed.to_string()),
@@ -277,21 +480,24 @@ pub fn table7() -> String {
     out
 }
 
+/// Zero-argument [`table7_with`] for the standalone binary.
+pub fn table7() -> String {
+    table7_with(&Ctx::empty())
+}
+
 /// Runs RELIEF on one high-contention mix with the given predictors.
 fn relief_with_predictors(
+    ctx: &Ctx,
     mix: &Mix,
     bw: BwPredictorKind,
     dm: DataMovePredictor,
 ) -> relief_accel::SimResult {
-    let mut cfg = config_for(PolicyKind::Relief, Contention::High);
-    cfg.bw_predictor = bw;
-    cfg.dm_predictor = dm;
-    run_mix_with(cfg, mix)
+    ctx.run(&grid::predictor_run(bw, dm, mix))
 }
 
 /// Table VIII: predictor accuracy, plus forwards / node deadlines met per
 /// bandwidth predictor, under high contention.
-pub fn table8() -> String {
+pub fn table8_with(ctx: &Ctx) -> String {
     use relief_accel::PredictionStats as P;
     let bw_kinds = [
         BwPredictorKind::Max,
@@ -320,7 +526,8 @@ pub fn table8() -> String {
     for mix in Contention::High.mixes() {
         let mut row = vec![mix.label()];
         // Compute + DM errors measured with the Predicted DM scheme.
-        let base = relief_with_predictors(&mix, BwPredictorKind::Max, DataMovePredictor::Predicted);
+        let base =
+            relief_with_predictors(ctx, &mix, BwPredictorKind::Max, DataMovePredictor::Predicted);
         let comp = P::mean_signed_pct(&base.prediction.compute_rel_errors);
         let dm = P::mean_signed_pct(&base.prediction.dm_rel_errors);
         row.push(format!("{comp:.2}"));
@@ -332,7 +539,7 @@ pub fn table8() -> String {
         let mut fwd = Vec::new();
         let mut ddl = Vec::new();
         for (i, bw) in bw_kinds.iter().enumerate() {
-            let r = relief_with_predictors(&mix, *bw, DataMovePredictor::Max);
+            let r = relief_with_predictors(ctx, &mix, *bw, DataMovePredictor::Max);
             let signed = P::mean_signed_pct(&r.prediction.bw_rel_errors);
             row.push(format!("{signed:.2}"));
             abs_gmeans[2 + i].push(signed.abs());
@@ -358,9 +565,14 @@ pub fn table8() -> String {
     )
 }
 
+/// Zero-argument [`table8_with`] for the standalone binary.
+pub fn table8() -> String {
+    table8_with(&Ctx::empty())
+}
+
 /// Fig. 11: node deadlines met with predictive BW / DM predictors,
 /// normalized to the Max predictors.
-pub fn fig11() -> String {
+pub fn fig11_with(ctx: &Ctx) -> String {
     let variants: [(&str, BwPredictorKind, DataMovePredictor); 3] = [
         ("Pred. BW", BwPredictorKind::Average(15), DataMovePredictor::Max),
         ("Pred. DM", BwPredictorKind::Max, DataMovePredictor::Predicted),
@@ -371,12 +583,13 @@ pub fn fig11() -> String {
     let mut t = Table::new(cols);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     for mix in Contention::High.mixes() {
-        let base = relief_with_predictors(&mix, BwPredictorKind::Max, DataMovePredictor::Max)
-            .stats
-            .node_deadline_percent();
+        let base =
+            relief_with_predictors(ctx, &mix, BwPredictorKind::Max, DataMovePredictor::Max)
+                .stats
+                .node_deadline_percent();
         let mut row = Vec::new();
         for (i, (_, bw, dm)) in variants.iter().enumerate() {
-            let v = relief_with_predictors(&mix, *bw, *dm).stats.node_deadline_percent();
+            let v = relief_with_predictors(ctx, &mix, *bw, *dm).stats.node_deadline_percent();
             let norm = if base > 0.0 { v / base } else { 0.0 };
             row.push(norm);
             columns[i].push(norm);
@@ -392,10 +605,18 @@ pub fn fig11() -> String {
     )
 }
 
+/// Zero-argument [`fig11_with`] for the standalone binary.
+pub fn fig11() -> String {
+    fig11_with(&Ctx::empty())
+}
+
 /// Fig. 12: average and tail latency of one ready-queue insertion per
 /// policy, measured on the host (the paper measures a Cortex-A7; relative
 /// ordering is the reproducible part). Also exercised by the Criterion
 /// bench `scheduler_latency`.
+///
+/// This artifact times *host* wall-clock latency with `Instant`, so it is
+/// inherently nondeterministic and is never cached or campaign-executed.
 pub fn fig12() -> String {
     use relief_core::{ReadyQueues, TaskEntry, TaskKey};
     use relief_dag::AccTypeId;
@@ -452,7 +673,7 @@ pub fn fig12() -> String {
 
 /// Fig. 13: interconnect occupancy and execution time, bus vs crossbar,
 /// under high contention; normalized to LAX on the bus.
-pub fn fig13() -> String {
+pub fn fig13_with(ctx: &Ctx) -> String {
     let mut t = Table::with_columns(&[
         "mix",
         "occ %: LAX",
@@ -464,11 +685,9 @@ pub fn fig13() -> String {
     let mut occ_cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut time_cols: Vec<Vec<f64>> = vec![Vec::new(); 2];
     for mix in Contention::High.mixes() {
-        let lax = run_mix(PolicyKind::Lax, Contention::High, &mix);
-        let relief_bus = run_mix(PolicyKind::Relief, Contention::High, &mix);
-        let mut xbar_cfg = config_for(PolicyKind::Relief, Contention::High);
-        xbar_cfg.mem = xbar_cfg.mem.with_crossbar();
-        let relief_xbar = run_mix_with(xbar_cfg, &mix);
+        let lax = ctx.run(&grid::mix_run(PolicyKind::Lax, Contention::High, &mix));
+        let relief_bus = ctx.run(&grid::mix_run(PolicyKind::Relief, Contention::High, &mix));
+        let relief_xbar = ctx.run(&grid::xbar_run(&mix));
 
         let occ = [
             100.0 * lax.stats.interconnect_occupancy(),
@@ -506,7 +725,13 @@ pub fn fig13() -> String {
     format!("[Fig. 13] interconnect sensitivity under high contention\n{}", t.render())
 }
 
+/// Zero-argument [`fig13_with`] for the standalone binary.
+pub fn fig13() -> String {
+    fig13_with(&Ctx::empty())
+}
+
 fn sweep_all_contention(
+    ctx: &Ctx,
     name: &str,
     header: &str,
     precision: usize,
@@ -514,7 +739,7 @@ fn sweep_all_contention(
 ) -> String {
     let mut out = String::new();
     for contention in Contention::ALL {
-        let sweep = PolicySweep::collect(contention, &MAIN_POLICIES, metric);
+        let sweep = PolicySweep::collect_with(ctx, contention, &MAIN_POLICIES, metric);
         let _ = writeln!(
             out,
             "[{name} — {contention} contention]\n{}",
@@ -526,15 +751,21 @@ fn sweep_all_contention(
 
 /// Colocation-only percentage sweep, printed alongside Fig. 4 by its
 /// binary (the figure stacks COL under FWD).
-pub fn fig4_colocations() -> String {
-    sweep_all_contention("Fig. 4 (colocations only)", "colocations / edges (%)", 1, |r| {
+pub fn fig4_colocations_with(ctx: &Ctx) -> String {
+    sweep_all_contention(ctx, "Fig. 4 (colocations only)", "colocations / edges (%)", 1, |r| {
         r.stats.colocation_percent()
     })
+}
+
+/// Zero-argument [`fig4_colocations_with`] for the standalone binary.
+pub fn fig4_colocations() -> String {
+    fig4_colocations_with(&Ctx::empty())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grid::RunSpec;
 
     #[test]
     fn fig2_workload_shape() {
@@ -573,5 +804,33 @@ mod tests {
         assert!(out.contains("RELIEF"));
         assert!(out.contains("FCFS"));
         assert!(out.contains("p99"));
+    }
+
+    #[test]
+    fn full_grid_is_deduplicated_and_covers_every_axis() {
+        let specs = grid::full_grid();
+        let labels: Vec<String> = specs.iter().map(RunSpec::label).collect();
+        let unique: std::collections::BTreeSet<&String> = labels.iter().collect();
+        assert_eq!(labels.len(), unique.len(), "duplicate run specs in the grid");
+        // 8 policies × 35 mixes + 10 solo + 8 fig2 + 10 × (6 predictor + 1 xbar).
+        assert_eq!(labels.len(), 8 * 35 + 10 + 8 + 10 * 7);
+        assert!(labels.iter().any(|l| l.contains("mobile-nofwd")));
+        assert!(labels.iter().any(|l| l.contains("mobile-xbar")));
+        assert!(labels.iter().any(|l| l.contains("fig2")));
+        assert!(labels.iter().any(|l| l.contains("pred[bw=avg15,dm=pred]")));
+    }
+
+    #[test]
+    fn cached_and_inline_runs_render_identically() {
+        // Prewarm only the Fig. 2 cells, then render: cache hits and
+        // misses must be indistinguishable in the output.
+        let specs: Vec<RunSpec> = FAIRNESS_POLICIES.iter().map(|&p| grid::fig2_run(p)).collect();
+        let some = crate::campaign::execute(
+            specs,
+            &crate::campaign::ExecOptions { jobs: 2, ..Default::default() },
+        );
+        let ctx = Ctx::from_results(&some);
+        assert_eq!(ctx.len(), 8);
+        assert_eq!(fig2_with(&ctx), fig2_with(&Ctx::empty()));
     }
 }

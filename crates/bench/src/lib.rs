@@ -52,8 +52,21 @@ pub struct PolicySweep {
 }
 
 impl PolicySweep {
-    /// Runs `metric` for every (mix, policy) pair of a contention level.
+    /// Runs `metric` for every (mix, policy) pair of a contention level,
+    /// simulating every cell inline.
     pub fn collect(
+        contention: Contention,
+        policies: &[PolicyKind],
+        metric: impl FnMut(&SimResult) -> f64,
+    ) -> Self {
+        Self::collect_with(&campaign::Ctx::empty(), contention, policies, metric)
+    }
+
+    /// Like [`PolicySweep::collect`], but answers each cell from `ctx` —
+    /// a campaign-prewarmed context returns cached results, an empty one
+    /// falls back to inline simulation with identical output.
+    pub fn collect_with(
+        ctx: &campaign::Ctx,
         contention: Contention,
         policies: &[PolicyKind],
         mut metric: impl FnMut(&SimResult) -> f64,
@@ -62,7 +75,7 @@ impl PolicySweep {
         for mix in contention.mixes() {
             let values = policies
                 .iter()
-                .map(|&p| metric(&run_mix(p, contention, &mix)))
+                .map(|&p| metric(&ctx.run(&experiments::grid::mix_run(p, contention, &mix))))
                 .collect();
             rows.push((mix.label(), values));
         }
@@ -114,6 +127,7 @@ mod tests {
         assert!(rendered.contains("FCFS"));
     }
 }
+pub mod campaign;
 pub mod experiments;
 pub mod microbench;
 pub mod traceio;

@@ -46,3 +46,10 @@ pub mod transfer;
 pub use config::{InterconnectKind, MemConfig};
 pub use interconnect::Interconnect;
 pub use transfer::{Port, Progress, Route, TransferEngine, TransferId};
+
+// Thread-safety audit: `MemConfig` travels inside `SocConfig` from
+// campaign specs into worker threads; keep it `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MemConfig>();
+};

@@ -23,3 +23,13 @@ pub mod summary;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use reconcile::{reconcile, Mismatch};
 pub use stats::{AppStats, RunStats, TrafficStats};
+
+// Thread-safety audit: per-run statistics are the campaign engine's
+// cross-thread output payload; keep them `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunStats>();
+    assert_send_sync::<AppStats>();
+    assert_send_sync::<TrafficStats>();
+    assert_send_sync::<Mismatch>();
+};

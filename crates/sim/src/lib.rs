@@ -41,3 +41,13 @@ pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use time::{Dur, Time};
 pub use timeline::{BusyStats, Timeline};
+
+// Thread-safety audit: the campaign engine moves these values across
+// worker threads, so losing `Send + Sync` (e.g. by adding an `Rc` field)
+// must fail the build here rather than in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Time>();
+    assert_send_sync::<Dur>();
+    assert_send_sync::<SplitMix64>();
+};

@@ -104,6 +104,45 @@ impl EventCounters {
     }
 }
 
+/// A [`TraceSink`](crate::TraceSink) that folds every event into an
+/// [`EventCounters`] as it arrives — O(1) memory, so it is safe to attach
+/// to unbounded runs (continuous contention) where a buffering sink would
+/// either grow without bound or evict events and undercount.
+///
+/// The campaign engine attaches one per run to reconcile event-derived
+/// counts against the simulator's own `RunStats` bookkeeping.
+#[derive(Debug, Default)]
+pub struct CountersSink {
+    counters: EventCounters,
+}
+
+impl CountersSink {
+    /// Creates an empty folding sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CountersSink::default()
+    }
+
+    /// Creates a shared handle suitable for
+    /// [`Tracer::attach`](crate::Tracer::attach).
+    #[must_use]
+    pub fn shared() -> std::rc::Rc<std::cell::RefCell<CountersSink>> {
+        std::rc::Rc::new(std::cell::RefCell::new(CountersSink::default()))
+    }
+
+    /// The counters folded so far.
+    #[must_use]
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+}
+
+impl crate::TraceSink for CountersSink {
+    fn emit(&mut self, ev: TraceEvent) {
+        self.counters.add(&ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +210,35 @@ mod tests {
         assert_eq!(c.colocations, 1);
         assert_eq!(c.feasibility_fail, 1);
         assert_eq!(c.feasibility_pass, 0);
+    }
+
+    #[test]
+    fn counters_sink_folds_like_from_events() {
+        use crate::{TraceSink, Tracer};
+        let sink = CountersSink::shared();
+        let mut tracer = Tracer::off();
+        tracer.attach(sink.clone());
+        let t = TaskRef { instance: 0, node: 1 };
+        let events = [
+            EventKind::ComputeEnd {
+                task: t,
+                inst: 0,
+                start_ps: 0,
+                label: "A:n1".into(),
+                forwarded_inputs: 0,
+                colocated_inputs: 0,
+            },
+            EventKind::DagDone { instance: 0, met: true },
+            EventKind::EscalationGranted { task: t, acc: 0, index: 0 },
+        ];
+        let mut direct = CountersSink::new();
+        for (i, kind) in events.into_iter().enumerate() {
+            tracer.emit(i as u64, || kind.clone());
+            direct.emit(TraceEvent { at_ps: i as u64, kind });
+        }
+        assert_eq!(*sink.borrow().counters(), *direct.counters());
+        assert_eq!(sink.borrow().counters().tasks_completed, 1);
+        assert_eq!(sink.borrow().counters().dags_met, 1);
+        assert_eq!(sink.borrow().counters().escalations_granted, 1);
     }
 }

@@ -53,7 +53,7 @@ pub mod event;
 pub mod sink;
 pub mod text;
 
-pub use counters::EventCounters;
+pub use counters::{CountersSink, EventCounters};
 pub use diff::{first_divergence_events, first_divergence_lines, Divergence, DivergenceCause};
 pub use event::{DenyReason, Endpoint, EventKind, InputSource, ResourceId, TaskRef, TraceEvent};
 pub use sink::{NullSink, RingBufferSink, TraceSink, Tracer};

@@ -5,9 +5,16 @@
 //! 1. `cargo build --offline --workspace --benches` — the tree, including
 //!    every benchmark target, builds with zero network access (no registry
 //!    dependencies may creep back in).
-//! 2. `cargo clippy --offline -p relief-trace --all-targets -- -D warnings`
-//!    — the tracing subsystem stays lint-clean. Skipped with a notice when
-//!    the clippy component is not installed.
+//! 2. `cargo clippy --offline -p relief-trace -p relief-bench
+//!    --all-targets -- -D warnings` — the tracing subsystem and the
+//!    campaign engine stay lint-clean. Skipped with a notice when the
+//!    clippy component is not installed.
+//! 3. `campaign_smoke` (release) — the deterministic campaign engine
+//!    executes a small grid serially and with two workers and proves the
+//!    reports byte-identical.
+//! 4. The determinism, conformance, and property test suites:
+//!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
+//!    and `metamorphic_properties`.
 //!
 //! Exit code is nonzero if any executed step fails.
 
@@ -44,12 +51,14 @@ fn check() -> ExitCode {
     );
     if have_clippy() {
         ok &= run(
-            "cargo clippy --offline -p relief-trace --all-targets -- -D warnings",
+            "cargo clippy --offline -p relief-trace -p relief-bench --all-targets -- -D warnings",
             Command::new("cargo").args([
                 "clippy",
                 "--offline",
                 "-p",
                 "relief-trace",
+                "-p",
+                "relief-bench",
                 "--all-targets",
                 "--",
                 "-D",
@@ -58,6 +67,29 @@ fn check() -> ExitCode {
         );
     } else {
         println!("==> clippy component not installed; skipping lint gate");
+    }
+    ok &= run(
+        "campaign engine smoke test (jobs=1 vs jobs=2)",
+        Command::new("cargo").args([
+            "run",
+            "--offline",
+            "--release",
+            "-p",
+            "relief-bench",
+            "--bin",
+            "campaign_smoke",
+        ]),
+    );
+    for (package, suite) in [
+        ("relief-bench", "campaign_engine"),
+        ("relief", "golden_experiments"),
+        ("relief", "scheduler_conformance"),
+        ("relief", "metamorphic_properties"),
+    ] {
+        ok &= run(
+            &format!("cargo test --offline -p {package} --test {suite}"),
+            Command::new("cargo").args(["test", "--offline", "-p", package, "--test", suite]),
+        );
     }
     if ok {
         println!("xtask check: OK");

@@ -5,8 +5,13 @@
 //! cargo run --release --bin relief-cli -- --mix CGL --policy relief
 //! cargo run --release --bin relief-cli -- --mix DGL --policy lax --continuous
 //! cargo run --release --bin relief-cli -- --mix CDGHL --policy relief --no-forwarding
+//! cargo run --release --bin relief-cli -- --mix CGL --policy lax,relief --jobs 2
 //! cargo run --release --bin relief-cli -- --help
 //! ```
+//!
+//! A comma-separated `--policy` list switches to comparison mode: every
+//! policy runs the same mix on the deterministic campaign engine
+//! (`--jobs` worker threads) and a side-by-side table is printed.
 
 use relief::prelude::*;
 use std::process::ExitCode;
@@ -21,8 +26,12 @@ OPTIONS:
     --mix <SYMBOLS>     applications to run, by symbol: C (canny),
                         D (deblur), G (gru), H (harris), L (lstm)
                         [default: CGL]
-    --policy <NAME>     fcfs | gedf-d | gedf-n | ll | lax | hetsched |
+    --policy <NAMES>    fcfs | gedf-d | gedf-n | ll | lax | hetsched |
                         relief | relief-lax | relief-het [default: relief]
+                        A comma-separated list compares the policies
+                        side by side on the campaign engine
+    --jobs <N>          worker threads for comparison mode
+                        [default: available parallelism]
     --continuous        loop every application; stops at --limit-ms
     --limit-ms <MS>     simulated-time cap [default: 50 when --continuous]
     --crossbar          crossbar interconnect instead of the bus
@@ -36,7 +45,8 @@ OPTIONS:
 
 struct Args {
     mix: String,
-    policy: PolicyKind,
+    policies: Vec<PolicyKind>,
+    jobs: usize,
     continuous: bool,
     limit_ms: Option<u64>,
     crossbar: bool,
@@ -63,7 +73,8 @@ fn parse_policy(s: &str) -> Option<PolicyKind> {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         mix: "CGL".to_string(),
-        policy: PolicyKind::Relief,
+        policies: vec![PolicyKind::Relief],
+        jobs: relief::bench::campaign::default_jobs(),
         continuous: false,
         limit_ms: None,
         crossbar: false,
@@ -77,7 +88,23 @@ fn parse_args() -> Result<Args, String> {
             "--mix" => args.mix = it.next().ok_or("--mix needs a value")?,
             "--policy" => {
                 let v = it.next().ok_or("--policy needs a value")?;
-                args.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?;
+                args.policies = v
+                    .split(',')
+                    .map(|s| {
+                        parse_policy(s.trim())
+                            .ok_or_else(|| format!("unknown policy '{}'", s.trim()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.policies.is_empty() {
+                    return Err("--policy needs at least one name".into());
+                }
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| format!("bad --jobs '{v}'"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
             }
             "--continuous" => args.continuous = true,
             "--limit-ms" => {
@@ -113,24 +140,38 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut apps = Vec::new();
+    let mut mix_apps = Vec::new();
     for c in args.mix.chars() {
         let Some(app) = App::from_symbol(c.to_ascii_uppercase()) else {
             eprintln!("error: unknown application symbol '{c}' (use C, D, G, H, L)");
             return ExitCode::FAILURE;
         };
-        apps.push(if args.continuous {
-            AppSpec::continuous(app.symbol(), app.dag())
-        } else {
-            AppSpec::once(app.symbol(), app.dag())
-        });
+        mix_apps.push(app);
     }
-    if apps.is_empty() {
+    if mix_apps.is_empty() {
         eprintln!("error: --mix must name at least one application");
         return ExitCode::FAILURE;
     }
+    if args.policies.len() > 1 {
+        if args.trace_out.is_some() {
+            eprintln!("error: --trace-out needs a single --policy (whose run should I trace?)");
+            return ExitCode::FAILURE;
+        }
+        return compare_policies(&args, &mix_apps);
+    }
 
-    let mut cfg = SocConfig::mobile(args.policy);
+    let apps: Vec<AppSpec> = mix_apps
+        .iter()
+        .map(|app| {
+            if args.continuous {
+                AppSpec::continuous(app.symbol(), app.dag())
+            } else {
+                AppSpec::once(app.symbol(), app.dag())
+            }
+        })
+        .collect();
+
+    let mut cfg = SocConfig::mobile(args.policies[0]);
     if args.no_forwarding {
         cfg = cfg.without_forwarding();
     }
@@ -226,5 +267,101 @@ fn main() -> ExitCode {
             if a.starved { "  [STARVED]" } else { "" }
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// Comparison mode: one engine run per requested policy over the same
+/// mix and platform flags, rendered side by side in request order.
+fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
+    use relief::bench::campaign::{execute, ExecOptions, PlatformSpec, RunSpec, WorkloadSpec};
+
+    let mix_label = args.mix.to_ascii_uppercase();
+    let limit = args.limit_ms.or(args.continuous.then_some(50)).map(Time::from_ms);
+    let continuous = args.continuous;
+    let apps: Vec<App> = mix_apps.to_vec();
+    let workload = WorkloadSpec::custom(
+        format!("cli/{mix_label}{}", if continuous { "+cont" } else { "" }),
+        limit,
+        move || {
+            apps.iter()
+                .map(|app| {
+                    if continuous {
+                        AppSpec::continuous(app.symbol(), app.dag())
+                    } else {
+                        AppSpec::once(app.symbol(), app.dag())
+                    }
+                })
+                .collect()
+        },
+    );
+    let mut platform_label = "mobile".to_string();
+    if args.no_forwarding {
+        platform_label.push_str("-nofwd");
+    }
+    if args.crossbar {
+        platform_label.push_str("-xbar");
+    }
+    if args.partitions != 2 {
+        platform_label.push_str(&format!("-p{}", args.partitions));
+    }
+    let (no_forwarding, crossbar, partitions) =
+        (args.no_forwarding, args.crossbar, args.partitions);
+    let platform = PlatformSpec::custom(platform_label, move |p| {
+        let mut cfg = SocConfig::mobile(p);
+        if no_forwarding {
+            cfg = cfg.without_forwarding();
+        }
+        if crossbar {
+            cfg.mem = cfg.mem.with_crossbar();
+        }
+        cfg.output_partitions = partitions;
+        cfg
+    });
+
+    let specs: Vec<RunSpec> = args
+        .policies
+        .iter()
+        .map(|&p| RunSpec::new(p, workload.clone(), platform.clone()))
+        .collect();
+    let results = execute(specs.clone(), &ExecOptions { jobs: args.jobs, ..Default::default() });
+    let failures = results.failures();
+    for (label, msg) in &failures {
+        eprintln!("run {label} panicked: {msg}");
+    }
+    if !failures.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    for (label, mismatches) in results.mismatched() {
+        eprintln!("warning: run {label} failed event/stats reconciliation:");
+        for m in mismatches {
+            eprintln!("  {m}");
+        }
+    }
+
+    let mut t = relief::metrics::report::Table::with_columns(&[
+        "policy",
+        "exec ms",
+        "fwd+coloc %",
+        "DRAM MB",
+        "ddl % (node)",
+        "DAGs met",
+    ]);
+    for spec in &specs {
+        let rec = results.get(&spec.label()).expect("no failures past the check above");
+        let s = &rec.result.stats;
+        let (done, met) = s.apps.values().fold((0u64, 0u64), |(d, m), a| {
+            (d + a.dags_completed, m + a.dag_deadlines_met)
+        });
+        t.row(vec![
+            spec.policy.name().to_string(),
+            format!("{:.3}", s.exec_time.as_ms_f64()),
+            format!("{:.1}", s.forward_percent()),
+            format!("{:.2}", s.traffic.dram_bytes() as f64 / 1e6),
+            format!("{:.1}", s.node_deadline_percent()),
+            format!("{met}/{done}"),
+        ]);
+    }
+    println!("mix {mix_label} on {} worker(s), {} policies:", args.jobs, specs.len());
+    print!("{}", t.render());
     ExitCode::SUCCESS
 }

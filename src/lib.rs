@@ -17,6 +17,8 @@
 //! * [`metrics`] — statistics, the memory energy model, reporting
 //! * [`trace`] — structured event tracing, Chrome/Perfetto export, and
 //!   the `trace-diff` regression tool
+//! * [`bench`] — the paper-experiment harness and the deterministic
+//!   parallel campaign engine (`bench::campaign`)
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub use relief_accel as accel;
+pub use relief_bench as bench;
 pub use relief_core as core;
 pub use relief_dag as dag;
 pub use relief_mem as mem;

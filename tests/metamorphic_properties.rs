@@ -1,0 +1,112 @@
+//! Metamorphic properties of the simulator: relations that must hold
+//! between *pairs* of runs whose inputs differ in a controlled way, so
+//! they catch modeling bugs no single-run golden value can see.
+//!
+//! 1. **Bandwidth monotonicity** — doubling the interconnect bandwidth
+//!    must never *increase* any application's time spent on data
+//!    movement.
+//! 2. **Laxity monotonicity** — uniformly loosening every DAG deadline
+//!    must never increase RELIEF's count of missed DAG deadlines (the
+//!    escalation feasibility check gets strictly easier, never harder).
+//!
+//! Both properties are checked with zero compute jitter so each pair of
+//! runs differs only in the mutated parameter. Workload seeds come from
+//! the in-tree `SplitMix64` generator and are pinned after empirical
+//! validation; a failure on any of them is a genuine regression, not
+//! flakiness.
+
+use relief::prelude::*;
+use relief_workloads::synthetic::{random_dag, SyntheticParams};
+
+/// Runs `mix_symbols` solo-or-together with zero jitter at an
+/// interconnect-bandwidth multiplier.
+fn mem_times(symbols: &str, bw_scale: u64) -> Vec<(String, Dur)> {
+    let mut cfg = SocConfig::mobile(PolicyKind::Relief);
+    cfg.compute_jitter = 0.0;
+    cfg.mem.interconnect_bandwidth *= bw_scale;
+    let apps: Vec<AppSpec> = symbols
+        .chars()
+        .map(|c| {
+            let app = App::from_symbol(c).expect("valid symbol");
+            AppSpec::once(app.symbol(), app.dag())
+        })
+        .collect();
+    let result = SocSim::new(cfg, apps).run();
+    symbols
+        .chars()
+        .map(|c| {
+            let sym = c.to_string();
+            (sym.clone(), result.per_app_mem_time[sym.as_str()])
+        })
+        .collect()
+}
+
+/// Doubling interconnect bandwidth must not increase any app's memory
+/// time — checked solo (pure speedup) and on multi-app mixes (where the
+/// schedule may shift, but data movement must still not get slower).
+#[test]
+fn doubling_interconnect_bandwidth_never_slows_data_movement() {
+    for symbols in ["C", "D", "G", "H", "L", "CGL", "DGH", "CDGHL"] {
+        let base = mem_times(symbols, 1);
+        let fast = mem_times(symbols, 2);
+        for ((app, before), (_, after)) in base.iter().zip(&fast) {
+            assert!(
+                after <= before,
+                "mix {symbols}: app {app} spent {:.2} us on data movement at 2x \
+                 interconnect bandwidth vs {:.2} us at 1x",
+                after.as_us_f64(),
+                before.as_us_f64()
+            );
+        }
+    }
+}
+
+/// RELIEF's DAG-deadline misses on a synthetic workload at a deadline
+/// scale factor (percent). Three random DAGs per seed on a 3-type
+/// generic platform, zero jitter.
+fn relief_misses(seed: u64, deadline_scale_pct: u64) -> u64 {
+    let params = SyntheticParams {
+        deadline: Dur::from_us(350 * deadline_scale_pct / 100),
+        ..SyntheticParams::default()
+    };
+    let apps: Vec<AppSpec> = (0..3)
+        .map(|i| {
+            let mut rng = SplitMix64::new(seed.wrapping_add(i));
+            let dag_seed = rng.next_u64();
+            AppSpec::once(format!("S{i}"), random_dag(&params, dag_seed))
+        })
+        .collect();
+    let mut cfg = SocConfig::generic(vec![2, 2, 2], PolicyKind::Relief);
+    cfg.compute_jitter = 0.0;
+    let stats = SocSim::new(cfg, apps).run().stats;
+    let done: u64 = stats.apps.values().map(|a| a.dags_completed).sum();
+    let met: u64 = stats.apps.values().map(|a| a.dag_deadlines_met).sum();
+    assert_eq!(done, 3, "every synthetic DAG must complete");
+    done - met
+}
+
+/// Loosening every deadline must never create new RELIEF misses. The
+/// base deadline (350 µs for 12-node DAGs) is tight enough that several
+/// seeds miss at 100%, so the relation is exercised, not vacuous.
+#[test]
+fn loosening_deadlines_never_increases_relief_misses() {
+    let mut tight_misses_seen = 0u64;
+    for seed in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+        let mut prev = relief_misses(seed, 100);
+        tight_misses_seen += prev;
+        for scale in [125u64, 150, 200, 400] {
+            let misses = relief_misses(seed, scale);
+            assert!(
+                misses <= prev,
+                "seed {seed}: loosening deadlines to {scale}% increased RELIEF's \
+                 misses from {prev} to {misses}"
+            );
+            prev = misses;
+        }
+        assert_eq!(relief_misses(seed, 400), 0, "seed {seed}: 4x deadlines must all be met");
+    }
+    assert!(
+        tight_misses_seen > 0,
+        "no seed missed at the tight deadline — the property is vacuous, tighten the base"
+    );
+}

@@ -1,0 +1,216 @@
+//! Scheduler conformance suite: invariants every policy must satisfy,
+//! checked against the structured event trace of small hand-built DAGs.
+//!
+//! For each policy (FCFS, GEDF-D, GEDF-N, LL, LAX, HetSched, RELIEF,
+//! RELIEF-LAX):
+//!
+//! 1. **Precedence** — no task's compute starts before every parent's
+//!    compute has finished (outputs cannot be sourced from work that has
+//!    not produced them).
+//! 2. **Forward/colocation honesty** — an input claimed as `Colocated`
+//!    must come from a parent that ran on the *same* accelerator
+//!    instance; one claimed as `Forwarded { from_inst }` must come from a
+//!    parent that actually ran on `from_inst`, and the producer must have
+//!    finished before the transfer. With forwarding hardware disabled,
+//!    no such claims may appear at all.
+//! 3. **Escalation safety (RELIEF)** — the laxity-feasibility check
+//!    (Algorithm 2) must never make RELIEF miss a DAG deadline that LL
+//!    meets on the same workload.
+
+use relief::prelude::*;
+use relief_trace::event::{EventKind, InputSource, TaskRef};
+use relief_trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const ALL_POLICIES: [PolicyKind; 8] = PolicyKind::ALL;
+
+/// A→{B,C}→D diamond over two accelerator types, sized so the fan-out
+/// creates real forwarding/colocation opportunities.
+fn diamond(name: &str, deadline_us: u64) -> Arc<Dag> {
+    let mut b = DagBuilder::new(name, Dur::from_us(deadline_us));
+    let n0 = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(40)).with_output_bytes(32_768));
+    let n1 = b.add_node(NodeSpec::new(AccTypeId(1), Dur::from_us(60)).with_output_bytes(16_384));
+    let n2 = b.add_node(NodeSpec::new(AccTypeId(1), Dur::from_us(30)).with_output_bytes(16_384));
+    let n3 = b.add_node(NodeSpec::new(AccTypeId(0), Dur::from_us(50)).with_output_bytes(8_192));
+    b.add_edge(n0, n1).unwrap();
+    b.add_edge(n0, n2).unwrap();
+    b.add_edge(n1, n3).unwrap();
+    b.add_edge(n2, n3).unwrap();
+    Arc::new(b.build().expect("diamond is a valid dag"))
+}
+
+/// A four-stage chain alternating between the two accelerator types.
+fn chain(name: &str, deadline_us: u64) -> Arc<Dag> {
+    let mut b = DagBuilder::new(name, Dur::from_us(deadline_us));
+    let ids: Vec<NodeId> = [(0u32, 25u64), (1, 35), (0, 20), (1, 45)]
+        .into_iter()
+        .map(|(acc, us)| {
+            b.add_node(NodeSpec::new(AccTypeId(acc), Dur::from_us(us)).with_output_bytes(16_384))
+        })
+        .collect();
+    b.add_chain(&ids).unwrap();
+    Arc::new(b.build().expect("chain is a valid dag"))
+}
+
+fn conformance_workload() -> Vec<AppSpec> {
+    vec![
+        AppSpec::once("D1", diamond("d1", 400)),
+        AppSpec::once("D2", diamond("d2", 500)),
+        AppSpec::once("X1", chain("x1", 450)),
+    ]
+}
+
+/// Runs the conformance workload under `policy` on a 2×A + 2×B generic
+/// platform and returns the full event stream.
+fn traced_run(policy: PolicyKind, forwarding: bool) -> Vec<TraceEvent> {
+    let mut cfg = SocConfig::generic(vec![2, 2], policy);
+    if !forwarding {
+        cfg = cfg.without_forwarding();
+    }
+    let ring = RingBufferSink::shared(1 << 20);
+    let mut tracer = Tracer::off();
+    tracer.attach(ring.clone());
+    SocSim::new(cfg, conformance_workload()).with_tracer(&tracer).run();
+    let ring = ring.borrow();
+    assert_eq!(ring.dropped(), 0, "conformance trace must not overflow");
+    ring.snapshot()
+}
+
+/// Compute spans per task: (start_ps, end_ps, accelerator instance).
+fn compute_spans(events: &[TraceEvent]) -> BTreeMap<(u32, u32), (u64, u64, u32)> {
+    let mut spans = BTreeMap::new();
+    for ev in events {
+        if let EventKind::ComputeEnd { task, inst, start_ps, .. } = &ev.kind {
+            let prev = spans.insert((task.instance, task.node), (*start_ps, ev.at_ps, *inst));
+            assert!(prev.is_none(), "task {task} completed twice");
+        }
+    }
+    spans
+}
+
+fn key(t: &TaskRef) -> (u32, u32) {
+    (t.instance, t.node)
+}
+
+#[test]
+fn no_policy_starts_a_task_before_its_parents_finish() {
+    for policy in ALL_POLICIES {
+        let events = traced_run(policy, true);
+        let spans = compute_spans(&events);
+        assert!(!spans.is_empty(), "{policy}: no compute spans traced");
+        for ev in &events {
+            if let EventKind::InputSourced { task, parent: Some(parent), .. } = &ev.kind {
+                let (child_start, _, _) = spans[&key(task)];
+                let (_, parent_end, _) = *spans
+                    .get(&key(parent))
+                    .unwrap_or_else(|| panic!("{policy}: {task} sourced from untraced {parent}"));
+                assert!(
+                    parent_end <= child_start,
+                    "{policy}: {task} started compute at {child_start} ps before its \
+                     parent {parent} finished at {parent_end} ps"
+                );
+                assert!(
+                    parent_end <= ev.at_ps,
+                    "{policy}: {task} sourced an input at {} ps before its producer \
+                     {parent} finished at {parent_end} ps",
+                    ev.at_ps
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forward_and_colocation_claims_match_producer_placement() {
+    for policy in ALL_POLICIES {
+        let events = traced_run(policy, true);
+        let spans = compute_spans(&events);
+        let mut checked = 0;
+        for ev in &events {
+            let EventKind::InputSourced { task, inst, parent, source, .. } = &ev.kind else {
+                continue;
+            };
+            match source {
+                InputSource::Colocated => {
+                    let parent = parent
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{policy}: colocated input without producer"));
+                    let (_, _, parent_inst) = spans[&key(parent)];
+                    assert_eq!(
+                        parent_inst, *inst,
+                        "{policy}: {task} claims colocation on inst{inst}, but parent \
+                         {parent} ran on inst{parent_inst}"
+                    );
+                    checked += 1;
+                }
+                InputSource::Forwarded { from_inst } => {
+                    let parent = parent
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{policy}: forwarded input without producer"));
+                    let (_, _, parent_inst) = spans[&key(parent)];
+                    assert_eq!(
+                        parent_inst, *from_inst,
+                        "{policy}: {task} claims a forward from inst{from_inst}, but \
+                         parent {parent} ran on inst{parent_inst}"
+                    );
+                    assert_ne!(
+                        from_inst, inst,
+                        "{policy}: a same-instance transfer must be a colocation, not a \
+                         forward"
+                    );
+                    checked += 1;
+                }
+                InputSource::Dram => {}
+            }
+        }
+        // The diamond workload always admits at least chain colocations
+        // under any work-conserving policy; an empty check set would mean
+        // the test lost its teeth.
+        assert!(checked > 0, "{policy}: no forwarding/colocation claims to verify");
+    }
+}
+
+#[test]
+fn disabling_forwarding_hardware_silences_all_claims() {
+    for policy in ALL_POLICIES {
+        let events = traced_run(policy, false);
+        for ev in &events {
+            if let EventKind::InputSourced { task, source, .. } = &ev.kind {
+                assert!(
+                    matches!(source, InputSource::Dram),
+                    "{policy}: {task} claims {source:?} with forwarding hardware disabled"
+                );
+            }
+        }
+    }
+}
+
+/// RELIEF's escalation feasibility check must be safe: on a workload
+/// where LL meets every DAG deadline with zero jitter, RELIEF (whose
+/// Algorithm 2 only grants an escalation if no higher-priority task
+/// would be pushed past its deadline) must meet them all too.
+#[test]
+fn relief_escalations_never_break_deadlines_ll_meets() {
+    let run = |policy: PolicyKind| {
+        let mut cfg = SocConfig::generic(vec![2, 2], policy);
+        cfg.compute_jitter = 0.0;
+        SocSim::new(cfg, conformance_workload()).run().stats
+    };
+    let ll = run(PolicyKind::Ll);
+    let relief = run(PolicyKind::Relief);
+    let relief_lax = run(PolicyKind::ReliefLax);
+    let met = |s: &RunStats| -> u64 { s.apps.values().map(|a| a.dag_deadlines_met).sum() };
+    let done = |s: &RunStats| -> u64 { s.apps.values().map(|a| a.dags_completed).sum() };
+    assert_eq!(done(&ll), 3);
+    assert_eq!(met(&ll), 3, "LL must meet every deadline on the conformance workload");
+    assert_eq!(done(&relief), 3);
+    assert!(
+        met(&relief) >= met(&ll),
+        "RELIEF met {} of {} deadlines but LL met {} — an escalation broke a deadline",
+        met(&relief),
+        done(&relief),
+        met(&ll)
+    );
+    assert!(met(&relief_lax) >= met(&ll), "RELIEF-LAX regressed deadlines vs LL");
+}
