@@ -31,10 +31,10 @@ use relief_core::{
 use relief_dag::{Dag, DagTiming, DeadlineAssignment, NodeId};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
 use relief_metrics::{AppStats, RunStats, TrafficStats};
-use relief_sim::{Dur, EventQueue, SplitMix64, Time, Timeline};
+use relief_sim::{Dur, EventQueue, IdHashMap, SplitMix64, Time, Timeline};
 use relief_trace::{EventKind, InputSource, ResourceId, TaskRef, Tracer};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -42,6 +42,10 @@ use std::sync::Arc;
 fn tref(key: TaskKey) -> TaskRef {
     TaskRef { instance: key.instance, node: key.node }
 }
+
+/// In-flight transfer purposes: [`TransferId`]s are sequential `u64`s, so
+/// the identity-hashed map from `relief_sim` beats SipHash here.
+type TransferMap = IdHashMap<TransferId, Purpose>;
 
 /// Where a completed node's output currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,7 +128,10 @@ struct DagInst {
     app_idx: usize,
     dag: Arc<Dag>,
     arrival: Time,
-    deadlines: DeadlineAssignment,
+    /// Shared with the per-app cache in [`SocSim::app_deadlines`]:
+    /// deadlines are a pure function of the (immutable) DAG and the DRAM
+    /// bandwidth, so repeat arrivals reuse the first arrival's assignment.
+    deadlines: Arc<DeadlineAssignment>,
     nodes: Vec<NodeRt>,
     remaining: usize,
 }
@@ -235,11 +242,25 @@ pub struct SocSim {
     events: EventQueue<Ev>,
     now: Time,
     seq: u64,
-    transfers: HashMap<TransferId, Purpose>,
+    transfers: TransferMap,
     manager: Timeline,
     mem_pred: MemTimePredictor,
     profile: ComputeProfile,
     rng: SplitMix64,
+    // --- per-app caches (pure functions of the immutable app specs) ---
+    /// Deadline assignment computed on each app's first arrival.
+    app_deadlines: Vec<Option<Arc<DeadlineAssignment>>>,
+    /// Whether the app's kernels are already in the compute profile.
+    app_profiled: Vec<bool>,
+    // --- hot-path scratch buffers (reused across events; emptied after
+    // each use — see DESIGN.md "Hot-path architecture") ---
+    batch_scratch: Vec<TaskEntry>,
+    ready_scratch: Vec<NodeId>,
+    idle_scratch: Vec<usize>,
+    dm_bytes_scratch: Vec<u64>,
+    /// Per-accelerator-type child counter for the all-children-forward
+    /// prediction; zeroed after every use.
+    child_type_counts: Vec<usize>,
     // --- statistics ---
     app_stats: Vec<AppStats>,
     per_app_mem_time: Vec<Dur>,
@@ -321,11 +342,18 @@ impl SocSim {
             events,
             now: Time::ZERO,
             seq: 0,
-            transfers: HashMap::new(),
+            transfers: TransferMap::default(),
             manager: Timeline::new(),
             mem_pred,
             profile: ComputeProfile::new(),
             rng: SplitMix64::new(cfg.seed),
+            app_deadlines: vec![None; n_apps],
+            app_profiled: vec![false; n_apps],
+            batch_scratch: Vec::new(),
+            ready_scratch: Vec::new(),
+            idle_scratch: Vec::new(),
+            dm_bytes_scratch: Vec::new(),
+            child_type_counts: vec![0; num_types],
             app_stats,
             per_app_mem_time: vec![Dur::ZERO; n_apps],
             per_app_compute_time: vec![Dur::ZERO; n_apps],
@@ -342,6 +370,10 @@ impl SocSim {
             cfg,
             apps,
         };
+        if sim.cfg.reference_hot_path {
+            sim.queues.set_reference_linear_scans(true);
+            sim.engine.set_reference_alloc_path(true);
+        }
         if sim.cfg.record_trace {
             let sink = Rc::new(RefCell::new(SpanCollector::new()));
             sim.tracer.attach(sink.clone());
@@ -397,23 +429,37 @@ impl SocSim {
     // ------------------------------------------------------------------
 
     fn on_arrival(&mut self, app_idx: usize) {
-        let app = &self.apps[app_idx];
-        let dag = app.dag.clone();
+        let dag = Arc::clone(&self.apps[app_idx].dag);
         // Static analysis at arrival: predicted runtimes under the Max
-        // predictors drive critical-path deadlines (§III-B).
-        let dram_bw = self.cfg.mem.dram_bandwidth;
-        let timing = DagTiming::compute(&dag, |n| {
-            let spec = dag.node(n);
-            let bytes = dag.input_bytes(n) + spec.output_bytes;
-            spec.compute + Dur::for_bytes(bytes, dram_bw)
+        // predictors drive critical-path deadlines (§III-B). The assignment
+        // is a pure function of the immutable DAG and the DRAM bandwidth,
+        // so repeat arrivals of the same app reuse the cached result.
+        let cached = if self.cfg.reference_hot_path {
+            None
+        } else {
+            self.app_deadlines[app_idx].clone()
+        };
+        let deadlines = cached.unwrap_or_else(|| {
+            let dram_bw = self.cfg.mem.dram_bandwidth;
+            let timing = DagTiming::compute(&dag, |n| {
+                let spec = dag.node(n);
+                let bytes = dag.input_bytes(n) + spec.output_bytes;
+                spec.compute + Dur::for_bytes(bytes, dram_bw)
+            });
+            let d = Arc::new(DeadlineAssignment::from_timing(&dag, &timing));
+            self.app_deadlines[app_idx] = Some(Arc::clone(&d));
+            d
         });
-        let deadlines = DeadlineAssignment::from_timing(&dag, &timing);
         // Boot-time profiling of compute times (§III-B): one observation
-        // per (accelerator, operation) pair.
-        for spec in dag.nodes() {
-            if self.profile.predict(spec.acc, &spec.label).is_none() {
-                self.profile.observe(spec.acc, &spec.label, spec.compute);
+        // per (accelerator, operation) pair, so only an app's first arrival
+        // can add anything.
+        if !self.app_profiled[app_idx] || self.cfg.reference_hot_path {
+            for spec in dag.nodes() {
+                if self.profile.predict(spec.acc, &spec.label).is_none() {
+                    self.profile.observe(spec.acc, &spec.label, spec.compute);
+                }
             }
+            self.app_profiled[app_idx] = true;
         }
         let nodes =
             dag.node_ids().map(|n| NodeRt::new(dag.children(n).len())).collect::<Vec<_>>();
@@ -426,10 +472,9 @@ impl SocSim {
             nodes: remaining as u32,
         });
 
-        let d = &self.dags[instance as usize];
-        let roots: Vec<NodeId> = d.dag.roots().collect();
-        let mut batch = Vec::with_capacity(roots.len());
-        for n in roots {
+        let dag = Arc::clone(&self.dags[instance as usize].dag);
+        let mut batch = self.take_batch_buf();
+        for n in dag.roots() {
             self.dags[instance as usize].nodes[n.index()].phase = NodePhase::Ready;
             batch.push(self.make_entry(TaskKey::new(instance, n.0), false, None));
         }
@@ -450,11 +495,16 @@ impl SocSim {
         coloc_edge: Option<usize>,
     ) -> TaskEntry {
         let nid = NodeId(key.node);
-        let (acc, label, compute) = {
-            let spec = self.dags[key.instance as usize].dag.node(nid);
-            (spec.acc, spec.label.clone(), spec.compute)
-        };
-        let pred_compute = self.profile.predict(acc, &label).unwrap_or(compute);
+        // A cheap Arc clone detaches the graph borrow from `self`, so the
+        // spec (and its label) can be read in place — no per-entry clone.
+        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        let spec = dag.node(nid);
+        let acc = spec.acc;
+        if self.cfg.reference_hot_path {
+            // Reproduce the pre-optimisation per-entry label allocation.
+            let _owned = spec.label.clone();
+        }
+        let pred_compute = self.profile.predict(acc, &spec.label).unwrap_or(spec.compute);
         let query = self.dm_query(key, coloc_edge);
         let pred_mem = self.mem_pred.predict(&query);
         let runtime = pred_compute + pred_mem;
@@ -472,6 +522,7 @@ impl SocSim {
 
         let pred_bytes = self.cfg.dm_predictor.estimate(&query).total();
         let pred_bw = self.mem_pred.bandwidth.predict();
+        self.restore_dm_bytes_buf(query);
         let rt = &mut self.dags[key.instance as usize].nodes[nid.index()];
         rt.pred_compute = pred_compute;
         rt.pred_bytes = pred_bytes;
@@ -487,29 +538,46 @@ impl SocSim {
     }
 
     /// The data-movement query for `key` (§III-B).
-    fn dm_query(&self, key: TaskKey, coloc_edge: Option<usize>) -> DataMoveQuery {
+    ///
+    /// The query's edge-byte list is the reused [`SocSim::dm_bytes_scratch`]
+    /// buffer; callers hand it back via
+    /// [`restore_dm_bytes_buf`](Self::restore_dm_bytes_buf) once done.
+    fn dm_query(&mut self, key: TaskKey, coloc_edge: Option<usize>) -> DataMoveQuery {
         let d = &self.dags[key.instance as usize];
+        let dag = Arc::clone(&d.dag);
+        let deadlines = Arc::clone(&d.deadlines);
         let nid = NodeId(key.node);
-        let spec = d.dag.node(nid);
-        let parent_edge_bytes: Vec<u64> =
-            d.dag.parents(nid).iter().map(|&p| d.dag.node(p).output_bytes).collect();
+        let spec = dag.node(nid);
+        let mut parent_edge_bytes = if self.cfg.reference_hot_path {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.dm_bytes_scratch)
+        };
+        parent_edge_bytes.clear();
+        parent_edge_bytes.extend(dag.parents(nid).iter().map(|&p| dag.node(p).output_bytes));
 
         // Output prediction: all children forward iff (a) the children fit
         // distinct accelerator instances per type and (b) this node is the
         // latest-finishing parent (by deadline) of every child.
         let all_children_forward = if self.cfg.dm_predictor == DataMovePredictor::Predicted {
-            let children = d.dag.children(nid);
+            let children = dag.children(nid);
             !children.is_empty() && {
-                let mut per_type: BTreeMap<u32, usize> = BTreeMap::new();
+                // Count children per accelerator type in the zeroed scratch
+                // counter (type ids are validated < num_types at build).
                 for &c in children {
-                    *per_type.entry(d.dag.node(c).acc.0).or_insert(0) += 1;
+                    self.child_type_counts[dag.node(c).acc.0 as usize] += 1;
                 }
-                let fits = per_type.iter().all(|(&t, &n)| {
-                    n <= self.cfg.acc_instances.get(t as usize).copied().unwrap_or(0)
-                });
+                let fits = self
+                    .child_type_counts
+                    .iter()
+                    .zip(&self.cfg.acc_instances)
+                    .all(|(&have, &cap)| have <= cap);
+                for &c in children {
+                    self.child_type_counts[dag.node(c).acc.0 as usize] = 0;
+                }
                 let latest = children.iter().all(|&c| {
-                    d.dag.parents(c).iter().all(|&p| {
-                        d.deadlines.node_deadline(p) <= d.deadlines.node_deadline(nid)
+                    dag.parents(c).iter().all(|&p| {
+                        deadlines.node_deadline(p) <= deadlines.node_deadline(nid)
                     })
                 });
                 fits && latest
@@ -527,16 +595,41 @@ impl SocSim {
         }
     }
 
+    /// Returns a finished query's edge-byte buffer to the scratch slot.
+    fn restore_dm_bytes_buf(&mut self, query: DataMoveQuery) {
+        if !self.cfg.reference_hot_path {
+            self.dm_bytes_scratch = query.parent_edge_bytes;
+        }
+    }
+
+    /// Hands out the reusable ready-batch buffer (or a fresh allocation in
+    /// reference mode). [`enqueue_batch`](Self::enqueue_batch) takes it
+    /// back.
+    fn take_batch_buf(&mut self) -> Vec<TaskEntry> {
+        if self.cfg.reference_hot_path {
+            Vec::new()
+        } else {
+            let mut batch = std::mem::take(&mut self.batch_scratch);
+            batch.clear();
+            batch
+        }
+    }
+
     /// Feeds a batch through the policy and schedules a launch pass after
-    /// the modeled manager latency.
-    fn enqueue_batch(&mut self, batch: Vec<TaskEntry>) {
+    /// the modeled manager latency. `batch` must come from
+    /// [`take_batch_buf`](Self::take_batch_buf); its storage returns to the
+    /// scratch slot here.
+    fn enqueue_batch(&mut self, mut batch: Vec<TaskEntry>) {
         let inserted = batch.len() as u64;
         for e in &batch {
             self.tracer
                 .emit(self.now.as_ps(), || EventKind::TaskReady { task: tref(e.key), acc: e.acc.0 });
         }
-        let idle = self.idle_counts();
-        self.policy.enqueue_ready(&mut self.queues, batch, self.now, &idle);
+        self.refresh_idle_counts();
+        self.policy.enqueue_ready(&mut self.queues, &mut batch, self.now, &self.idle_scratch);
+        if !self.cfg.reference_hot_path {
+            self.batch_scratch = batch;
+        }
         self.sched_ops += inserted;
         let launch_at = if self.cfg.model_sched_overhead {
             let cost = self.cfg.sched_base_cost + self.cfg.sched_insert_cost * inserted;
@@ -549,11 +642,21 @@ impl SocSim {
         self.events.push(launch_at, Ev::Launch);
     }
 
-    fn idle_counts(&self) -> Vec<usize> {
-        self.type_insts
-            .iter()
-            .map(|ids| ids.iter().filter(|&&i| self.insts[i].running.is_none()).count())
-            .collect()
+    /// Rebuilds the per-type idle-instance counts in
+    /// [`SocSim::idle_scratch`].
+    fn refresh_idle_counts(&mut self) {
+        let mut idle = if self.cfg.reference_hot_path {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.idle_scratch)
+        };
+        idle.clear();
+        idle.extend(
+            self.type_insts
+                .iter()
+                .map(|ids| ids.iter().filter(|&&i| self.insts[i].running.is_none()).count()),
+        );
+        self.idle_scratch = idle;
     }
 
     // ------------------------------------------------------------------
@@ -722,17 +825,23 @@ impl SocSim {
     fn start_inputs(&mut self, inst_idx: usize) {
         let key = self.insts[inst_idx].running.as_ref().expect("task assigned").key;
         let app_idx = self.dags[key.instance as usize].app_idx;
-        let d = &self.dags[key.instance as usize];
+        // The Arc clone detaches the parent/child slices from `self`'s
+        // borrow, so the loop needs no owned copy of either.
+        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
         let nid = NodeId(key.node);
-        let spec = d.dag.node(nid).clone();
-        let parents: Vec<NodeId> = d.dag.parents(nid).to_vec();
+        if self.cfg.reference_hot_path {
+            // Reproduce the pre-optimisation owned copies of the node spec
+            // and parent list.
+            let _spec = dag.node(nid).clone();
+            let _parents = dag.parents(nid).to_vec();
+        }
         let coloc_part = self.insts[inst_idx].running.as_ref().expect("task assigned").coloc_part;
 
         let mut pending = 0usize;
         let mut input_bytes = 0u64;
-        for &p in &parents {
+        for &p in dag.parents(nid) {
             let pk = TaskKey::new(key.instance, p.0);
-            let bytes = self.dags[key.instance as usize].dag.node(p).output_bytes;
+            let bytes = dag.node(p).output_bytes;
             input_bytes += bytes;
             self.app_stats[app_idx].edges_consumed += 1;
 
@@ -797,8 +906,9 @@ impl SocSim {
             pending += 1;
         }
 
-        if spec.dram_input_bytes > 0 {
-            let bytes = spec.dram_input_bytes;
+        let dram_input_bytes = dag.node(nid).dram_input_bytes;
+        if dram_input_bytes > 0 {
+            let bytes = dram_input_bytes;
             input_bytes += bytes;
             self.spad_access_bytes += bytes;
             self.tracer.emit(self.now.as_ps(), || EventKind::InputSourced {
@@ -922,12 +1032,23 @@ impl SocSim {
             }
         }
 
-        // Wake children whose dependencies are now satisfied.
-        let d = &self.dags[key.instance as usize];
-        let children: Vec<NodeId> = d.dag.children(NodeId(key.node)).to_vec();
-        let mut newly_ready = Vec::new();
-        for &c in &children {
-            let num_parents = self.dags[key.instance as usize].dag.parents(c).len();
+        // Wake children whose dependencies are now satisfied. The Arc
+        // clone detaches the child slice from `self`, so no owned copy.
+        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        let children = dag.children(NodeId(key.node));
+        if self.cfg.reference_hot_path {
+            // Reproduce the pre-optimisation owned child list.
+            let _children = children.to_vec();
+        }
+        let mut newly_ready = if self.cfg.reference_hot_path {
+            Vec::new()
+        } else {
+            let mut buf = std::mem::take(&mut self.ready_scratch);
+            buf.clear();
+            buf
+        };
+        for &c in children {
+            let num_parents = dag.parents(c).len();
             let rt = &mut self.dags[key.instance as usize].nodes[c.index()];
             rt.completed_parents += 1;
             if rt.completed_parents == num_parents {
@@ -941,45 +1062,45 @@ impl SocSim {
         // finisher if they share an accelerator type.
         let coloc_child = if self.cfg.dm_predictor == DataMovePredictor::Predicted {
             let d = &self.dags[key.instance as usize];
-            let finisher_acc = d.dag.node(NodeId(key.node)).acc;
+            let finisher_acc = dag.node(NodeId(key.node)).acc;
             newly_ready
                 .iter()
                 .copied()
                 .min_by_key(|&c| d.deadlines.node_deadline(c))
-                .filter(|&c| d.dag.node(c).acc == finisher_acc)
+                .filter(|&c| dag.node(c).acc == finisher_acc)
         } else {
             None
         };
 
-        let mut batch = Vec::with_capacity(newly_ready.len());
-        for c in newly_ready {
+        let mut batch = self.take_batch_buf();
+        for &c in &newly_ready {
             let coloc_edge = (coloc_child == Some(c)).then(|| {
-                self.dags[key.instance as usize]
-                    .dag
-                    .parents(c)
+                dag.parents(c)
                     .iter()
                     .position(|&p| p.0 == key.node)
                     .expect("finisher is a parent")
             });
             batch.push(self.make_entry(TaskKey::new(key.instance, c.0), true, coloc_edge));
         }
+        if !self.cfg.reference_hot_path {
+            self.ready_scratch = newly_ready;
+        }
         self.enqueue_batch(batch);
 
         // Write-back decision (§III-C.2): write back immediately unless
-        // every child is next in line to forward.
+        // every child is next in line to forward. A Ready child is next in
+        // line iff it is escalated or at its queue head (Ready ⟺ queued is
+        // a simulator invariant); an already Launched/Done child is
+        // forwarding or colocating right now, which also counts.
         let all_next_in_line = self.cfg.forwarding
             && !children.is_empty()
             && children.iter().all(|&c| {
-                let d = &self.dags[key.instance as usize];
-                let acc = d.dag.node(c).acc;
                 let ck = TaskKey::new(key.instance, c.0);
-                match self.queues.get(acc, ck) {
-                    Some(e) => e.is_fwd || self.queues.position(acc, ck) == Some(0),
-                    // Not queued: already launched (forwarding/colocating
-                    // right now) counts as next in line.
-                    None => {
-                        self.node_rt(ck).phase == NodePhase::Launched
-                            || self.node_rt(ck).phase == NodePhase::Done
+                match self.node_rt(ck).phase {
+                    NodePhase::Waiting => false,
+                    NodePhase::Launched | NodePhase::Done => true,
+                    NodePhase::Ready => {
+                        self.queues.is_escalated_or_head(dag.node(c).acc, ck)
                     }
                 }
             });

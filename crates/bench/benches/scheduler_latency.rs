@@ -11,7 +11,7 @@ use relief_sim::{Dur, Time};
 fn prefilled(policy: PolicyKind, depth: u32) -> (Box<dyn relief_core::Policy>, ReadyQueues) {
     let mut p = policy.build();
     let mut q = ReadyQueues::new(1);
-    let batch: Vec<TaskEntry> = (0..depth)
+    let mut batch: Vec<TaskEntry> = (0..depth)
         .map(|i| {
             TaskEntry::new(
                 TaskKey::new(0, i),
@@ -22,7 +22,7 @@ fn prefilled(policy: PolicyKind, depth: u32) -> (Box<dyn relief_core::Policy>, R
             .with_seq(i as u64)
         })
         .collect();
-    p.enqueue_ready(&mut q, batch, Time::ZERO, &[1]);
+    p.enqueue_ready(&mut q, &mut batch, Time::ZERO, &[1]);
     (p, q)
 }
 
@@ -42,7 +42,7 @@ fn main() {
                 &format!("insert/{}/depth{depth}", policy.name()),
                 states,
                 |((mut p, mut q), entry)| {
-                    p.enqueue_ready(&mut q, vec![entry], Time::from_us(1), &[1]);
+                    p.enqueue_ready(&mut q, &mut vec![entry], Time::from_us(1), &[1]);
                     q.len()
                 },
             );

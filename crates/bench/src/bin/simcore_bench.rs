@@ -1,0 +1,85 @@
+//! Front end for `xtask bench`: measures the simulation hot path over the
+//! pinned campaign subset and writes `BENCH_simcore.json` (format
+//! documented in README.md).
+//!
+//! ```text
+//! simcore_bench [--iters N] [--out PATH] [--check]
+//! ```
+//!
+//! `--check` is the CI smoke mode wired into `xtask check`: one iteration,
+//! written to `target/BENCH_simcore.check.json` (unless `--out` is given),
+//! then read back and validated — well-formed JSON, the expected schema
+//! tag, and strictly positive events/sec for both paths.
+
+use relief_bench::walltime;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut iters: u32 = 5;
+    let mut out: Option<String> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => iters = n,
+                _ => return usage("--iters needs a positive integer"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => check = true,
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if check {
+        iters = 1;
+    }
+    let out = out.unwrap_or_else(|| {
+        if check { "target/BENCH_simcore.check.json".into() } else { "BENCH_simcore.json".into() }
+    });
+
+    let report = walltime::measure(iters);
+    println!(
+        "simcore bench: {} runs/iter, {} events/iter, {} iters per path",
+        report.runs_per_iter, report.events_per_iter, report.iters
+    );
+    for (name, p) in [("optimized", &report.optimized), ("reference", &report.reference)] {
+        println!(
+            "  {name:<10} {:>8.1} ns/event (min {:.1}, max {:.1})  {:>12.0} events/s",
+            p.ns_per_event.median, p.ns_per_event.min, p.ns_per_event.max,
+            p.events_per_sec.median,
+        );
+    }
+    println!("  speedup    {:.2}x (reference ns/event over optimized)", report.speedup);
+
+    let json = walltime::to_json(&report);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("simcore_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {out}");
+
+    if check {
+        let back = match std::fs::read_to_string(&out) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("simcore_bench: cannot read back {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = walltime::validate(&back) {
+            eprintln!("simcore_bench: {out} failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  check OK: schema valid, events/sec positive");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("simcore_bench: {err}");
+    eprintln!("usage: simcore_bench [--iters N] [--out PATH] [--check]");
+    ExitCode::from(2)
+}

@@ -630,7 +630,7 @@ pub fn fig12() -> String {
             let mut p = policy.build();
             let mut q = ReadyQueues::new(1);
             // Pre-fill a realistically sized queue (tens of entries).
-            let prefill: Vec<TaskEntry> = (0..32)
+            let mut prefill: Vec<TaskEntry> = (0..32)
                 .map(|i| {
                     TaskEntry::new(
                         TaskKey::new(0, i),
@@ -641,7 +641,7 @@ pub fn fig12() -> String {
                     .with_seq(i as u64)
                 })
                 .collect();
-            p.enqueue_ready(&mut q, prefill, Time::ZERO, &[1]);
+            p.enqueue_ready(&mut q, &mut prefill, Time::ZERO, &[1]);
             let entry = TaskEntry::new(
                 TaskKey::new(1, 0),
                 AccTypeId(0),
@@ -651,7 +651,7 @@ pub fn fig12() -> String {
             .with_seq(1000)
             .forwarding_candidate();
             let start = Instant::now();
-            p.enqueue_ready(&mut q, vec![entry], Time::from_us(1), &[1]);
+            p.enqueue_ready(&mut q, &mut vec![entry], Time::from_us(1), &[1]);
             samples.push(start.elapsed().as_nanos() as f64);
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));

@@ -131,3 +131,4 @@ pub mod campaign;
 pub mod experiments;
 pub mod microbench;
 pub mod traceio;
+pub mod walltime;

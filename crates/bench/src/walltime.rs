@@ -1,0 +1,344 @@
+//! Wall-clock benchmark of the simulation hot path (`xtask bench`).
+//!
+//! Runs a pinned campaign subset N times on the optimised hot path and N
+//! times on the reference path that [`SocConfig::reference_hot_path`]
+//! re-enables (linear queue scans, per-arrival deadline recomputation,
+//! fresh heap allocations), then writes median ± spread ns/event and
+//! events/sec for both to `BENCH_simcore.json` at the repo root. Both
+//! paths are behaviourally identical by construction — the reference mode
+//! only restores the old host-side costs — so the speedup ratio is
+//! measured on the same build, same machine, same process, and each
+//! iteration additionally asserts the two paths dispatched the exact same
+//! number of simulator events.
+//!
+//! The subset is pinned (same policies, mixes, seeds, iteration pairing)
+//! so successive PRs produce comparable `BENCH_simcore.json` files: a
+//! perf trajectory, not a one-off number.
+
+use crate::config_for;
+use relief_accel::{AppSpec, SocSim};
+use relief_core::PolicyKind;
+use relief_workloads::Contention;
+use std::time::Instant;
+
+/// Schema tag written to (and required in) `BENCH_simcore.json`.
+pub const SCHEMA: &str = "relief-simcore-bench/v1";
+
+/// Human-readable description of the pinned subset, recorded in the JSON
+/// so readers know what was measured.
+pub const SUBSET: &str =
+    "6 main policies x 10 high-contention mixes + FCFS/RELIEF x continuous GHL";
+
+/// One cell of the pinned subset: a policy on a pre-built workload.
+pub struct Case {
+    /// Scheduling policy under measurement.
+    pub policy: PolicyKind,
+    /// Contention level (selects the platform time limit).
+    pub contention: Contention,
+    /// `"<contention>/<mix>"` label for per-case reporting.
+    pub label: String,
+    /// Applications, built once so DAG construction stays outside the
+    /// timed region (`AppSpec` clones are `Arc` bumps).
+    pub workload: Vec<AppSpec>,
+}
+
+/// The pinned campaign subset: every main-comparison policy over the ten
+/// high-contention mixes, plus FCFS and RELIEF on the heaviest continuous
+/// mix (GHL) so the 50 ms repeat path is represented.
+pub fn pinned_subset() -> Vec<Case> {
+    let mut cases = Vec::new();
+    for mix in Contention::High.mixes() {
+        for policy in crate::MAIN_POLICIES {
+            cases.push(Case {
+                policy,
+                contention: Contention::High,
+                label: format!("high/{}", mix.label()),
+                workload: mix.workload(),
+            });
+        }
+    }
+    let ghl = Contention::Continuous.mixes().into_iter().last().expect("GHL exists");
+    for policy in [PolicyKind::Fcfs, PolicyKind::Relief] {
+        cases.push(Case {
+            policy,
+            contention: Contention::Continuous,
+            label: format!("continuous/{}", ghl.label()),
+            workload: ghl.workload(),
+        });
+    }
+    cases
+}
+
+/// One timed pass over a set of cases.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Wall-clock nanoseconds across all cases.
+    pub wall_ns: u64,
+    /// Simulator events dispatched across all cases.
+    pub events: u64,
+}
+
+impl Sample {
+    /// Nanoseconds of host time per dispatched simulator event.
+    pub fn ns_per_event(&self) -> f64 {
+        self.wall_ns as f64 / self.events.max(1) as f64
+    }
+
+    /// Dispatched simulator events per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+/// Runs every case once; `reference` selects the pre-optimisation path.
+pub fn run_cases(cases: &[Case], reference: bool) -> Sample {
+    let mut events = 0u64;
+    let t0 = Instant::now();
+    for case in cases {
+        let mut cfg = config_for(case.policy, case.contention);
+        cfg.reference_hot_path = reference;
+        let result = SocSim::new(cfg, case.workload.clone()).run();
+        events += result.events_dispatched;
+    }
+    Sample { wall_ns: t0.elapsed().as_nanos() as u64, events }
+}
+
+/// Median / min / max over a set of per-iteration values.
+#[derive(Debug, Clone, Copy)]
+pub struct Spread {
+    /// Middle value (mean of the two middles for even counts).
+    pub median: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Spread {
+    fn of(mut values: Vec<f64>) -> Spread {
+        assert!(!values.is_empty(), "need at least one sample");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = values.len();
+        let median =
+            if n % 2 == 1 { values[n / 2] } else { (values[n / 2 - 1] + values[n / 2]) / 2.0 };
+        Spread { median, min: values[0], max: values[n - 1] }
+    }
+}
+
+/// Aggregated wall-clock statistics for one hot-path variant.
+#[derive(Debug, Clone, Copy)]
+pub struct PathStats {
+    /// Wall-clock milliseconds per pass over the subset.
+    pub wall_ms: Spread,
+    /// Host nanoseconds per dispatched simulator event.
+    pub ns_per_event: Spread,
+    /// Dispatched simulator events per host second.
+    pub events_per_sec: Spread,
+}
+
+impl PathStats {
+    fn of(samples: &[Sample]) -> PathStats {
+        PathStats {
+            wall_ms: Spread::of(samples.iter().map(|s| s.wall_ns as f64 / 1e6).collect()),
+            ns_per_event: Spread::of(samples.iter().map(Sample::ns_per_event).collect()),
+            events_per_sec: Spread::of(samples.iter().map(Sample::events_per_sec).collect()),
+        }
+    }
+}
+
+/// The full benchmark result serialised to `BENCH_simcore.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Timed passes per path.
+    pub iters: u32,
+    /// Simulations per pass (size of the pinned subset).
+    pub runs_per_iter: usize,
+    /// Simulator events dispatched per pass (identical for both paths and
+    /// across iterations — the simulator is deterministic).
+    pub events_per_iter: u64,
+    /// The optimised hot path.
+    pub optimized: PathStats,
+    /// The pre-optimisation reference path.
+    pub reference: PathStats,
+    /// Median reference ns/event over median optimised ns/event.
+    pub speedup: f64,
+}
+
+/// Times `iters` interleaved optimised/reference passes over the pinned
+/// subset. Interleaving keeps slow host drift (thermal, scheduling) from
+/// biasing one path.
+///
+/// # Panics
+///
+/// Panics if the two paths ever dispatch different event counts — that
+/// would mean `reference_hot_path` changed behaviour, not just cost.
+pub fn measure(iters: u32) -> BenchReport {
+    assert!(iters > 0, "need at least one iteration");
+    let cases = pinned_subset();
+    // Warm-up pass per path (page-cache, branch predictors, allocator).
+    run_cases(&cases, false);
+    run_cases(&cases, true);
+    let mut opt = Vec::new();
+    let mut reference = Vec::new();
+    for _ in 0..iters {
+        let o = run_cases(&cases, false);
+        let r = run_cases(&cases, true);
+        assert_eq!(
+            o.events, r.events,
+            "reference_hot_path must not change simulated behaviour"
+        );
+        opt.push(o);
+        reference.push(r);
+    }
+    let optimized = PathStats::of(&opt);
+    let ref_stats = PathStats::of(&reference);
+    BenchReport {
+        iters,
+        runs_per_iter: cases.len(),
+        events_per_iter: opt[0].events,
+        optimized,
+        reference: ref_stats,
+        speedup: ref_stats.ns_per_event.median / optimized.ns_per_event.median,
+    }
+}
+
+fn spread_json(s: &Spread, digits: usize) -> String {
+    format!(
+        "{{\"median\": {:.digits$}, \"min\": {:.digits$}, \"max\": {:.digits$}}}",
+        s.median, s.min, s.max
+    )
+}
+
+fn path_json(p: &PathStats) -> String {
+    format!(
+        "{{\n    \"wall_ms\": {},\n    \"ns_per_event\": {},\n    \"events_per_sec\": {}\n  }}",
+        spread_json(&p.wall_ms, 2),
+        spread_json(&p.ns_per_event, 1),
+        spread_json(&p.events_per_sec, 0),
+    )
+}
+
+/// Serialises a report to the `BENCH_simcore.json` format (documented in
+/// README.md). Hand-rolled like every other JSON writer in the tree.
+pub fn to_json(r: &BenchReport) -> String {
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"subset\": \"{}\",\n  \"iters\": {},\n  \
+         \"runs_per_iter\": {},\n  \"events_per_iter\": {},\n  \"optimized\": {},\n  \
+         \"reference\": {},\n  \"speedup_ns_per_event\": {:.2}\n}}\n",
+        SCHEMA,
+        SUBSET,
+        r.iters,
+        r.runs_per_iter,
+        r.events_per_iter,
+        path_json(&r.optimized),
+        path_json(&r.reference),
+        r.speedup,
+    )
+}
+
+/// Validates a serialised report: well-formed JSON, the expected schema
+/// tag, and strictly positive `events_per_sec` medians for both paths.
+/// Used by `xtask bench --check` so the bench binary cannot bit-rot.
+pub fn validate(json: &str) -> Result<(), String> {
+    if !relief_trace::chrome::is_well_formed_json(json) {
+        return Err("not well-formed JSON".into());
+    }
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in ["\"optimized\":", "\"reference\":", "\"speedup_ns_per_event\":"] {
+        if !json.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    let mut medians = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"events_per_sec\": {\"median\": ") {
+        let num = &rest[at + "\"events_per_sec\": {\"median\": ".len()..];
+        let end = num.find([',', '}']).ok_or("unterminated events_per_sec median")?;
+        let value: f64 =
+            num[..end].trim().parse().map_err(|e| format!("bad events_per_sec: {e}"))?;
+        medians.push(value);
+        rest = &rest[at + 1..];
+    }
+    if medians.len() != 2 {
+        return Err(format!("expected 2 events_per_sec medians, found {}", medians.len()));
+    }
+    // partial_cmp: a NaN median must fail validation, not slip past `>`.
+    if let Some(bad) =
+        medians.iter().find(|v| (**v).partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
+    {
+        return Err(format!("events_per_sec must be positive, got {bad}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_median_and_extremes() {
+        let s = Spread::of(vec![3.0, 1.0, 2.0]);
+        assert_eq!((s.median, s.min, s.max), (2.0, 1.0, 3.0));
+        let s = Spread::of(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn sample_rates() {
+        let s = Sample { wall_ns: 2_000, events: 1_000 };
+        assert_eq!(s.ns_per_event(), 2.0);
+        assert_eq!(s.events_per_sec(), 5e8);
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let stats = PathStats {
+            wall_ms: Spread { median: 10.0, min: 9.5, max: 11.0 },
+            ns_per_event: Spread { median: 50.0, min: 48.0, max: 52.0 },
+            events_per_sec: Spread { median: 2e7, min: 1.9e7, max: 2.1e7 },
+        };
+        let report = BenchReport {
+            iters: 3,
+            runs_per_iter: 32,
+            events_per_iter: 123_456,
+            optimized: stats,
+            reference: stats,
+            speedup: 1.0,
+        };
+        let json = to_json(&report);
+        assert_eq!(validate(&json), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate("{").is_err());
+        assert!(validate("{}").is_err());
+        let zeroed = to_json(&BenchReport {
+            iters: 1,
+            runs_per_iter: 1,
+            events_per_iter: 0,
+            optimized: PathStats {
+                wall_ms: Spread { median: 1.0, min: 1.0, max: 1.0 },
+                ns_per_event: Spread { median: 1.0, min: 1.0, max: 1.0 },
+                events_per_sec: Spread { median: 0.0, min: 0.0, max: 0.0 },
+            },
+            reference: PathStats {
+                wall_ms: Spread { median: 1.0, min: 1.0, max: 1.0 },
+                ns_per_event: Spread { median: 1.0, min: 1.0, max: 1.0 },
+                events_per_sec: Spread { median: 0.0, min: 0.0, max: 0.0 },
+            },
+            speedup: 1.0,
+        });
+        assert!(validate(&zeroed).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn pinned_subset_is_stable() {
+        let cases = pinned_subset();
+        let high_mixes = Contention::High.mixes().len();
+        assert_eq!(cases.len(), high_mixes * crate::MAIN_POLICIES.len() + 2);
+        assert!(cases.iter().all(|c| !c.workload.is_empty()));
+    }
+}

@@ -38,7 +38,7 @@
 //! // One idle accelerator of type 0 -> a forwarding candidate is escalated.
 //! let task = TaskEntry::new(TaskKey::new(0, 0), AccTypeId(0), Dur::from_us(10), Time::from_us(100))
 //!     .forwarding_candidate();
-//! policy.enqueue_ready(&mut queues, vec![task], Time::ZERO, &[1]);
+//! policy.enqueue_ready(&mut queues, &mut vec![task], Time::ZERO, &[1]);
 //! let head = policy.pop(&mut queues, AccTypeId(0), Time::ZERO).expect("queued");
 //! assert!(head.is_fwd);
 //! ```

@@ -22,8 +22,8 @@ use relief_sim::Time;
 /// let mut q = ReadyQueues::new(1);
 /// let mk = |n, seq| TaskEntry::new(TaskKey::new(0, n), AccTypeId(0), Dur::ZERO, Time::MAX)
 ///     .with_seq(seq);
-/// p.enqueue_ready(&mut q, vec![mk(7, 0)], Time::ZERO, &[1]);
-/// p.enqueue_ready(&mut q, vec![mk(3, 1)], Time::ZERO, &[1]);
+/// p.enqueue_ready(&mut q, &mut vec![mk(7, 0)], Time::ZERO, &[1]);
+/// p.enqueue_ready(&mut q, &mut vec![mk(3, 1)], Time::ZERO, &[1]);
 /// // Arrival order (seq) wins, not node id or deadline.
 /// assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 7);
 /// ```
@@ -49,11 +49,13 @@ impl Policy for Fcfs {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         _now: Time,
         _idle: &[usize],
     ) {
-        insert_batch(queues, batch, |t| t.seq);
+        // Arrival order is entirely the `seq` tiebreak: a constant key
+        // keeps every entry in one tie class.
+        insert_batch(queues, batch, |_| 0);
     }
 
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
@@ -76,8 +78,8 @@ mod tests {
     fn pops_in_arrival_order_across_batches() {
         let mut p = Fcfs::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(2, 20), mk(0, 0)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![mk(1, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(2, 20), mk(0, 0)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(1, 10)], Time::ZERO, &[1]);
         let order: Vec<u32> =
             std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
                 .collect();

@@ -32,9 +32,9 @@ impl GedfN {
     }
 }
 
-fn enqueue_edf(queues: &mut ReadyQueues, batch: Vec<TaskEntry>) {
-    // Deadline, then arrival order among equals.
-    insert_batch(queues, batch, |t| (t.deadline, t.seq));
+fn enqueue_edf(queues: &mut ReadyQueues, batch: &mut Vec<TaskEntry>) {
+    // Deadline, then arrival order among equals (the queue's `seq` tiebreak).
+    insert_batch(queues, batch, |t| t.deadline.as_ps() as i128);
 }
 
 impl Policy for GedfD {
@@ -49,7 +49,7 @@ impl Policy for GedfD {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         _now: Time,
         _idle: &[usize],
     ) {
@@ -73,7 +73,7 @@ impl Policy for GedfN {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         _now: Time,
         _idle: &[usize],
     ) {
@@ -105,8 +105,8 @@ mod tests {
     fn orders_by_deadline() {
         let mut p = GedfN::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(0, 30, 0), mk(1, 10, 1)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![mk(2, 20, 2)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 30, 0), mk(1, 10, 1)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(2, 20, 2)], Time::ZERO, &[1]);
         let order: Vec<u32> =
             std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
                 .collect();
@@ -117,9 +117,9 @@ mod tests {
     fn equal_deadlines_fall_back_to_arrival_order() {
         let mut p = GedfD::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(5, 50, 2)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![mk(3, 50, 0)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![mk(4, 50, 1)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(5, 50, 2)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(3, 50, 0)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(4, 50, 1)], Time::ZERO, &[1]);
         let order: Vec<u32> =
             std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
                 .collect();

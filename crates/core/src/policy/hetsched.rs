@@ -38,11 +38,11 @@ impl Policy for HetSched {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         _now: Time,
         _idle: &[usize],
     ) {
-        insert_batch(queues, batch, |t| (t.laxity, t.seq));
+        insert_batch(queues, batch, |t| t.laxity);
     }
 
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, _now: Time) -> Option<TaskEntry> {
@@ -69,7 +69,7 @@ mod tests {
             )
             .with_seq(node as u64)
         };
-        p.enqueue_ready(&mut q, vec![mk(0, 5, 50), mk(1, 5, 20), mk(2, 15, 25)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 5, 50), mk(1, 5, 20), mk(2, 15, 25)], Time::ZERO, &[1]);
         // Laxities: 45, 15, 10 -> pop order 2, 1, 0.
         let order: Vec<u32> =
             std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))

@@ -36,8 +36,8 @@ impl Lax {
     }
 }
 
-fn enqueue_ll(queues: &mut ReadyQueues, batch: Vec<TaskEntry>) {
-    insert_batch(queues, batch, |t| (t.laxity, t.seq));
+fn enqueue_ll(queues: &mut ReadyQueues, batch: &mut Vec<TaskEntry>) {
+    insert_batch(queues, batch, |t| t.laxity);
 }
 
 impl Policy for Ll {
@@ -52,7 +52,7 @@ impl Policy for Ll {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         _now: Time,
         _idle: &[usize],
     ) {
@@ -76,7 +76,7 @@ impl Policy for Lax {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         _now: Time,
         _idle: &[usize],
     ) {
@@ -114,7 +114,7 @@ mod tests {
         let mut q = ReadyQueues::new(1);
         // node 0: laxity 30-1=29; node 1: laxity 40-25=15 (later deadline,
         // less laxity).
-        p.enqueue_ready(&mut q, vec![mk(0, 1, 30), mk(1, 25, 40)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 1, 30), mk(1, 25, 40)], Time::ZERO, &[1]);
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 0);
     }
@@ -124,7 +124,7 @@ mod tests {
         let mut p = Lax::new();
         let mut q = ReadyQueues::new(1);
         // node 0 has negative laxity (runtime > deadline); node 1 positive.
-        p.enqueue_ready(&mut q, vec![mk(0, 50, 10), mk(1, 5, 100)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 50, 10), mk(1, 5, 100)], Time::ZERO, &[1]);
         // LL order would put node 0 first; LAX pops node 1 first.
         assert_eq!(q.queue(AccTypeId(0))[0].key.node, 0);
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
@@ -135,7 +135,7 @@ mod tests {
     fn lax_falls_back_to_head_when_all_negative() {
         let mut p = Lax::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(0, 50, 10), mk(1, 70, 20)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 50, 10), mk(1, 70, 20)], Time::ZERO, &[1]);
         // Laxities: node 0 = -40us, node 1 = -50us; both negative, so LAX
         // falls back to the LL head (node 1, least laxity).
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
@@ -147,7 +147,7 @@ mod tests {
         let mut q = ReadyQueues::new(1);
         // Both positive at t=0; at t=28us node 0's laxity (29us) is still
         // positive but node... use node with laxity 15us -> negative at 28us.
-        p.enqueue_ready(&mut q, vec![mk(0, 1, 30), mk(1, 25, 40)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 1, 30), mk(1, 25, 40)], Time::ZERO, &[1]);
         // At t=20us: node 1 laxity = 15-20 < 0, node 0 = 29-20 > 0.
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::from_us(20)).unwrap().key.node, 0);
     }

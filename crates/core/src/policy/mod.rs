@@ -63,10 +63,13 @@ pub trait Policy {
     /// Algorithm 1 needs them together, the baselines insert them one by
     /// one. `idle` gives the number of idle accelerator instances per
     /// accelerator type id.
+    ///
+    /// The policy drains `batch`, leaving it empty; callers own the buffer
+    /// so the simulator can reuse one scratch `Vec` across events.
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         now: Time,
         idle: &[usize],
     );
@@ -176,13 +179,14 @@ impl fmt::Display for PolicyKind {
     }
 }
 
-/// Shared insertion helper: sorted insert of each batch entry under `key`.
-pub(crate) fn insert_batch<K: Ord>(
+/// Shared insertion helper: sorted insert of each batch entry under `key`,
+/// draining the caller's batch buffer.
+pub(crate) fn insert_batch(
     queues: &mut ReadyQueues,
-    batch: Vec<TaskEntry>,
-    key: impl Fn(&TaskEntry) -> K + Copy,
+    batch: &mut Vec<TaskEntry>,
+    key: impl Fn(&TaskEntry) -> i128 + Copy,
 ) {
-    for entry in batch {
+    for entry in batch.drain(..) {
         queues.insert_sorted(entry, key);
     }
 }
@@ -201,19 +205,22 @@ pub(crate) fn pop_lax(
     if q.front()?.is_fwd {
         return queues.pop_front(acc);
     }
-    match q.iter().position(|t| t.curr_laxity(now) >= 0) {
-        Some(i) => {
-            let entry = queues.remove_at(acc, i);
-            if i > 0 {
-                tracer.emit(now.as_ps(), || EventKind::QueueBypass {
-                    task: task_ref(entry.key),
-                    acc: acc.0,
-                    skipped: i as u64,
-                });
-            }
-            Some(entry)
+    // No escalated front means no escalated prefix, so the whole queue is
+    // laxity-sorted and "first task with curr_laxity ≥ 0" — i.e. stored
+    // laxity ≥ now — is a binary search.
+    let i = queues.first_laxity_at_least(acc, now.as_ps() as i128);
+    if i < queues.queue(acc).len() {
+        let entry = queues.remove_at(acc, i);
+        if i > 0 {
+            tracer.emit(now.as_ps(), || EventKind::QueueBypass {
+                task: task_ref(entry.key),
+                acc: acc.0,
+                skipped: i as u64,
+            });
         }
-        None => queues.pop_front(acc),
+        Some(entry)
+    } else {
+        queues.pop_front(acc)
     }
 }
 

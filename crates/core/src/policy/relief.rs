@@ -6,13 +6,11 @@ use crate::task::TaskEntry;
 use relief_dag::AccTypeId;
 use relief_sim::Time;
 use relief_trace::{DenyReason, EventKind, Tracer};
-use std::collections::BTreeMap;
-use std::collections::VecDeque;
 
 /// The paper's feasibility check (Algorithm 2).
 ///
 /// Decides whether escalating forwarding node `fnode` to the front of
-/// `queue` is unlikely to cause deadline misses, where `index` is the
+/// `acc`'s queue is unlikely to cause deadline misses, where `index` is the
 /// position laxity order would have given `fnode`:
 ///
 /// 1. Scan the queue from the head up to `index` for the first entry that
@@ -26,16 +24,21 @@ use std::collections::VecDeque;
 /// 3. On success, debit `fnode`'s runtime from the stored laxity of every
 ///    entry ahead of `index`, charging them for the delay they will absorb.
 ///
+/// The scan is a prefix walk by design — that *is* the algorithm, not
+/// queue-implementation overhead — and the debit goes through
+/// [`ReadyQueues::debit_ahead`] so the cached sort keys stay consistent.
+///
 /// Returns whether the escalation may proceed; mutates laxities only when
 /// it returns `true`.
 pub fn is_feasible(
-    queue: &mut VecDeque<TaskEntry>,
+    queues: &mut ReadyQueues,
+    acc: AccTypeId,
     fnode: &TaskEntry,
     index: usize,
     now: Time,
 ) -> bool {
     let mut can_forward = true;
-    for node in queue.iter().take(index) {
+    for node in queues.queue(acc).iter().take(index) {
         let curr_laxity = node.curr_laxity(now);
         if !node.is_fwd && curr_laxity > 0 {
             can_forward = curr_laxity > fnode.runtime_ps();
@@ -43,9 +46,7 @@ pub fn is_feasible(
         }
     }
     if can_forward {
-        for node in queue.iter_mut().take(index) {
-            node.laxity -= fnode.runtime_ps();
-        }
+        queues.debit_ahead(acc, index, fnode.runtime_ps());
     }
     can_forward
 }
@@ -83,6 +84,9 @@ pub struct Relief {
     escalations: u64,
     rejected: u64,
     tracer: Tracer,
+    /// Reused per-enqueue buffer for forwarding candidates, so the per-event
+    /// path allocates nothing.
+    cand_scratch: Vec<TaskEntry>,
 }
 
 impl Default for Relief {
@@ -94,6 +98,7 @@ impl Default for Relief {
             escalations: 0,
             rejected: 0,
             tracer: Tracer::off(),
+            cand_scratch: Vec::new(),
         }
     }
 }
@@ -147,43 +152,51 @@ impl Policy for Relief {
     fn enqueue_ready(
         &mut self,
         queues: &mut ReadyQueues,
-        batch: Vec<TaskEntry>,
+        batch: &mut Vec<TaskEntry>,
         now: Time,
         idle: &[usize],
     ) {
-        // Split the batch: forwarding candidates per accelerator type
-        // (Algorithm 1's laxity-sorted `fwd_nodes` lists) versus plain
-        // ready nodes (DAG roots, re-inserted work), which take the vanilla
-        // least-laxity path.
-        let mut fwd_nodes: BTreeMap<AccTypeId, Vec<TaskEntry>> = BTreeMap::new();
-        for entry in batch {
+        // Split the batch: forwarding candidates (collected into the reused
+        // scratch buffer) versus plain ready nodes (DAG roots, re-inserted
+        // work), which take the vanilla least-laxity path.
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        cands.clear();
+        for entry in batch.drain(..) {
             if entry.fwd_candidate {
-                fwd_nodes.entry(entry.acc).or_default().push(entry);
+                cands.push(entry);
             } else {
-                queues.insert_sorted(entry, |t| (t.laxity, t.seq));
+                queues.insert_sorted(entry, |t| t.laxity);
             }
         }
 
-        for (acc, mut candidates) in fwd_nodes {
-            candidates.sort_by_key(|t| (t.laxity, t.seq));
+        // Algorithm 1 visits candidates grouped by accelerator type (the
+        // per-type laxity-sorted `fwd_nodes` lists), each group in
+        // ascending-laxity order; one sort over the flat buffer produces
+        // exactly that traversal.
+        cands.sort_by_key(|t| (t.acc, t.laxity, t.seq));
+        let mut i = 0;
+        while i < cands.len() {
+            let acc = cands[i].acc;
             // Escalations already sitting un-launched at the front count
             // against the idle budget: every escalated node must be next in
             // line, or its producer's data may be overwritten.
-            let already_escalated =
-                queues.queue(acc).iter().take_while(|t| t.is_fwd).count();
+            let already_escalated = queues.fwd_prefix(acc);
             let mut max_forwards = idle
                 .get(acc.0 as usize)
                 .copied()
                 .unwrap_or(0)
                 .saturating_sub(already_escalated);
 
-            for node in candidates {
-                let index = queues.find_pos(acc, &node, |t| (t.laxity, t.seq));
+            while i < cands.len() && cands[i].acc == acc {
+                let mut node = cands[i];
+                i += 1;
+                node.sort_key = node.laxity;
+                let index = queues.find_pos(acc, &node);
                 let task = task_ref(node.key);
                 // Run Algorithm 2 only when an idle instance exists and the
                 // throttle is enabled; trace its verdict when it runs.
                 let check_passed = if max_forwards > 0 && self.feasibility {
-                    let ok = is_feasible(queues.queue_mut(acc), &node, index, now);
+                    let ok = is_feasible(queues, acc, &node, index, now);
                     self.tracer.emit(now.as_ps(), || EventKind::FeasibilityCheck {
                         task,
                         acc: acc.0,
@@ -215,10 +228,11 @@ impl Policy for Relief {
                         reason,
                     });
                     self.rejected += 1;
-                    queues.insert_sorted(node, |t| (t.laxity, t.seq));
+                    queues.insert_sorted(node, |t| t.laxity);
                 }
             }
         }
+        self.cand_scratch = cands;
     }
 
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry> {
@@ -259,10 +273,10 @@ mod tests {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
         // Existing ready node: laxity 90us, plenty of slack.
-        p.enqueue_ready(&mut q, vec![mk(0, 10, 100)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 10, 100)], Time::ZERO, &[1]);
         // Forwarding candidate with *higher* laxity would sort behind it,
         // but gets escalated because node 0 can absorb 5us of delay.
-        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
         let head = p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap();
         assert_eq!(head.key.node, 1);
         assert!(head.is_fwd);
@@ -276,8 +290,8 @@ mod tests {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
         // Victim has laxity 4us; candidate runtime 5us > 4us -> reject.
-        p.enqueue_ready(&mut q, vec![mk(0, 6, 10)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 6, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 0);
         assert_eq!(p.rejected(), 1);
         // Vanilla LL order: victim first (lower laxity), laxity untouched.
@@ -292,8 +306,8 @@ mod tests {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
         // Victim already doomed (negative laxity): bypassing it is free.
-        p.enqueue_ready(&mut q, vec![mk(0, 50, 10)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 50, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 1);
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
     }
@@ -303,7 +317,7 @@ mod tests {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
         // Two candidates, one idle instance: only one escalation.
-        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100), fwd(1, 1, 120)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(0, 1, 100), fwd(1, 1, 120)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 1);
         assert_eq!(p.rejected(), 1);
         // The lower-laxity candidate (node 0) is escalated first.
@@ -318,11 +332,11 @@ mod tests {
     fn existing_unlaunched_escalations_consume_budget() {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(0, 1, 100)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 1);
         // Queue still holds the escalated node; a new candidate with the
         // same single idle instance must not be escalated.
-        p.enqueue_ready(&mut q, vec![fwd(1, 1, 100)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(1, 1, 100)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 1);
         assert_eq!(p.rejected(), 1);
     }
@@ -331,7 +345,7 @@ mod tests {
     fn zero_idle_instances_never_escalate() {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100)], Time::ZERO, &[0]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(0, 1, 100)], Time::ZERO, &[0]);
         assert_eq!(p.escalations(), 0);
         assert!(!q.queue(AccTypeId(0))[0].is_fwd);
     }
@@ -340,7 +354,7 @@ mod tests {
     fn multiple_idle_instances_allow_multiple_escalations() {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![fwd(0, 1, 100), fwd(1, 1, 120)], Time::ZERO, &[2]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(0, 1, 100), fwd(1, 1, 120)], Time::ZERO, &[2]);
         assert_eq!(p.escalations(), 2);
         // Pseudocode order: candidates popped by ascending laxity and each
         // pushed to the *front*, so the later (higher-laxity) push leads.
@@ -354,7 +368,7 @@ mod tests {
     fn non_candidates_take_the_ll_path() {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(0, 10, 100), mk(1, 10, 50)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 10, 100), mk(1, 10, 50)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 0);
         let order: Vec<u32> =
             std::iter::from_fn(|| p.pop(&mut q, AccTypeId(0), Time::ZERO).map(|t| t.key.node))
@@ -365,32 +379,33 @@ mod tests {
     #[test]
     fn feasibility_scans_only_ahead_of_laxity_position() {
         let now = Time::ZERO;
-        let mut queue: VecDeque<TaskEntry> = VecDeque::new();
-        queue.push_back(mk(0, 1, 5)); // laxity 4us
-        queue.push_back(mk(1, 1, 100)); // laxity 99us
+        let acc = AccTypeId(0);
+        let mut q = ReadyQueues::new(1);
+        q.insert_sorted(mk(0, 1, 5), |t| t.laxity); // laxity 4us
+        q.insert_sorted(mk(1, 1, 100), |t| t.laxity); // laxity 99us
         // Candidate with laxity between them: index 1. Victim is node 0
         // (4us) which cannot absorb a 10us runtime -> infeasible.
         let cand = fwd(2, 10, 60);
-        assert!(!is_feasible(&mut queue, &cand, 1, now));
+        assert!(!is_feasible(&mut q, acc, &cand, 1, now));
         // Same candidate at index 0 (it would be first anyway): no victims
         // ahead -> feasible, and nothing is debited.
-        assert!(is_feasible(&mut queue, &cand, 0, now));
-        assert_eq!(queue[0].laxity, 4_000_000);
+        assert!(is_feasible(&mut q, acc, &cand, 0, now));
+        assert_eq!(q.queue(acc)[0].laxity, 4_000_000);
     }
 
     #[test]
     fn feasibility_skips_fwd_entries_when_scanning() {
         let now = Time::ZERO;
-        let mut queue: VecDeque<TaskEntry> = VecDeque::new();
-        let mut f = mk(0, 1, 2); // tiny laxity...
-        f.is_fwd = true; // ...but already escalated: must not block others
-        queue.push_back(f);
-        queue.push_back(mk(1, 1, 100));
+        let acc = AccTypeId(0);
+        let mut q = ReadyQueues::new(1);
+        q.insert_sorted(mk(1, 1, 100), |t| t.laxity);
+        // Tiny-laxity entry, but already escalated: must not block others.
+        q.push_front_fwd(mk(0, 1, 2));
         let cand = fwd(2, 10, 60);
-        assert!(is_feasible(&mut queue, &cand, 2, now));
+        assert!(is_feasible(&mut q, acc, &cand, 2, now));
         // Both entries ahead of index were debited.
-        assert_eq!(queue[0].laxity, 1_000_000 - 10_000_000);
-        assert_eq!(queue[1].laxity, 99_000_000 - 10_000_000);
+        assert_eq!(q.queue(acc)[0].laxity, 1_000_000 - 10_000_000);
+        assert_eq!(q.queue(acc)[1].laxity, 99_000_000 - 10_000_000);
     }
 
     #[test]
@@ -398,7 +413,7 @@ mod tests {
         let mut p = Relief::with_lax_deprioritization();
         assert_eq!(p.kind(), PolicyKind::ReliefLax);
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(0, 50, 10), mk(1, 5, 100)], Time::ZERO, &[0]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 50, 10), mk(1, 5, 100)], Time::ZERO, &[0]);
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
     }
 
@@ -408,8 +423,8 @@ mod tests {
         let mut q = ReadyQueues::new(1);
         // Escalated candidate with negative laxity at the head must still
         // launch first (its input data is live *now*).
-        p.enqueue_ready(&mut q, vec![mk(0, 5, 100)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![fwd(1, 50, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 5, 100)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(1, 50, 10)], Time::ZERO, &[1]);
         let head = p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap();
         assert_eq!(head.key.node, 1);
         assert!(head.is_fwd);
@@ -421,14 +436,14 @@ mod tests {
         let mut p = Relief::without_feasibility();
         assert_eq!(p.kind(), PolicyKind::ReliefUnthrottled);
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(0, 6, 10)], Time::ZERO, &[1]);
-        p.enqueue_ready(&mut q, vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 6, 10)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(1, 5, 200)], Time::ZERO, &[1]);
         assert_eq!(p.escalations(), 1);
         assert_eq!(p.pop(&mut q, AccTypeId(0), Time::ZERO).unwrap().key.node, 1);
         // Still bounded by the idle-instance budget, though.
         let mut p2 = Relief::without_feasibility();
         let mut q2 = ReadyQueues::new(1);
-        p2.enqueue_ready(&mut q2, vec![fwd(0, 1, 50), fwd(1, 1, 60)], Time::ZERO, &[1]);
+        p2.enqueue_ready(&mut q2, &mut vec![fwd(0, 1, 50), fwd(1, 1, 60)], Time::ZERO, &[1]);
         assert_eq!(p2.escalations(), 1);
     }
 
@@ -445,10 +460,10 @@ mod tests {
     fn candidate_falls_back_to_laxity_position_when_rejected() {
         let mut p = Relief::new();
         let mut q = ReadyQueues::new(1);
-        p.enqueue_ready(&mut q, vec![mk(0, 6, 10), mk(1, 5, 300)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![mk(0, 6, 10), mk(1, 5, 300)], Time::ZERO, &[1]);
         // Candidate laxity (200-5=195us) sorts between node 0 (4us) and
         // node 1 (295us); rejection inserts it exactly there.
-        p.enqueue_ready(&mut q, vec![fwd(2, 5, 200)], Time::ZERO, &[1]);
+        p.enqueue_ready(&mut q, &mut vec![fwd(2, 5, 200)], Time::ZERO, &[1]);
         let order: Vec<u32> = q.queue(AccTypeId(0)).iter().map(|t| t.key.node).collect();
         assert_eq!(order, vec![0, 2, 1]);
     }

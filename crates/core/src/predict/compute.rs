@@ -25,9 +25,13 @@ use std::collections::HashMap;
 /// assert_eq!(profile.predict(AccTypeId(1), "conv5x5"), Some(Dur::from_us_f64(1545.61)));
 /// assert_eq!(profile.predict(AccTypeId(1), "conv3x3"), None);
 /// ```
+/// Keyed per accelerator type, then per label. The nesting lets
+/// [`predict`](ComputeProfile::predict) — a per-ready-queue-insertion
+/// hot-path call — look labels up by `&str` (via `String: Borrow<str>`)
+/// without building an owned key.
 #[derive(Debug, Clone, Default)]
 pub struct ComputeProfile {
-    table: HashMap<(AccTypeId, String), (Dur, u64)>,
+    table: HashMap<AccTypeId, HashMap<String, (Dur, u64)>>,
 }
 
 impl ComputeProfile {
@@ -38,31 +42,29 @@ impl ComputeProfile {
 
     /// Records an observed compute time for `(acc, label)`.
     pub fn observe(&mut self, acc: AccTypeId, label: &str, compute: Dur) {
-        match self.table.get_mut(&(acc, label.to_string())) {
-            Some((sum, count)) => {
-                *sum += compute;
-                *count += 1;
-            }
-            None => {
-                self.table.insert((acc, label.to_string()), (compute, 1));
-            }
+        let per_acc = self.table.entry(acc).or_default();
+        if let Some((sum, count)) = per_acc.get_mut(label) {
+            *sum += compute;
+            *count += 1;
+            return;
         }
+        per_acc.insert(label.to_string(), (compute, 1));
     }
 
     /// Predicted compute time: the mean of observations for `(acc, label)`,
-    /// or `None` if never observed.
+    /// or `None` if never observed. Allocation-free.
     pub fn predict(&self, acc: AccTypeId, label: &str) -> Option<Dur> {
-        self.table.get(&(acc, label.to_string())).map(|(sum, count)| *sum / *count)
+        self.table.get(&acc)?.get(label).map(|(sum, count)| *sum / *count)
     }
 
     /// Number of distinct profiled (accelerator, operation) pairs.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.table.values().map(HashMap::len).sum()
     }
 
     /// True if nothing has been profiled yet.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.len() == 0
     }
 }
 

@@ -53,6 +53,12 @@ pub struct TaskEntry {
     /// Stored laxity in picoseconds: `deadline − runtime`, minus any
     /// feasibility debits. Subtract the current time to get Eq. 1's laxity.
     pub laxity: i128,
+    /// Cached policy sort key, written by
+    /// [`ReadyQueues::insert_sorted`](crate::ReadyQueues::insert_sorted) on
+    /// enqueue and kept in lockstep with `laxity` by feasibility debits.
+    /// Queues binary-search on `(sort_key, seq)`, so it must never drift
+    /// from the active policy's key while the entry is queued.
+    pub sort_key: i128,
     /// True while the entry sits at the front of its queue as an escalated
     /// forwarding node (set by RELIEF, Algorithm 1 line 18).
     pub is_fwd: bool,
@@ -72,6 +78,7 @@ impl TaskEntry {
             deadline,
             seq: 0,
             laxity: stored_laxity(deadline, runtime),
+            sort_key: 0,
             is_fwd: false,
             fwd_candidate: false,
         }

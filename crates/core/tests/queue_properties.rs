@@ -55,7 +55,7 @@ fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize, ctx: &str) {
     for op in script {
         match op {
             Op::Enqueue(batch) => {
-                let entries: Vec<TaskEntry> = batch
+                let mut entries: Vec<TaskEntry> = batch
                     .into_iter()
                     .map(|(rt, ddl, fwd)| {
                         let mut e = TaskEntry::new(
@@ -74,7 +74,7 @@ fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize, ctx: &str) {
                     })
                     .collect();
                 queued += entries.len();
-                policy.enqueue_ready(&mut queues, entries, now, &[idle_now]);
+                policy.enqueue_ready(&mut queues, &mut entries, now, &[idle_now]);
             }
             Op::Pop => {
                 let popped = policy.pop(&mut queues, acc, now);
@@ -138,6 +138,53 @@ fn queue_invariants_hold_for_every_policy() {
     }
 }
 
+/// The binary-search `find_pos` must agree with the original linear scan on
+/// every queue shape: duplicate sort keys (FIFO tie classes), escalated
+/// `is_fwd` prefixes of varying length, and probe keys below/inside/above
+/// the queued range.
+#[test]
+fn binary_find_pos_matches_linear_scan() {
+    let acc = AccTypeId(0);
+    let mut rng = SplitMix64::new(0x51D3_CA57);
+    let mut seq = 0u64;
+    for case in 0..256 {
+        let mut queues = ReadyQueues::new(1);
+        // Keys drawn from a narrow range force plenty of duplicates.
+        let key_range = 1 + rng.u64_below(8);
+        let n = rng.usize_below(24);
+        for i in 0..n {
+            let mut e = TaskEntry::new(TaskKey::new(0, i as u32), acc, Dur::ZERO, Time::ZERO)
+                .with_seq(seq);
+            seq += 1;
+            e.laxity = rng.u64_below(key_range) as i128 * 1_000_000;
+            queues.insert_sorted(e, |t| t.laxity);
+        }
+        for i in 0..rng.usize_below(4) {
+            let mut e =
+                TaskEntry::new(TaskKey::new(1, i as u32), acc, Dur::ZERO, Time::ZERO).with_seq(seq);
+            seq += 1;
+            // Escalated entries carry arbitrary keys; find_pos must skip them.
+            e.laxity = rng.u64_below(99) as i128 * 1_000_000;
+            e.sort_key = e.laxity;
+            queues.push_front_fwd(e);
+        }
+        for probe in 0..8 {
+            let mut e =
+                TaskEntry::new(TaskKey::new(2, probe), acc, Dur::ZERO, Time::ZERO).with_seq(seq);
+            seq += 1;
+            // Occasionally reuse an in-range duplicate key, occasionally go
+            // outside the range entirely.
+            e.sort_key = rng.u64_below(key_range + 2) as i128 * 1_000_000 - 1_000_000;
+            assert_eq!(
+                queues.find_pos(acc, &e),
+                queues.find_pos_linear(acc, &e),
+                "case={case} probe={probe} key={}",
+                e.sort_key
+            );
+        }
+    }
+}
+
 /// Pops drain the queue in a policy-consistent order: for LL, popped
 /// laxities are non-decreasing when popped back-to-back at one instant.
 #[test]
@@ -147,7 +194,7 @@ fn ll_pops_in_laxity_order() {
         let n = 1 + rng.usize_below(19);
         let mut policy = PolicyKind::Ll.build();
         let mut queues = ReadyQueues::new(1);
-        let entries: Vec<TaskEntry> = (0..n)
+        let mut entries: Vec<TaskEntry> = (0..n)
             .map(|i| {
                 TaskEntry::new(
                     TaskKey::new(0, i as u32),
@@ -158,7 +205,7 @@ fn ll_pops_in_laxity_order() {
                 .with_seq(i as u64)
             })
             .collect();
-        policy.enqueue_ready(&mut queues, entries, Time::ZERO, &[1]);
+        policy.enqueue_ready(&mut queues, &mut entries, Time::ZERO, &[1]);
         let mut last = i128::MIN;
         while let Some(t) = policy.pop(&mut queues, AccTypeId(0), Time::ZERO) {
             assert!(t.laxity >= last, "case={case}");
@@ -177,7 +224,7 @@ fn lax_never_prefers_doomed_tasks() {
         let now = Time::from_us(rng.u64_below(400));
         let mut policy = PolicyKind::Lax.build();
         let mut queues = ReadyQueues::new(1);
-        let entries: Vec<TaskEntry> = (0..n)
+        let mut entries: Vec<TaskEntry> = (0..n)
             .map(|i| {
                 TaskEntry::new(
                     TaskKey::new(0, i as u32),
@@ -188,7 +235,7 @@ fn lax_never_prefers_doomed_tasks() {
                 .with_seq(i as u64)
             })
             .collect();
-        policy.enqueue_ready(&mut queues, entries, Time::ZERO, &[1]);
+        policy.enqueue_ready(&mut queues, &mut entries, Time::ZERO, &[1]);
         while let Some(t) = policy.pop(&mut queues, AccTypeId(0), now) {
             if t.curr_laxity(now) < 0 {
                 // Everything still queued must also be negative.

@@ -1,6 +1,6 @@
 //! Validated DAG construction.
 
-use crate::graph::{Dag, NodeId, NodeSpec};
+use crate::graph::{CsrAdjacency, Dag, NodeId, NodeSpec};
 use relief_sim::Dur;
 use std::error::Error;
 use std::fmt;
@@ -163,8 +163,8 @@ impl DagBuilder {
             name: self.name,
             relative_deadline: self.relative_deadline,
             nodes: self.nodes,
-            parents,
-            children,
+            parents: CsrAdjacency::from_rows(&parents),
+            children: CsrAdjacency::from_rows(&children),
             edge_count: self.edges.len(),
         })
     }

@@ -83,6 +83,38 @@ impl NodeSpec {
     }
 }
 
+/// Flattened compressed-sparse-row adjacency: `targets[offsets[i]..offsets[i+1]]`
+/// is row `i`. One contiguous allocation per direction instead of one `Vec`
+/// per node, so the simulator's per-event parent/child walks are pure slice
+/// reads with no pointer chasing and nothing to clone.
+///
+/// Within each row the targets keep the edge *insertion* order of the
+/// builder — transfer issue order in the simulator depends on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct CsrAdjacency {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Flattens per-node rows into CSR form, preserving row order.
+    pub(crate) fn from_rows(rows: &[Vec<NodeId>]) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut targets = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        offsets.push(0);
+        for row in rows {
+            targets.extend_from_slice(row);
+            offsets.push(targets.len() as u32);
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    pub(crate) fn row(&self, i: usize) -> &[NodeId] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// A validated, immutable task graph with a relative deadline.
 ///
 /// Construct through [`DagBuilder`](crate::DagBuilder), which guarantees
@@ -94,8 +126,8 @@ pub struct Dag {
     pub(crate) name: String,
     pub(crate) relative_deadline: Dur,
     pub(crate) nodes: Vec<NodeSpec>,
-    pub(crate) parents: Vec<Vec<NodeId>>,
-    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) parents: CsrAdjacency,
+    pub(crate) children: CsrAdjacency,
     pub(crate) edge_count: usize,
 }
 
@@ -144,14 +176,16 @@ impl Dag {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// Parents of `node` (tasks whose output it consumes).
+    /// Parents of `node` (tasks whose output it consumes), in edge
+    /// insertion order.
     pub fn parents(&self, node: NodeId) -> &[NodeId] {
-        &self.parents[node.index()]
+        self.parents.row(node.index())
     }
 
-    /// Children of `node` (tasks that consume its output).
+    /// Children of `node` (tasks that consume its output), in edge
+    /// insertion order.
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.index()]
+        self.children.row(node.index())
     }
 
     /// Nodes with no parents (ready as soon as the DAG arrives).
@@ -255,6 +289,21 @@ mod tests {
         assert_eq!(s.output_bytes, 1);
         assert_eq!(s.dram_input_bytes, 2);
         assert_eq!(s.label, "conv5x5");
+    }
+
+    #[test]
+    fn csr_rows_preserve_insertion_order_and_handle_empty_rows() {
+        let rows = vec![
+            vec![NodeId(3), NodeId(1)],
+            vec![],
+            vec![NodeId(0)],
+            vec![],
+        ];
+        let csr = CsrAdjacency::from_rows(&rows);
+        assert_eq!(csr.offsets, vec![0, 2, 2, 3, 3]);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(csr.row(i), row.as_slice());
+        }
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl Interconnect {
 
     /// Mutable timelines a transaction from `src` to `dst` must reserve.
     /// Endpoints are `None` for DRAM and `Some(i)` for scratchpad `i`.
+    ///
+    /// Allocates the returned `Vec`; the simulation hot path uses
+    /// [`earliest_start`](Self::earliest_start) +
+    /// [`reserve_from`](Self::reserve_from) instead, which touch the same
+    /// lanes without boxing them. This accessor remains for the reference
+    /// cost path and for tests that drive lanes directly.
     pub fn lanes_mut(
         &mut self,
         src: Option<usize>,
@@ -76,6 +82,51 @@ impl Interconnect {
                 let s = port_of(src);
                 let d = port_of(dst);
                 vec![&mut self.src_ports[s], &mut self.dst_ports[d]]
+            }
+        }
+    }
+
+    /// Earliest instant at or after `now` when every lane a `src -> dst`
+    /// transaction needs is free. Same lane selection as
+    /// [`lanes_mut`](Self::lanes_mut), no allocation.
+    pub fn earliest_start(&self, src: Option<usize>, dst: Option<usize>, now: Time) -> Time {
+        match self.kind {
+            InterconnectKind::Bus => {
+                if dst.is_none() {
+                    self.lane_write.earliest_start(now)
+                } else {
+                    self.lane_read.earliest_start(now)
+                }
+            }
+            InterconnectKind::Crossbar => self.src_ports[port_of(src)]
+                .earliest_start(now)
+                .max(self.dst_ports[port_of(dst)].earliest_start(now)),
+        }
+    }
+
+    /// Reserves every lane of a `src -> dst` transaction for `dur`
+    /// starting exactly at `start` (at or after
+    /// [`earliest_start`](Self::earliest_start)). Lane-for-lane identical
+    /// to reserving the [`lanes_mut`](Self::lanes_mut) set jointly.
+    pub fn reserve_from(
+        &mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        now: Time,
+        start: Time,
+        dur: Dur,
+    ) {
+        match self.kind {
+            InterconnectKind::Bus => {
+                if dst.is_none() {
+                    self.lane_write.reserve_from(now, start, dur);
+                } else {
+                    self.lane_read.reserve_from(now, start, dur);
+                }
+            }
+            InterconnectKind::Crossbar => {
+                self.src_ports[port_of(src)].reserve_from(now, start, dur);
+                self.dst_ports[port_of(dst)].reserve_from(now, start, dur);
             }
         }
     }

@@ -3,10 +3,12 @@
 use crate::config::MemConfig;
 use crate::interconnect::Interconnect;
 use relief_sim::timeline::reserve_joint;
-use relief_sim::{Dur, Time, Timeline};
+use relief_sim::{Dur, IdHashMap, Time, Timeline};
 use relief_trace::{Endpoint, EventKind, ResourceId, Tracer};
-use std::collections::HashMap;
 use std::fmt;
+
+#[cfg(test)]
+use std::collections::HashMap;
 
 /// A transfer endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,8 +113,21 @@ pub struct TransferEngine {
     /// Scratchpad read ports: concurrent forwards out of one producer's
     /// scratchpad serialize here (one read port per SPAD).
     spad_ports: Vec<Timeline>,
-    active: HashMap<u64, Active>,
+    /// In-flight transfers, keyed by sequential id (identity-hashed:
+    /// chunk advancement looks this up on every chunk event).
+    active: IdHashMap<u64, Active>,
     next_id: u64,
+    /// Service durations of a full `chunk_bytes` chunk on the
+    /// interconnect, a DMA engine, and the DRAM channel. Almost every
+    /// chunk is full-sized, so precomputing these keeps the 128-bit
+    /// bandwidth division off the per-chunk path.
+    chunk_icn_dur: Dur,
+    chunk_dma_dur: Dur,
+    chunk_dram_dur: Dur,
+    /// Routes chunk issue through the pre-optimisation path (boxed lane
+    /// lists, per-chunk bandwidth divisions). Identical reservations by
+    /// construction; only the host-side cost differs.
+    reference_alloc_path: bool,
     dram_read_bytes: u64,
     dram_write_bytes: u64,
     spad_to_spad_bytes: u64,
@@ -132,13 +147,38 @@ impl TransferEngine {
             dmas: vec![Timeline::new(); num_accs],
             spad_ports: vec![Timeline::new(); num_accs],
             dram: Timeline::new(),
-            config,
-            active: HashMap::new(),
+            active: IdHashMap::default(),
             next_id: 0,
+            chunk_icn_dur: Dur::for_bytes(config.chunk_bytes, config.interconnect_bandwidth),
+            chunk_dma_dur: Dur::for_bytes(config.chunk_bytes, config.dma_bandwidth),
+            chunk_dram_dur: Dur::for_bytes(config.chunk_bytes, config.dram_bandwidth),
+            reference_alloc_path: false,
+            config,
             dram_read_bytes: 0,
             dram_write_bytes: 0,
             spad_to_spad_bytes: 0,
             tracer: Tracer::off(),
+        }
+    }
+
+    /// Switches chunk issue to the pre-optimisation cost path (see
+    /// `reference_alloc_path` field docs). For benchmarking only.
+    pub fn set_reference_alloc_path(&mut self, on: bool) {
+        self.reference_alloc_path = on;
+    }
+
+    /// Per-chunk service durations for `chunk` bytes on the interconnect,
+    /// a DMA engine, and the DRAM channel — precomputed for a full chunk,
+    /// divided out only for the trailing partial chunk.
+    fn chunk_durs(&self, chunk: u64) -> (Dur, Dur, Dur) {
+        if chunk == self.config.chunk_bytes {
+            (self.chunk_icn_dur, self.chunk_dma_dur, self.chunk_dram_dur)
+        } else {
+            (
+                Dur::for_bytes(chunk, self.config.interconnect_bandwidth),
+                Dur::for_bytes(chunk, self.config.dma_bandwidth),
+                Dur::for_bytes(chunk, self.config.dram_bandwidth),
+            )
         }
     }
 
@@ -217,11 +257,77 @@ impl TransferEngine {
     }
 
     /// Issues the next chunk of transfer `id`; returns its completion time.
+    ///
+    /// The correlated reservation mirrors [`reserve_joint`]: every
+    /// involved resource starts at the latest availability across the set
+    /// and is held for its own duration — but the resources are reserved
+    /// through direct field borrows, so the per-chunk path allocates
+    /// nothing.
     fn issue_chunk(&mut self, id: u64, now: Time) -> Time {
+        if self.reference_alloc_path {
+            return self.issue_chunk_reference(id, now);
+        }
         let st = self.active.get_mut(&id).expect("active transfer");
         let chunk = st.remaining.min(self.config.chunk_bytes);
         if chunk == 0 {
             // Zero-byte transfer: complete immediately at `now`.
+            st.last_end = now;
+            if st.first_start.is_none() {
+                st.first_start = Some(now);
+            }
+            return now;
+        }
+        st.remaining -= chunk;
+        let route = st.route;
+        let dma = st.dma;
+
+        let (icn_dur, dma_dur, dram_dur) = self.chunk_durs(chunk);
+        let uses_dram = route.uses_dram();
+        let src = route.src.spad_index();
+        let dst = route.dst.spad_index();
+
+        let mut start = now;
+        if uses_dram {
+            start = start.max(self.dram.earliest_start(now));
+        }
+        if let Some(si) = src {
+            // The producer scratchpad's read port.
+            start = start.max(self.spad_ports[si].earliest_start(now));
+        }
+        start = start.max(self.icn.earliest_start(src, dst, now));
+        start = start.max(self.dmas[dma].earliest_start(now));
+
+        let mut end = start;
+        if uses_dram {
+            end = end.max(self.dram.reserve_from(now, start, dram_dur).1);
+        }
+        if let Some(si) = src {
+            end = end.max(self.spad_ports[si].reserve_from(now, start, icn_dur).1);
+        }
+        self.icn.reserve_from(src, dst, now, start, icn_dur);
+        end = end.max(start + icn_dur);
+        end = end.max(self.dmas[dma].reserve_from(now, start, dma_dur).1);
+
+        self.icn.note_busy(start, start + icn_dur);
+
+        let st = self.active.get_mut(&id).expect("active transfer");
+        if st.first_start.is_none() {
+            st.first_start = Some(start);
+        }
+        st.queued += start.saturating_since(now);
+        st.last_end = st.last_end.max(end);
+        end
+    }
+
+    /// The pre-optimisation chunk path, kept verbatim so `xtask bench`
+    /// can record the old cost on the same build: boxes the lane set,
+    /// recomputes bandwidth divisions per chunk, and reserves through
+    /// [`reserve_joint`]. Reservation-for-reservation identical to
+    /// [`issue_chunk`](Self::issue_chunk).
+    fn issue_chunk_reference(&mut self, id: u64, now: Time) -> Time {
+        let st = self.active.get_mut(&id).expect("active transfer");
+        let chunk = st.remaining.min(self.config.chunk_bytes);
+        if chunk == 0 {
             st.last_end = now;
             if st.first_start.is_none() {
                 st.first_start = Some(now);
@@ -243,7 +349,6 @@ impl TransferEngine {
         let src = st.route.src.spad_index();
         let dst = st.route.dst.spad_index();
         if let Some(si) = src {
-            // The producer scratchpad's read port.
             resources.push(&mut self.spad_ports[si]);
             durs.push(icn_dur);
         }
@@ -461,6 +566,63 @@ mod tests {
         let solo = Dur::for_bytes(bytes, cfg.interconnect_bandwidth);
         for end in ends {
             assert!(end.saturating_since(Time::ZERO) <= solo * 11 / 10);
+        }
+    }
+
+    /// The allocation-free chunk path and the reference path must produce
+    /// identical reservations: same per-transfer outcomes, same resource
+    /// stats, same occupancy — on bus and crossbar, full and partial
+    /// chunks, contended and not.
+    #[test]
+    fn fast_and_reference_paths_are_equivalent() {
+        for crossbar in [false, true] {
+            let cfg = if crossbar {
+                MemConfig::default().with_crossbar()
+            } else {
+                MemConfig::default()
+            };
+            let mut fast = TransferEngine::new(cfg, 4);
+            let mut reference = TransferEngine::new(cfg, 4);
+            reference.set_reference_alloc_path(true);
+            // Mixed routes, sizes that exercise partial trailing chunks
+            // and zero-byte completion, staggered starts for contention.
+            let plan = [
+                (Route { src: Port::Dram, dst: Port::Spad(0) }, 65_536, 0, 0),
+                (Route { src: Port::Spad(0), dst: Port::Spad(1) }, 10_000, 1, 2),
+                (Route { src: Port::Spad(1), dst: Port::Dram }, 4_097, 1, 5),
+                (Route { src: Port::Spad(2), dst: Port::Spad(3) }, 0, 3, 5),
+                (Route { src: Port::Dram, dst: Port::Spad(2) }, 123, 2, 7),
+            ];
+            let mut outcomes = Vec::new();
+            for e in [&mut fast, &mut reference] {
+                let starts: Vec<(TransferId, Time)> = plan
+                    .iter()
+                    .map(|&(route, bytes, dma, at_us)| {
+                        e.begin(route, bytes, dma, Time::from_us(at_us))
+                    })
+                    .collect();
+                let ends = drive_concurrent(e, starts.clone());
+                outcomes.push((starts, ends));
+            }
+            assert_eq!(outcomes[0], outcomes[1], "crossbar={crossbar}");
+            assert_eq!(fast.dram_busy(), reference.dram_busy(), "crossbar={crossbar}");
+            assert_eq!(
+                fast.interconnect_busy(),
+                reference.interconnect_busy(),
+                "crossbar={crossbar}"
+            );
+            assert_eq!(fast.dram.stats(), reference.dram.stats());
+            for (a, b) in fast.dmas.iter().zip(&reference.dmas) {
+                assert_eq!(a.stats(), b.stats());
+                assert_eq!(a.free_at(), b.free_at());
+            }
+            for (a, b) in fast.spad_ports.iter().zip(&reference.spad_ports) {
+                assert_eq!(a.stats(), b.stats());
+            }
+            assert_eq!(fast.icn.total_queued(), reference.icn.total_queued());
+            assert_eq!(fast.dram_read_bytes(), reference.dram_read_bytes());
+            assert_eq!(fast.dram_write_bytes(), reference.dram_write_bytes());
+            assert_eq!(fast.spad_to_spad_bytes(), reference.spad_to_spad_bytes());
         }
     }
 

@@ -1,0 +1,67 @@
+//! Identity-hash maps for dense sequential integer keys.
+//!
+//! The simulator hands out sequential `u64` ids (transfer ids, event
+//! handles) and looks them up on every event. SipHash is wasted effort on
+//! keys that are already unique small integers, so hot-path maps use this
+//! pass-through hasher instead: `write_u64` stores the key verbatim and
+//! hashbrown's multiplicative mixing does the rest.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through [`Hasher`] for keys that hash with a single `write_u64`
+/// (or narrower) call — newtypes over sequential integers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdHasher keys must hash via integer writes");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = v as u64;
+    }
+}
+
+/// A `HashMap` keyed by sequential integer ids, hashed by identity.
+pub type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_map() {
+        let mut m: IdHashMap<u64, &str> = IdHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&999), Some(&"x"));
+        assert_eq!(m.remove(&0), Some("x"));
+        assert!(!m.contains_key(&0));
+    }
+
+    #[test]
+    fn narrow_integer_writes_hash() {
+        let mut h = IdHasher::default();
+        h.write_u32(7);
+        assert_eq!(h.finish(), 7);
+        let mut h = IdHasher::default();
+        h.write_usize(9);
+        assert_eq!(h.finish(), 9);
+    }
+}

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod idmap;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod timeline;
 
+pub use idmap::{IdHashMap, IdHasher};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use time::{Dur, Time};

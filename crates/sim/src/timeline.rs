@@ -59,6 +59,18 @@ impl Timeline {
     /// the `(start, end)` of the granted interval.
     pub fn reserve(&mut self, now: Time, dur: Dur) -> (Time, Time) {
         let start = now.max(self.free_at);
+        self.reserve_from(now, start, dur)
+    }
+
+    /// Books `dur` of service beginning exactly at `start` (which must be
+    /// at or after [`earliest_start`](Self::earliest_start)), charging
+    /// queued time relative to `now`. The single accounting path shared by
+    /// [`reserve`](Self::reserve), [`reserve_joint`], and callers that
+    /// compute a correlated start themselves (the transfer engine's
+    /// allocation-free chunk path) — so stats, tracer emission, and
+    /// `free_at` updates cannot drift between them.
+    pub fn reserve_from(&mut self, now: Time, start: Time, dur: Dur) -> (Time, Time) {
+        debug_assert!(start >= self.earliest_start(now), "start predates availability");
         let end = start + dur;
         self.stats.busy += dur;
         self.stats.requests += 1;
@@ -122,20 +134,8 @@ pub fn reserve_joint(resources: &mut [&mut Timeline], durs: &[Dur], now: Time) -
     let start = resources.iter().fold(now, |acc, r| acc.max(r.earliest_start(now)));
     let mut end = start;
     for (r, &d) in resources.iter_mut().zip(durs) {
-        // Manually mirror `reserve` from a common start so queued-time
-        // accounting stays sensible under joint reservations.
-        r.stats.busy += d;
-        r.stats.requests += 1;
-        r.stats.queued += start.saturating_since(now);
-        r.free_at = start + d;
-        if let Some(resource) = r.id {
-            r.tracer.emit(now.as_ps(), || EventKind::ResourceBusy {
-                resource,
-                start_ps: start.as_ps(),
-                end_ps: (start + d).as_ps(),
-            });
-        }
-        end = end.max(start + d);
+        let (_, e) = r.reserve_from(now, start, d);
+        end = end.max(e);
     }
     (start, end)
 }
@@ -188,6 +188,23 @@ mod tests {
         assert_eq!(e, Time::from_ns(70)); // slowest (DRAM) finishes last
         assert_eq!(bus.free_at(), Time::from_ns(60));
         assert_eq!(dram.free_at(), Time::from_ns(70));
+    }
+
+    #[test]
+    fn joint_over_single_timeline_matches_reserve() {
+        // The joint path over one resource must be indistinguishable from
+        // a plain reserve: same intervals, same stats, same free_at.
+        let mut plain = Timeline::new();
+        let mut joint = Timeline::new();
+        for &(now_ns, dur_ns) in &[(0u64, 100u64), (30, 10), (250, 40), (250, 5)] {
+            let now = Time::from_ns(now_ns);
+            let dur = Dur::from_ns(dur_ns);
+            let a = plain.reserve(now, dur);
+            let b = reserve_joint(&mut [&mut joint], &[dur], now);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), joint.stats());
+        assert_eq!(plain.free_at(), joint.free_at());
     }
 
     #[test]

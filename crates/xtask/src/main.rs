@@ -1,6 +1,7 @@
-//! `cargo run -p xtask -- check` — the hermetic CI gate.
+//! `cargo run -p xtask -- <check|bench>` — the hermetic CI gate and the
+//! wall-clock benchmark front end.
 //!
-//! Verifies what the sandboxed environment actually guarantees:
+//! `check` verifies what the sandboxed environment actually guarantees:
 //!
 //! 1. `cargo build --offline --workspace --benches` — the tree, including
 //!    every benchmark target, builds with zero network access (no registry
@@ -15,6 +16,15 @@
 //! 4. The determinism, conformance, and property test suites:
 //!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
 //!    and `metamorphic_properties`.
+//! 5. `xtask bench --check` — a one-iteration smoke run of the hot-path
+//!    benchmark that validates the `BENCH_simcore.json` schema and that
+//!    events/sec is nonzero, so the bench binary cannot bit-rot.
+//!
+//! `bench` (release) measures the simulation hot path over a pinned
+//! campaign subset — optimised vs the `reference_hot_path` cost model —
+//! and writes `BENCH_simcore.json` at the repo root (see README.md).
+//! Extra arguments (`--iters N`, `--out PATH`, `--check`) are forwarded
+//! to the `simcore_bench` binary.
 //!
 //! Exit code is nonzero if any executed step fails.
 
@@ -91,6 +101,10 @@ fn check() -> ExitCode {
             Command::new("cargo").args(["test", "--offline", "-p", package, "--test", suite]),
         );
     }
+    ok &= run(
+        "hot-path benchmark smoke run (xtask bench --check)",
+        &mut bench_command(&["--check".to_string()]),
+    );
     if ok {
         println!("xtask check: OK");
         ExitCode::SUCCESS
@@ -99,12 +113,38 @@ fn check() -> ExitCode {
     }
 }
 
+/// The `simcore_bench` invocation with `args` forwarded verbatim.
+fn bench_command(args: &[String]) -> Command {
+    let mut cmd = Command::new("cargo");
+    cmd.args([
+        "run",
+        "--offline",
+        "--release",
+        "-p",
+        "relief-bench",
+        "--bin",
+        "simcore_bench",
+        "--",
+    ]);
+    cmd.args(args);
+    cmd
+}
+
+fn bench(args: &[String]) -> ExitCode {
+    if run("simulation hot-path benchmark (simcore_bench)", &mut bench_command(args)) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1);
-    match task.as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("check") => check(),
+        Some("bench") => bench(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- check");
+            eprintln!("usage: cargo run -p xtask -- <check | bench [--iters N] [--out PATH] [--check]>");
             ExitCode::from(2)
         }
     }
