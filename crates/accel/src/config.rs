@@ -3,6 +3,7 @@
 use crate::kinds::AccKind;
 use relief_core::predict::DataMovePredictor;
 use relief_core::{BandwidthPredictor, PolicyKind};
+use relief_fault::FaultConfig;
 use relief_mem::MemConfig;
 use relief_sim::{Dur, Time};
 
@@ -86,6 +87,12 @@ pub struct SocConfig {
     /// wall-clock benchmark can measure the optimised and reference paths
     /// on the same build and assert their results match.
     pub reference_hot_path: bool,
+    /// Fault-injection plan knobs (`relief-fault`). The default injects
+    /// nothing and leaves every output byte-identical to a fault-free
+    /// build; any enabled knob also switches the simulator into
+    /// checkpointing mode (every output is written back to DRAM so
+    /// retries always have a verified copy to re-read).
+    pub fault: FaultConfig,
 }
 
 impl SocConfig {
@@ -129,6 +136,7 @@ impl SocConfig {
             seed: 0x5EED,
             record_trace: false,
             reference_hot_path: false,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -158,6 +166,12 @@ impl SocConfig {
         self
     }
 
+    /// Installs a fault-injection plan.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Total accelerator instances.
     pub fn total_instances(&self) -> usize {
         self.acc_instances.iter().sum()
@@ -167,8 +181,8 @@ impl SocConfig {
     ///
     /// # Panics
     ///
-    /// Panics on zero accelerator types, zero output partitions, or a
-    /// negative/NaN jitter.
+    /// Panics on zero accelerator types, zero output partitions, a
+    /// negative/NaN jitter, or an invalid fault configuration.
     pub fn validate(&self) {
         assert!(!self.acc_instances.is_empty(), "need at least one accelerator type");
         assert!(self.output_partitions >= 1, "need at least one output partition");
@@ -176,6 +190,9 @@ impl SocConfig {
             self.compute_jitter.is_finite() && (0.0..1.0).contains(&self.compute_jitter),
             "compute jitter must be in [0, 1)"
         );
+        if let Err(e) = self.fault.validate() {
+            panic!("{e}");
+        }
         self.mem.validate();
     }
 }
@@ -219,6 +236,25 @@ mod tests {
         assert_eq!(BwPredictorKind::Average(15).name(), "Average");
         assert_eq!(BwPredictorKind::Ewma(0.25).name(), "EWMA");
         assert_eq!(BwPredictorKind::Last.build(7).name(), "Last");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn bad_fault_rate_rejected() {
+        let mut c = SocConfig::mobile(PolicyKind::Fcfs);
+        c.fault.task_fault_rate = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    fn default_fault_config_is_disabled() {
+        let c = SocConfig::mobile(PolicyKind::Relief);
+        assert!(!c.fault.enabled());
+        let f = FaultConfig { task_fault_rate: 0.1, ..FaultConfig::default() };
+        let c = c.with_fault(f.clone());
+        assert!(c.fault.enabled());
+        assert_eq!(c.fault, f);
+        c.validate();
     }
 
     #[test]

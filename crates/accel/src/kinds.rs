@@ -48,6 +48,8 @@ impl AccKind {
 
     /// The DAG-layer type id of this kind.
     pub fn type_id(self) -> AccTypeId {
+        // Every kind appears in ALL by construction.
+        #[allow(clippy::expect_used)]
         AccTypeId(Self::ALL.iter().position(|k| *k == self).expect("kind in ALL") as u32)
     }
 

@@ -20,6 +20,11 @@
 //!   deferred outputs are lazily written back if their partition is needed
 //!   before all children have consumed them.
 
+// The event handlers `expect` on scheduler invariants by design (a running
+// task exists wherever a completion fires, tracked transfers resolve,
+// etc.): these document the event-loop state machine, and violating one
+// is a simulator bug that must stop the run, not a recoverable input.
+#![allow(clippy::expect_used)]
 use crate::config::SocConfig;
 use crate::result::{PredictionStats, SimResult};
 use crate::trace::{SpanCollector, Trace};
@@ -29,8 +34,9 @@ use relief_core::{
     ComputeProfile, MemTimePredictor, Policy, ReadyQueues, TaskEntry, TaskKey,
 };
 use relief_dag::{Dag, DagTiming, DeadlineAssignment, NodeId};
+use relief_fault::{FaultPlan, Outage, OutageSchedule};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
-use relief_metrics::{AppStats, RunStats, TrafficStats};
+use relief_metrics::{AppStats, FaultStats, RunStats, TrafficStats};
 use relief_sim::{Dur, EventQueue, IdHashMap, SplitMix64, Time, Timeline};
 use relief_trace::{EventKind, InputSource, ResourceId, TaskRef, Tracer};
 use std::cell::RefCell;
@@ -87,6 +93,10 @@ enum NodePhase {
     Ready,
     Launched,
     Done,
+    /// Exhausted its fault-retry budget; never completes. Siblings still
+    /// drain, but the owning DAG instance is marked aborted and never
+    /// reports completion.
+    Aborted,
 }
 
 /// Per-node runtime bookkeeping (the mutable part of Table III's node
@@ -104,6 +114,10 @@ struct NodeRt {
     pred_bw: f64,
     actual_compute: Dur,
     actual_bytes: u64,
+    /// 0-based compute attempt (only ever nonzero under fault injection).
+    attempts: u32,
+    /// True after a task fault until a retry completes successfully.
+    faulted: bool,
 }
 
 impl NodeRt {
@@ -118,6 +132,8 @@ impl NodeRt {
             pred_bw: 0.0,
             actual_compute: Dur::ZERO,
             actual_bytes: 0,
+            attempts: 0,
+            faulted: false,
         }
     }
 }
@@ -134,6 +150,11 @@ struct DagInst {
     deadlines: Arc<DeadlineAssignment>,
     nodes: Vec<NodeRt>,
     remaining: usize,
+    /// Faults (task + DMA) this instance has absorbed; a deadline miss on
+    /// an instance with `faults > 0` is attributed to fault recovery.
+    faults: u64,
+    /// A node exhausted its retry budget; the instance never completes.
+    aborted: bool,
 }
 
 /// One output scratchpad partition (Table IV's `acc_state` entries).
@@ -180,16 +201,24 @@ struct AccInst {
     last_node: Option<TaskKey>,
     parts: Vec<Partition>,
     compute_busy: Dur,
+    /// Offline (fault-injected outage): removed from the dispatch
+    /// candidate set and denied as a forwarding source until restored.
+    /// Non-preemptive — a task already running here completes.
+    quarantined: bool,
 }
 
 /// What an in-flight transfer is for.
 #[derive(Debug, Clone, Copy)]
 enum Purpose {
     /// A child pulling one parent edge (from DRAM or a producer SPAD).
-    InputEdge { child: TaskKey, parent: TaskKey, src_spad: Option<(usize, usize)> },
+    /// `attempt` is the 0-based delivery attempt (fault retries re-read
+    /// the checkpointed DRAM copy with `attempt + 1`).
+    InputEdge { child: TaskKey, parent: TaskKey, src_spad: Option<(usize, usize)>, attempt: u32 },
     /// A child pulling its always-DRAM input bytes.
-    DramInput { child: TaskKey },
-    /// A producer writing its output back to DRAM.
+    DramInput { child: TaskKey, attempt: u32 },
+    /// A producer writing its output back to DRAM. Write-backs are outside
+    /// the fault domain: they are the checkpointing path retries rely on,
+    /// so the model treats them as ECC-verified.
     WriteBack { node: TaskKey },
 }
 
@@ -199,6 +228,12 @@ enum Ev {
     Chunk(TransferId),
     ComputeDone(usize),
     Launch,
+    /// A faulted task's backoff expired; re-insert it into its ready queue.
+    Requeue(TaskKey),
+    /// Accelerator instance goes offline (fault-injected outage).
+    UnitDown(usize),
+    /// Accelerator instance comes back online.
+    UnitUp(usize),
 }
 
 /// The simulated SoC.
@@ -247,6 +282,19 @@ pub struct SocSim {
     mem_pred: MemTimePredictor,
     profile: ComputeProfile,
     rng: SplitMix64,
+    // --- fault injection (`relief-fault`) ---
+    /// Stateless fault decisions; a pure function of `cfg.fault`, so fault
+    /// schedules are identical at any campaign parallelism.
+    fault: FaultPlan,
+    fault_stats: FaultStats,
+    /// Per-instance outage streams (empty iterators when outages are off).
+    outage_iters: Vec<OutageSchedule>,
+    /// The armed outage window per instance, if any.
+    next_outage: Vec<Option<Outage>>,
+    /// Arrival events still in the queue (initial + repeat re-arms); with
+    /// live DAG work, the signal that outage re-arming may continue
+    /// without keeping a drained simulation alive forever.
+    pending_arrivals: usize,
     // --- per-app caches (pure functions of the immutable app specs) ---
     /// Deadline assignment computed on each app's first arrival.
     app_deadlines: Vec<Option<Arc<DeadlineAssignment>>>,
@@ -311,12 +359,24 @@ impl SocSim {
                     last_node: None,
                     parts: vec![Partition::default(); cfg.output_partitions],
                     compute_busy: Dur::ZERO,
+                    quarantined: false,
                 });
             }
         }
         let mut events = EventQueue::new();
         for (i, app) in apps.iter().enumerate() {
             events.push(app.arrival, Ev::Arrival(i));
+        }
+        // Arm the first deterministic outage window of every instance.
+        let fault = FaultPlan::new(cfg.fault.clone());
+        let mut outage_iters: Vec<OutageSchedule> =
+            (0..total_insts).map(|i| fault.outages(i as u32)).collect();
+        let mut next_outage: Vec<Option<Outage>> = vec![None; total_insts];
+        for (i, it) in outage_iters.iter_mut().enumerate() {
+            if let Some(w) = it.next() {
+                next_outage[i] = Some(w);
+                events.push(Time::from_ps(w.down_ps), Ev::UnitDown(i));
+            }
         }
         let mem_pred = MemTimePredictor {
             bandwidth: cfg.bw_predictor.build(cfg.mem.dram_bandwidth),
@@ -347,6 +407,11 @@ impl SocSim {
             mem_pred,
             profile: ComputeProfile::new(),
             rng: SplitMix64::new(cfg.seed),
+            fault,
+            fault_stats: FaultStats::default(),
+            outage_iters,
+            next_outage,
+            pending_arrivals: n_apps,
             app_deadlines: vec![None; n_apps],
             app_profiled: vec![false; n_apps],
             batch_scratch: Vec::new(),
@@ -419,6 +484,9 @@ impl SocSim {
                 Ev::Chunk(id) => self.on_chunk(id),
                 Ev::ComputeDone(inst) => self.on_compute_done(inst),
                 Ev::Launch => self.try_launch_all(),
+                Ev::Requeue(key) => self.on_requeue(key),
+                Ev::UnitDown(inst) => self.on_unit_down(inst),
+                Ev::UnitUp(inst) => self.on_unit_up(inst),
             }
         }
         self.finalize()
@@ -429,6 +497,7 @@ impl SocSim {
     // ------------------------------------------------------------------
 
     fn on_arrival(&mut self, app_idx: usize) {
+        self.pending_arrivals = self.pending_arrivals.saturating_sub(1);
         let dag = Arc::clone(&self.apps[app_idx].dag);
         // Static analysis at arrival: predicted runtimes under the Max
         // predictors drive critical-path deadlines (§III-B). The assignment
@@ -465,7 +534,16 @@ impl SocSim {
             dag.node_ids().map(|n| NodeRt::new(dag.children(n).len())).collect::<Vec<_>>();
         let remaining = dag.len();
         let instance = self.dags.len() as u32;
-        self.dags.push(DagInst { app_idx, dag, arrival: self.now, deadlines, nodes, remaining });
+        self.dags.push(DagInst {
+            app_idx,
+            dag,
+            arrival: self.now,
+            deadlines,
+            nodes,
+            remaining,
+            faults: 0,
+            aborted: false,
+        });
         self.tracer.emit(self.now.as_ps(), || EventKind::DagArrived {
             instance,
             app: self.apps[app_idx].symbol.clone(),
@@ -651,11 +729,11 @@ impl SocSim {
             std::mem::take(&mut self.idle_scratch)
         };
         idle.clear();
-        idle.extend(
-            self.type_insts
-                .iter()
-                .map(|ids| ids.iter().filter(|&&i| self.insts[i].running.is_none()).count()),
-        );
+        idle.extend(self.type_insts.iter().map(|ids| {
+            ids.iter()
+                .filter(|&&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
+                .count()
+        }));
         self.idle_scratch = idle;
     }
 
@@ -665,8 +743,9 @@ impl SocSim {
 
     fn try_launch_all(&mut self) {
         for t in 0..self.type_insts.len() {
-            while let Some(&inst_idx) =
-                self.type_insts[t].iter().find(|&&i| self.insts[i].running.is_none())
+            while let Some(&inst_idx) = self.type_insts[t]
+                .iter()
+                .find(|&&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
             {
                 let Some(entry) =
                     self.policy.pop(&mut self.queues, relief_dag::AccTypeId(t as u32), self.now)
@@ -678,7 +757,7 @@ impl SocSim {
                 // this task with its output still live there.
                 let chosen = self
                     .colocation_instance(t, entry.key)
-                    .filter(|&i| self.insts[i].running.is_none())
+                    .filter(|&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
                     .unwrap_or(inst_idx);
                 self.launch(chosen, entry);
             }
@@ -864,11 +943,16 @@ impl SocSim {
                 continue;
             }
 
-            // Forwarding: producer output still live in its scratchpad.
+            // Forwarding: producer output still live in its scratchpad —
+            // and the producing unit online (a quarantined unit's SPAD is
+            // unreachable; consumers fall back to the checkpointed DRAM
+            // copy).
             let fwd_src = if self.cfg.forwarding {
-                self.node_rt(pk).out.spad().filter(|&(si, sp)| {
-                    self.insts[si].parts[sp].holder == Some(pk)
-                })
+                self.node_rt(pk)
+                    .out
+                    .spad()
+                    .filter(|&(si, sp)| self.insts[si].parts[sp].holder == Some(pk))
+                    .filter(|&(si, _)| !self.insts[si].quarantined)
             } else {
                 None
             };
@@ -882,7 +966,13 @@ impl SocSim {
                 }
                 None => {
                     debug_assert!(
-                        self.node_rt(pk).out.in_dram() || !self.cfg.forwarding,
+                        self.node_rt(pk).out.in_dram()
+                            || !self.cfg.forwarding
+                            || self
+                                .node_rt(pk)
+                                .out
+                                .spad()
+                                .is_some_and(|(si, _)| self.insts[si].quarantined),
                         "parent output must be in DRAM when not forwardable"
                     );
                     self.spad_access_bytes += bytes; // local write
@@ -900,7 +990,8 @@ impl SocSim {
                 bytes,
             });
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.transfers.insert(id, Purpose::InputEdge { child: key, parent: pk, src_spad });
+            self.transfers
+                .insert(id, Purpose::InputEdge { child: key, parent: pk, src_spad, attempt: 0 });
             self.events.push(first, Ev::Chunk(id));
             self.node_rt_mut(key).actual_bytes += bytes;
             pending += 1;
@@ -920,7 +1011,7 @@ impl SocSim {
             });
             let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.transfers.insert(id, Purpose::DramInput { child: key });
+            self.transfers.insert(id, Purpose::DramInput { child: key, attempt: 0 });
             self.events.push(first, Ev::Chunk(id));
             self.node_rt_mut(key).actual_bytes += bytes;
             pending += 1;
@@ -979,6 +1070,17 @@ impl SocSim {
         let r = self.insts[inst_idx].running.take().expect("compute was running");
         debug_assert_eq!(r.phase, RunPhase::Compute);
         let key = r.key;
+        // Transient task fault (relief-fault): the attempt consumed its
+        // resources, but the output is corrupt — discard and recover
+        // instead of publishing. No `ComputeEnd` is emitted, so every
+        // completed task still has exactly one compute span.
+        if self.fault.enabled() {
+            let attempt = self.node_rt(key).attempts;
+            if self.fault.task_faults(key.instance, key.node, attempt) {
+                self.on_task_fault(inst_idx, r, attempt);
+                return;
+            }
+        }
         self.insts[inst_idx].last_node = Some(key);
         // All-loads-and-stores-to-DRAM baseline (Fig. 5 normalization).
         {
@@ -1003,6 +1105,10 @@ impl SocSim {
             rt.phase = NodePhase::Done;
             rt.out = OutLoc::Spad { inst: inst_idx, part: r.out_part };
         }
+        if self.node_rt(key).faulted {
+            self.node_rt_mut(key).faulted = false;
+            self.fault_stats.recovered += 1;
+        }
         self.last_completion = self.now;
 
         // Per-node statistics.
@@ -1010,7 +1116,7 @@ impl SocSim {
             let d = &mut self.dags[key.instance as usize];
             d.remaining -= 1;
             let nd = d.arrival + d.deadlines.node_deadline(NodeId(key.node));
-            let dag_done = d.remaining == 0;
+            let dag_done = d.remaining == 0 && !d.aborted;
             let met = self.now.saturating_since(d.arrival) <= d.dag.relative_deadline();
             (d.app_idx, nd, dag_done, met)
         };
@@ -1092,12 +1198,19 @@ impl SocSim {
         // line iff it is escalated or at its queue head (Ready ⟺ queued is
         // a simulator invariant); an already Launched/Done child is
         // forwarding or colocating right now, which also counts.
-        let all_next_in_line = self.cfg.forwarding
+        //
+        // Under fault injection the deferral is disabled (checkpointing
+        // mode): every output gets a DRAM copy so a faulted retry — or a
+        // consumer cut off by a quarantined forwarding source — always has
+        // verified data to re-read. Forwarding itself still happens; only
+        // the write-back *elision* is given up.
+        let all_next_in_line = !self.fault.enabled()
+            && self.cfg.forwarding
             && !children.is_empty()
             && children.iter().all(|&c| {
                 let ck = TaskKey::new(key.instance, c.0);
                 match self.node_rt(ck).phase {
-                    NodePhase::Waiting => false,
+                    NodePhase::Waiting | NodePhase::Aborted => false,
                     NodePhase::Launched | NodePhase::Done => true,
                     NodePhase::Ready => {
                         self.queues.is_escalated_or_head(dag.node(c).acc, ck)
@@ -1115,6 +1228,16 @@ impl SocSim {
 
     fn on_dag_done(&mut self, instance: u32, app_idx: usize, met: bool) {
         self.tracer.emit(self.now.as_ps(), || EventKind::DagDone { instance, met });
+        let faults = self.dags[instance as usize].faults;
+        if !met && faults > 0 {
+            // The instance absorbed fault-recovery delay and missed its
+            // deadline: attribute the miss (a fault-free miss under the
+            // same contention is possible, but the attribution is what the
+            // resilience campaign sweeps).
+            self.fault_stats.fault_attributed_misses += 1;
+            self.tracer
+                .emit(self.now.as_ps(), || EventKind::FaultAttributedMiss { instance, faults });
+        }
         let runtime = self.now.saturating_since(self.dags[instance as usize].arrival);
         let stats = &mut self.app_stats[app_idx];
         stats.dags_completed += 1;
@@ -1123,8 +1246,126 @@ impl SocSim {
         }
         stats.dag_runtimes.push(runtime);
         if self.apps[app_idx].repeat {
+            self.pending_arrivals += 1;
             self.events.push(self.now, Ev::Arrival(app_idx));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault recovery (relief-fault)
+    // ------------------------------------------------------------------
+
+    /// Handles a corrupt compute attempt: release the claimed output
+    /// partition, restore the parents' reader counts (the retry will
+    /// re-consume every edge), and either schedule a backoff re-queue or
+    /// abort the task when its retry budget is exhausted.
+    fn on_task_fault(&mut self, inst_idx: usize, r: Running, attempt: u32) {
+        let key = r.key;
+        self.fault_stats.task_faults += 1;
+        self.dags[key.instance as usize].faults += 1;
+        self.tracer.emit(self.now.as_ps(), || EventKind::TaskFaulted {
+            task: tref(key),
+            inst: inst_idx as u32,
+            attempt,
+        });
+        // Release the output partition: nothing was published into it.
+        {
+            let part = &mut self.insts[inst_idx].parts[r.out_part];
+            debug_assert_eq!(part.holder, Some(key));
+            debug_assert_eq!(part.ongoing_reads, 0, "unpublished output cannot have readers");
+            part.holder = None;
+        }
+        // Every input edge was consumed exactly once by compute end
+        // (colocated edges at input classification, transferred edges at
+        // delivery); restore the counts so the retry's re-consumption
+        // keeps each parent's reader bookkeeping exact. Checkpointing mode
+        // guarantees each parent output still has a DRAM copy to re-read.
+        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        for &p in dag.parents(NodeId(key.node)) {
+            self.node_rt_mut(TaskKey::new(key.instance, p.0)).pending_readers += 1;
+        }
+        {
+            let rt = self.node_rt_mut(key);
+            debug_assert_eq!(rt.out, OutLoc::NotProduced);
+            rt.faulted = true;
+        }
+        let max_retries = self.fault.cfg().max_retries;
+        if attempt < max_retries {
+            self.node_rt_mut(key).attempts = attempt + 1;
+            self.node_rt_mut(key).phase = NodePhase::Waiting; // Ready ⟺ queued
+            let backoff = Dur::from_ps(self.fault.backoff_ps(attempt));
+            self.events.push(self.now + backoff, Ev::Requeue(key));
+        } else {
+            self.fault_stats.tasks_aborted += 1;
+            self.node_rt_mut(key).phase = NodePhase::Aborted;
+            self.dags[key.instance as usize].aborted = true;
+            self.tracer.emit(self.now.as_ps(), || EventKind::TaskAborted {
+                task: tref(key),
+                attempts: attempt + 1,
+            });
+        }
+        // The freed partition and idle unit may unblock stalled work.
+        self.retry_stalled();
+        self.try_launch_all();
+    }
+
+    /// A faulted task's backoff expired: rebuild its ready-queue entry
+    /// (laxity and predictions recomputed from current state — the retry
+    /// is *not* a forwarding candidate, so RELIEF's feasibility check sees
+    /// it without escalating it) and re-insert it.
+    fn on_requeue(&mut self, key: TaskKey) {
+        debug_assert_eq!(self.node_rt(key).phase, NodePhase::Waiting);
+        let attempt = self.node_rt(key).attempts;
+        let acc = {
+            let d = &self.dags[key.instance as usize];
+            d.dag.node(NodeId(key.node)).acc
+        };
+        self.fault_stats.task_retries += 1;
+        self.tracer.emit(self.now.as_ps(), || EventKind::TaskRetried {
+            task: tref(key),
+            acc: acc.0,
+            attempt,
+        });
+        self.node_rt_mut(key).phase = NodePhase::Ready;
+        let mut batch = self.take_batch_buf();
+        batch.push(self.make_entry(key, false, None));
+        self.enqueue_batch(batch);
+    }
+
+    /// A deterministic outage window opened: take the unit offline. The
+    /// quarantine is non-preemptive (a task already running here drains),
+    /// but the unit leaves the dispatch candidate set and its scratchpad
+    /// is denied as a forwarding source until the restore fires.
+    fn on_unit_down(&mut self, inst_idx: usize) {
+        let Some(w) = self.next_outage[inst_idx] else { return };
+        self.insts[inst_idx].quarantined = true;
+        self.fault_stats.unit_quarantines += 1;
+        self.tracer.emit(self.now.as_ps(), || EventKind::UnitQuarantined {
+            inst: inst_idx as u32,
+            until_ps: w.up_ps,
+        });
+        self.events.push(Time::from_ps(w.up_ps), Ev::UnitUp(inst_idx));
+    }
+
+    /// The outage's repair completed: the unit rejoins the candidate set.
+    /// The next outage window is armed only while work remains, so a
+    /// drained simulation is not kept alive by an infinite outage stream.
+    fn on_unit_up(&mut self, inst_idx: usize) {
+        self.insts[inst_idx].quarantined = false;
+        self.tracer
+            .emit(self.now.as_ps(), || EventKind::UnitRestored { inst: inst_idx as u32 });
+        self.events.push(self.now, Ev::Launch);
+        let outstanding = self.pending_arrivals > 0
+            || self.dags.iter().any(|d| !d.aborted && d.remaining > 0);
+        self.next_outage[inst_idx] = if outstanding {
+            let next = self.outage_iters[inst_idx].next();
+            if let Some(w) = next {
+                self.events.push(Time::from_ps(w.down_ps), Ev::UnitDown(inst_idx));
+            }
+            next
+        } else {
+            None
+        };
     }
 
     // ------------------------------------------------------------------
@@ -1176,7 +1417,7 @@ impl SocSim {
     fn on_transfer_done(&mut self, purpose: Purpose, start: Time, end: Time, bytes: u64) {
         let dur = end.saturating_since(start);
         match purpose {
-            Purpose::InputEdge { child, parent, src_spad } => {
+            Purpose::InputEdge { child, parent, src_spad, attempt } => {
                 self.account_mem_time(child, bytes, src_spad.is_some());
                 if src_spad.is_none() {
                     self.observe_bandwidth(child, bytes, dur);
@@ -1185,14 +1426,30 @@ impl SocSim {
                     let p = &mut self.insts[si].parts[sp];
                     p.ongoing_reads = p.ongoing_reads.saturating_sub(1);
                 }
+                // DMA corruption (relief-fault): the bytes moved (and were
+                // accounted above) but are unusable. The edge is consumed
+                // only on successful delivery, so the retry's bookkeeping
+                // stays exact.
+                if self.fault.enabled()
+                    && self.fault.dma_faults(child.instance, child.node, parent.node, attempt)
+                {
+                    self.on_dma_fault(child, Some(parent), bytes, attempt);
+                    return;
+                }
                 self.consume_reader(parent);
                 self.input_transfer_done(child);
                 // A partition may have become reusable.
                 self.retry_stalled();
             }
-            Purpose::DramInput { child } => {
+            Purpose::DramInput { child, attempt } => {
                 self.account_mem_time(child, bytes, false);
                 self.observe_bandwidth(child, bytes, dur);
+                if self.fault.enabled()
+                    && self.fault.dma_faults(child.instance, child.node, u32::MAX, attempt)
+                {
+                    self.on_dma_fault(child, None, bytes, attempt);
+                    return;
+                }
                 self.input_transfer_done(child);
             }
             Purpose::WriteBack { node } => {
@@ -1206,6 +1463,45 @@ impl SocSim {
                 self.retry_stalled();
             }
         }
+    }
+
+    /// Re-issues a corrupt input delivery from DRAM. The forwarding window
+    /// is *lost* on retry: even if the first attempt pulled from the
+    /// producer's scratchpad, the retry reads the checkpointed DRAM copy
+    /// (issued at the producer's completion, since fault injection forces
+    /// write-backs), and the edge no longer counts as forwarded — the
+    /// forwarding statistics recorded at issue time stand for the bytes
+    /// that did move, while the recovery traffic is plain DRAM traffic.
+    /// `FaultPlan::dma_faults` never faults attempt `max_retries`, so the
+    /// chain is bounded by a verified final read.
+    fn on_dma_fault(&mut self, child: TaskKey, parent: Option<TaskKey>, bytes: u64, attempt: u32) {
+        self.fault_stats.dma_faults += 1;
+        self.dags[child.instance as usize].faults += 1;
+        self.tracer.emit(self.now.as_ps(), || EventKind::DmaFaulted {
+            task: tref(child),
+            parent: parent.map(tref),
+            bytes,
+            attempt,
+        });
+        let inst_idx = self
+            .insts
+            .iter()
+            .position(|i| i.running.as_ref().is_some_and(|r| r.key == child))
+            .expect("faulted input's consumer is running somewhere");
+        self.spad_access_bytes += bytes; // the retry rewrites the local SPAD
+        self.node_rt_mut(child).actual_bytes += bytes;
+        let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
+        let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
+        let purpose = match parent {
+            Some(pk) => {
+                Purpose::InputEdge { child, parent: pk, src_spad: None, attempt: attempt + 1 }
+            }
+            None => Purpose::DramInput { child, attempt: attempt + 1 },
+        };
+        self.transfers.insert(id, purpose);
+        self.events.push(first, Ev::Chunk(id));
+        // The released forwarding-source partition may unblock a claim.
+        self.retry_stalled();
     }
 
     /// Charges a transfer's *service* time (volume over the path's peak
@@ -1326,6 +1622,7 @@ impl SocSim {
             scheduler_ops: self.sched_ops,
             scheduler_time: self.sched_time,
             edges_total,
+            faults: self.fault_stats,
         };
         let mut per_app_mem_time = BTreeMap::new();
         let mut per_app_compute_time = BTreeMap::new();

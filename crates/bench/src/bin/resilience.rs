@@ -1,0 +1,51 @@
+//! Resilience campaign: miss-rate and forwarding-rate vs fault rate,
+//! per policy, on the deterministic campaign engine.
+//!
+//! ```sh
+//! cargo run --release -p relief-bench --bin resilience
+//! cargo run --release -p relief-bench --bin resilience -- \
+//!     --fault-seed 0xBEEF --fault-rate 0,0.001,0.01 --mttf-us 2000 --jobs 4
+//! ```
+//!
+//! The report is byte-identical at any `--jobs`: every cell's fault plan
+//! is a pure function of its platform label (see `relief_bench::resilience`).
+
+use relief_bench::campaign::{execute, ExecOptions};
+use relief_bench::resilience::parse_cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (spec, jobs) = match parse_cli(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: resilience [--fault-seed N] [--fault-rate R[,R...]] \
+                 [--mttf-us N] [--jobs N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let campaign = spec.campaign();
+    eprintln!(
+        "campaign 'resilience' (hash {:016x}): {} runs on {jobs} worker(s)",
+        campaign.hash(),
+        campaign.expand().len()
+    );
+    let results = execute(campaign.expand(), &ExecOptions { jobs, ..Default::default() });
+    let mut failed = false;
+    for (label, msg) in results.failures() {
+        eprintln!("run {label} panicked: {msg}");
+        failed = true;
+    }
+    for (label, mismatches) in results.mismatched() {
+        eprintln!("run {label} failed event/stats reconciliation: {mismatches:?}");
+        failed = true;
+    }
+    print!("{}", spec.render(&results));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -493,17 +493,24 @@ pub fn execute(specs: Vec<RunSpec>, opts: &ExecOptions) -> CampaignResults {
                                 .or_else(|| payload.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "non-string panic payload".to_string())
                         });
-                *slots[i].lock().expect("slot lock") = Some(RunOutcome {
-                    label: spec.label(),
-                    spec: spec.clone(),
-                    outcome,
-                });
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(RunOutcome {
+                        label: spec.label(),
+                        spec: spec.clone(),
+                        outcome,
+                    });
             });
         }
     });
+    // The cursor visits every index exactly once, so each slot is filled.
+    #[allow(clippy::expect_used)]
     let outcomes = slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("slot lock").expect("every spec executed"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every spec executed")
+        })
         .collect();
     CampaignResults { outcomes }
 }

@@ -224,6 +224,7 @@ pub fn fig2_workload() -> Vec<AppSpec> {
     let node = |acc: u32, t_us: u64| {
         NodeSpec::new(AccTypeId(acc), Dur::from_us(t_us)).with_output_bytes(16_384)
     };
+    #[allow(clippy::expect_used)] // four fresh nodes wired in a line
     let chain = |name: &str| {
         let mut b = DagBuilder::new(name, Dur::from_us(340));
         let ids = [node(0, 20), node(0, 30), node(1, 50), node(1, 30)]
@@ -654,7 +655,7 @@ pub fn fig12() -> String {
             p.enqueue_ready(&mut q, &mut vec![entry], Time::from_us(1), &[1]);
             samples.push(start.elapsed().as_nanos() as f64);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        samples.sort_by(f64::total_cmp);
         let avg: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         let p99 = samples[(samples.len() * 99) / 100 - 1];
         t.row(vec![

@@ -7,6 +7,9 @@
 //! levels, and aggregating geometric means the way the figures do.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 
 use relief_accel::{SimResult, SocConfig, SocSim};
 use relief_core::PolicyKind;
@@ -130,5 +133,6 @@ mod tests {
 pub mod campaign;
 pub mod experiments;
 pub mod microbench;
+pub mod resilience;
 pub mod traceio;
 pub mod walltime;

@@ -57,7 +57,9 @@ pub fn pinned_subset() -> Vec<Case> {
             });
         }
     }
-    let ghl = Contention::Continuous.mixes().into_iter().last().expect("GHL exists");
+    let Some(ghl) = Contention::Continuous.mixes().into_iter().last() else {
+        return cases;
+    };
     for policy in [PolicyKind::Fcfs, PolicyKind::Relief] {
         cases.push(Case {
             policy,
@@ -117,7 +119,7 @@ pub struct Spread {
 impl Spread {
     fn of(mut values: Vec<f64>) -> Spread {
         assert!(!values.is_empty(), "need at least one sample");
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.sort_by(f64::total_cmp);
         let n = values.len();
         let median =
             if n % 2 == 1 { values[n / 2] } else { (values[n / 2 - 1] + values[n / 2]) / 2.0 };

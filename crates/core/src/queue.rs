@@ -191,6 +191,8 @@ impl ReadyQueues {
     ///
     /// Panics if `index` is out of bounds.
     pub fn remove_at(&mut self, acc: AccTypeId, index: usize) -> TaskEntry {
+        // Documented panic: callers pass indices from their own scan.
+        #[allow(clippy::expect_used)]
         let removed = self.queues[acc.0 as usize].remove(index).expect("index in bounds");
         self.ops += 1;
         if removed.is_fwd {

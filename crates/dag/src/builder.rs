@@ -155,7 +155,9 @@ impl DagBuilder {
             }
         }
         if seen != n {
-            let culprit = indeg.iter().position(|&d| d > 0).expect("cycle implies nonzero indegree");
+            // A cycle implies some node kept nonzero indegree; fall back
+            // to node 0 rather than panicking if that ever fails to hold.
+            let culprit = indeg.iter().position(|&d| d > 0).unwrap_or(0);
             return Err(DagError::Cycle(NodeId(culprit as u32)));
         }
 

@@ -13,6 +13,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 
 pub mod energy;
 pub mod reconcile;
@@ -22,7 +25,7 @@ pub mod summary;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use reconcile::{reconcile, Mismatch};
-pub use stats::{AppStats, RunStats, TrafficStats};
+pub use stats::{AppStats, FaultStats, RunStats, TrafficStats};
 
 // Thread-safety audit: per-run statistics are the campaign engine's
 // cross-thread output payload; keep them `Send + Sync`.
@@ -31,5 +34,6 @@ const _: () = {
     assert_send_sync::<RunStats>();
     assert_send_sync::<AppStats>();
     assert_send_sync::<TrafficStats>();
+    assert_send_sync::<FaultStats>();
     assert_send_sync::<Mismatch>();
 };

@@ -54,7 +54,7 @@ pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
     let nodes: u64 = stats.apps.values().map(|a| a.nodes_completed).sum();
     let dags: u64 = stats.apps.values().map(|a| a.dags_completed).sum();
     let dags_met: u64 = stats.apps.values().map(|a| a.dag_deadlines_met).sum();
-    let checks: [(&'static str, u64, u64); 8] = [
+    let checks: [(&'static str, u64, u64); 14] = [
         ("tasks_completed", counters.tasks_completed, nodes),
         ("dags_done", counters.dags_done, dags),
         ("dags_met", counters.dags_met, dags_met),
@@ -63,6 +63,16 @@ pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
         ("dram_read_bytes", counters.dram_read_bytes, stats.traffic.dram_read_bytes),
         ("dram_write_bytes", counters.dram_write_bytes, stats.traffic.dram_write_bytes),
         ("spad_to_spad_bytes", counters.spad_to_spad_bytes, stats.traffic.spad_to_spad_bytes),
+        ("task_faults", counters.task_faults, stats.faults.task_faults),
+        ("task_retries", counters.task_retries, stats.faults.task_retries),
+        ("tasks_aborted", counters.tasks_aborted, stats.faults.tasks_aborted),
+        ("dma_faults", counters.dma_faults, stats.faults.dma_faults),
+        ("unit_quarantines", counters.unit_quarantines, stats.faults.unit_quarantines),
+        (
+            "fault_attributed_misses",
+            counters.fault_attributed_misses,
+            stats.faults.fault_attributed_misses,
+        ),
     ];
     checks
         .into_iter()
@@ -116,6 +126,28 @@ mod tests {
     fn consistent_run_reports_nothing() {
         let (counters, stats) = consistent_pair();
         assert!(reconcile(&counters, &stats).is_empty());
+    }
+
+    #[test]
+    fn fault_counters_reconcile() {
+        let (mut counters, mut stats) = consistent_pair();
+        counters.task_faults = 3;
+        counters.task_retries = 2;
+        counters.tasks_aborted = 1;
+        counters.dma_faults = 4;
+        counters.unit_quarantines = 1;
+        counters.fault_attributed_misses = 1;
+        stats.faults.task_faults = 3;
+        stats.faults.task_retries = 2;
+        stats.faults.tasks_aborted = 1;
+        stats.faults.dma_faults = 4;
+        stats.faults.unit_quarantines = 1;
+        stats.faults.fault_attributed_misses = 1;
+        assert!(reconcile(&counters, &stats).is_empty());
+        stats.faults.dma_faults = 5;
+        let mismatches = reconcile(&counters, &stats);
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].field, "dma_faults");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use relief_sim::Dur;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Byte-level data-movement accounting (basis of Figs. 5 and 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -145,8 +146,36 @@ impl AppStats {
     }
 }
 
+/// Fault-injection and recovery accounting (the resilience campaign's
+/// raw material). All-zero when fault injection is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultStats {
+    /// Task compute attempts that produced a corrupt output.
+    pub task_faults: u64,
+    /// Input DMA transfers that delivered corrupt data.
+    pub dma_faults: u64,
+    /// Faulted tasks re-queued after backoff.
+    pub task_retries: u64,
+    /// Tasks abandoned after exhausting their retry budget.
+    pub tasks_aborted: u64,
+    /// Previously faulted tasks whose retry eventually completed.
+    pub recovered: u64,
+    /// Accelerator-unit quarantine (offline) events.
+    pub unit_quarantines: u64,
+    /// DAG deadline misses on instances that absorbed at least one fault.
+    pub fault_attributed_misses: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn injected(&self) -> u64 {
+        self.task_faults + self.dma_faults
+    }
+}
+
 /// Everything one simulation run reports.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Clone, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunStats {
     /// Scheduling policy that produced this run.
@@ -172,6 +201,33 @@ pub struct RunStats {
     /// Total edges in all *completed or attempted* work (denominator of
     /// Fig. 4).
     pub edges_total: u64,
+    /// Fault-injection and recovery accounting; all-zero (and omitted from
+    /// `Debug` output) when fault injection is disabled.
+    pub faults: FaultStats,
+}
+
+/// Hand-written so fault-free runs render exactly as they did before the
+/// fault field existed: campaign stdout is `{:?}` of `RunStats`, and its
+/// golden outputs must stay byte-identical at fault rate 0. The `faults`
+/// field is appended only when some counter is nonzero.
+impl fmt::Debug for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("RunStats");
+        d.field("policy", &self.policy)
+            .field("exec_time", &self.exec_time)
+            .field("traffic", &self.traffic)
+            .field("apps", &self.apps)
+            .field("accel_busy", &self.accel_busy)
+            .field("interconnect_busy", &self.interconnect_busy)
+            .field("dram_busy", &self.dram_busy)
+            .field("scheduler_ops", &self.scheduler_ops)
+            .field("scheduler_time", &self.scheduler_time)
+            .field("edges_total", &self.edges_total);
+        if self.faults != FaultStats::default() {
+            d.field("faults", &self.faults);
+        }
+        d.finish()
+    }
 }
 
 impl RunStats {
@@ -318,6 +374,28 @@ mod tests {
         assert!((r.accel_occupancy() - 1.5).abs() < 1e-12);
         assert!((r.node_deadline_percent() - 80.0).abs() < 1e-12);
         assert!((r.dag_deadline_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_omits_faults_only_when_fault_free() {
+        let clean = RunStats { policy: "relief".into(), ..Default::default() };
+        let rendered = format!("{clean:?}");
+        assert!(
+            !rendered.contains("faults"),
+            "fault-free runs must render without the fault field (golden stability): {rendered}"
+        );
+        assert!(rendered.ends_with("edges_total: 0 }"), "{rendered}");
+        let mut faulty = clean;
+        faulty.faults.task_faults = 2;
+        let rendered = format!("{faulty:?}");
+        assert!(rendered.contains("faults: FaultStats"), "{rendered}");
+        assert!(rendered.contains("task_faults: 2"), "{rendered}");
+    }
+
+    #[test]
+    fn fault_totals() {
+        let f = FaultStats { task_faults: 3, dma_faults: 4, ..Default::default() };
+        assert_eq!(f.injected(), 7);
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(f64::total_cmp); // total order: NaNs sort high instead of panicking
     let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -181,10 +181,15 @@ mod tests {
     fn aggregate_sums_and_gmeans() {
         use crate::stats::AppStats;
         let mk = |exec_us: u64, nodes: u64, met: u64| {
-            let mut s = RunStats::default();
-            s.exec_time = relief_sim::Dur::from_us(exec_us);
-            s.edges_total = 10;
-            s.traffic.dram_read_bytes = 100;
+            let mut s = RunStats {
+                exec_time: relief_sim::Dur::from_us(exec_us),
+                edges_total: 10,
+                traffic: crate::stats::TrafficStats {
+                    dram_read_bytes: 100,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
             s.apps.insert(
                 "A".into(),
                 AppStats {

@@ -8,6 +8,10 @@
 //! One picosecond granularity with `u64` storage covers about 213 days of
 //! simulated time — far beyond the paper's 50 ms continuous-contention cap.
 
+// Arithmetic here `expect`s on checked ops by design: silent wraparound of
+// simulated time would corrupt every downstream statistic, so overflow is
+// a simulator bug that must stop the run.
+#![allow(clippy::expect_used)]
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};

@@ -52,7 +52,7 @@ fn escape_into(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
@@ -103,13 +103,12 @@ impl Writer {
 
     fn complete(&mut self, pid: u32, tid: u32, name: &str, start_ps: u64, end_ps: u64, args: &str) {
         let mut o = String::from("{\"ph\":\"X\",\"pid\":");
-        write!(
+        let _ = write!(
             o,
             "{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"",
             us(start_ps),
             us(end_ps.saturating_sub(start_ps))
-        )
-        .expect("write to String");
+        );
         escape_into(&mut o, name);
         o.push_str("\",\"args\":{");
         o.push_str(args);
@@ -119,7 +118,7 @@ impl Writer {
 
     fn instant(&mut self, pid: u32, tid: u32, name: &str, at_ps: u64, args: &str) {
         let mut o = String::from("{\"ph\":\"i\",\"s\":\"t\",\"pid\":");
-        write!(o, "{pid},\"tid\":{tid},\"ts\":{},\"name\":\"", us(at_ps)).expect("write to String");
+        let _ = write!(o, "{pid},\"tid\":{tid},\"ts\":{},\"name\":\"", us(at_ps));
         escape_into(&mut o, name);
         o.push_str("\",\"args\":{");
         o.push_str(args);
@@ -160,7 +159,10 @@ pub fn to_chrome_json(events: &[TraceEvent], opts: &ChromeOptions) -> String {
             | EventKind::ComputeStart { inst, .. }
             | EventKind::ComputeEnd { inst, .. }
             | EventKind::InputSourced { inst, .. }
-            | EventKind::WritebackIssued { inst, .. } => {
+            | EventKind::WritebackIssued { inst, .. }
+            | EventKind::TaskFaulted { inst, .. }
+            | EventKind::UnitQuarantined { inst, .. }
+            | EventKind::UnitRestored { inst, .. } => {
                 insts.insert(*inst, ());
             }
             EventKind::DmaStart { dma, .. } | EventKind::DmaEnd { dma, .. } => {
@@ -263,6 +265,36 @@ pub fn to_chrome_json(events: &[TraceEvent], opts: &ChromeOptions) -> String {
             EventKind::DagDone { instance, met } => {
                 let args = format!("\"instance\":{instance},\"met\":{met}");
                 w.instant(PID_SCHED, TID_APPS, "dag-done", at, &args);
+            }
+            EventKind::TaskFaulted { task, inst, attempt } => {
+                let args = format!("\"task\":\"{task}\",\"attempt\":{attempt}");
+                w.instant(PID_ACCEL, *inst, "task-fault", at, &args);
+            }
+            EventKind::TaskRetried { task, acc, attempt } => {
+                let args = format!("\"task\":\"{task}\",\"acc\":{acc},\"attempt\":{attempt}");
+                w.instant(PID_SCHED, TID_DECISIONS, "task-retry", at, &args);
+            }
+            EventKind::TaskAborted { task, attempts } => {
+                let args = format!("\"task\":\"{task}\",\"attempts\":{attempts}");
+                w.instant(PID_SCHED, TID_APPS, "task-abort", at, &args);
+            }
+            EventKind::DmaFaulted { task, parent, bytes, attempt } => {
+                let mut args = format!("\"task\":\"{task}\",\"bytes\":{bytes},\"attempt\":{attempt}");
+                if let Some(p) = parent {
+                    let _ = write!(args, ",\"parent\":\"{p}\"");
+                }
+                w.instant(PID_MEM, TID_DRAM, "dma-fault", at, &args);
+            }
+            EventKind::UnitQuarantined { inst, until_ps } => {
+                let args = format!("\"until_us\":{}", us(*until_ps));
+                w.instant(PID_ACCEL, *inst, "unit-quarantine", at, &args);
+            }
+            EventKind::UnitRestored { inst } => {
+                w.instant(PID_ACCEL, *inst, "unit-restore", at, "");
+            }
+            EventKind::FaultAttributedMiss { instance, faults } => {
+                let args = format!("\"instance\":{instance},\"faults\":{faults}");
+                w.instant(PID_SCHED, TID_APPS, "fault-miss", at, &args);
             }
         }
     }

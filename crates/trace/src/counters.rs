@@ -46,6 +46,20 @@ pub struct EventCounters {
     pub writebacks: u64,
     /// Total bytes scheduled for write-back.
     pub writeback_bytes: u64,
+    /// Task compute attempts that faulted.
+    pub task_faults: u64,
+    /// Faulted tasks re-queued after backoff.
+    pub task_retries: u64,
+    /// Tasks abandoned after exhausting their retry budget.
+    pub tasks_aborted: u64,
+    /// Input DMA transfers that faulted and retried from DRAM.
+    pub dma_faults: u64,
+    /// Accelerator-unit quarantine (offline) events.
+    pub unit_quarantines: u64,
+    /// Accelerator-unit restore (back-online) events.
+    pub unit_restores: u64,
+    /// Deadline misses attributed to fault recovery.
+    pub fault_attributed_misses: u64,
 }
 
 impl EventCounters {
@@ -95,6 +109,13 @@ impl EventCounters {
                 self.writebacks += 1;
                 self.writeback_bytes += bytes;
             }
+            EventKind::TaskFaulted { .. } => self.task_faults += 1,
+            EventKind::TaskRetried { .. } => self.task_retries += 1,
+            EventKind::TaskAborted { .. } => self.tasks_aborted += 1,
+            EventKind::DmaFaulted { .. } => self.dma_faults += 1,
+            EventKind::UnitQuarantined { .. } => self.unit_quarantines += 1,
+            EventKind::UnitRestored { .. } => self.unit_restores += 1,
+            EventKind::FaultAttributedMiss { .. } => self.fault_attributed_misses += 1,
             EventKind::ResourceBusy { .. }
             | EventKind::DmaStart { .. }
             | EventKind::TaskReady { .. }

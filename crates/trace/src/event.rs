@@ -294,6 +294,69 @@ pub enum EventKind {
         /// Whether the end-to-end deadline was met.
         met: bool,
     },
+
+    // ---- relief-fault ----
+    /// A task's compute attempt produced a corrupt output; the output was
+    /// discarded and the task will be re-queued (or aborted).
+    TaskFaulted {
+        /// The faulted task.
+        task: TaskRef,
+        /// Accelerator instance the attempt ran on.
+        inst: u32,
+        /// 0-based attempt index that faulted.
+        attempt: u32,
+    },
+    /// A previously faulted task re-entered its ready queue after its
+    /// backoff delay.
+    TaskRetried {
+        /// The retried task.
+        task: TaskRef,
+        /// Accelerator type it re-queues on.
+        acc: u32,
+        /// 0-based index of the new attempt.
+        attempt: u32,
+    },
+    /// A task exhausted its retry budget; it and its DAG instance are
+    /// abandoned (sibling tasks still drain, the DAG never completes).
+    TaskAborted {
+        /// The aborted task.
+        task: TaskRef,
+        /// Total attempts consumed (`max_retries + 1`).
+        attempts: u32,
+    },
+    /// An input DMA transfer delivered corrupt data; the edge retries
+    /// from DRAM (any forwarding window is lost).
+    DmaFaulted {
+        /// The consuming task.
+        task: TaskRef,
+        /// The producing task, if the input is an edge.
+        parent: Option<TaskRef>,
+        /// Edge payload in bytes (re-transferred in full).
+        bytes: u64,
+        /// 0-based delivery attempt that faulted.
+        attempt: u32,
+    },
+    /// An accelerator unit went offline and left the dispatch candidate
+    /// set (non-preemptive: a task already running on it completes).
+    UnitQuarantined {
+        /// Accelerator instance index.
+        inst: u32,
+        /// When the matching restore fires, picoseconds.
+        until_ps: u64,
+    },
+    /// A quarantined accelerator unit came back online.
+    UnitRestored {
+        /// Accelerator instance index.
+        inst: u32,
+    },
+    /// A DAG instance missed its deadline after suffering at least one
+    /// fault — the miss is attributed to fault recovery.
+    FaultAttributedMiss {
+        /// DAG instance index.
+        instance: u32,
+        /// Faults (task + DMA) the instance absorbed.
+        faults: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -354,6 +417,29 @@ impl fmt::Display for EventKind {
                 write!(f, "writeback {task} inst{inst} {bytes}B lazy={lazy}")
             }
             DagDone { instance, met } => write!(f, "dag-done inst{instance} met={met}"),
+            TaskFaulted { task, inst, attempt } => {
+                write!(f, "task-fault {task} inst{inst} attempt={attempt}")
+            }
+            TaskRetried { task, acc, attempt } => {
+                write!(f, "task-retry {task} acc{acc} attempt={attempt}")
+            }
+            TaskAborted { task, attempts } => {
+                write!(f, "task-abort {task} attempts={attempts}")
+            }
+            DmaFaulted { task, parent, bytes, attempt } => {
+                write!(f, "dma-fault {task}")?;
+                if let Some(p) = parent {
+                    write!(f, " from {p}")?;
+                }
+                write!(f, " {bytes}B attempt={attempt}")
+            }
+            UnitQuarantined { inst, until_ps } => {
+                write!(f, "unit-quarantine inst{inst} until={until_ps}")
+            }
+            UnitRestored { inst } => write!(f, "unit-restore inst{inst}"),
+            FaultAttributedMiss { instance, faults } => {
+                write!(f, "fault-miss inst{instance} faults={faults}")
+            }
         }
     }
 }

@@ -174,7 +174,7 @@ impl Tracer {
             return;
         }
         let kind = make();
-        let (last, rest) = self.sinks.split_last().expect("non-empty");
+        let Some((last, rest)) = self.sinks.split_last() else { return };
         for sink in rest {
             sink.borrow_mut().emit(TraceEvent { at_ps, kind: kind.clone() });
         }

@@ -22,7 +22,7 @@ pub fn to_text(events: &[TraceEvent]) -> String {
     use std::fmt::Write;
     let mut out = String::with_capacity(events.len() * 48);
     for ev in events {
-        writeln!(out, "{ev}").expect("writing to String cannot fail");
+        let _ = writeln!(out, "{ev}"); // writing to a String cannot fail
     }
     out
 }

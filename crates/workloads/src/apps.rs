@@ -2,7 +2,7 @@
 //! Tables II and V.
 
 use relief_accel::kinds::{AccKind, PLANE_BYTES};
-use relief_dag::{Dag, DagBuilder, NodeId, NodeSpec};
+use relief_dag::{Dag, DagBuilder, DagError, NodeId, NodeSpec};
 use relief_sim::Dur;
 use std::sync::Arc;
 
@@ -77,15 +77,36 @@ impl App {
     }
 
     /// Builds the application's task graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reconstruction wires an invalid graph — structurally
+    /// unreachable for the five built-in applications (their shapes are
+    /// fixed and covered by tests). Fallible callers should prefer
+    /// [`App::try_dag`].
     pub fn dag(self) -> Arc<Dag> {
+        match self.try_dag() {
+            Ok(dag) => dag,
+            Err(e) => panic!("{self}: invalid built-in dag: {e}"),
+        }
+    }
+
+    /// Builds the application's task graph, surfacing construction errors
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DagError`] hit while wiring the graph (none of
+    /// the built-in reconstructions can actually produce one).
+    pub fn try_dag(self) -> Result<Arc<Dag>, DagError> {
         let raw = match self {
-            App::Canny => canny(),
-            App::Deblur => deblur(5),
-            App::Gru => gru(8),
-            App::Harris => harris(),
-            App::Lstm => lstm(8),
+            App::Canny => canny()?,
+            App::Deblur => deblur(5)?,
+            App::Gru => gru(8)?,
+            App::Harris => harris()?,
+            App::Lstm => lstm(8)?,
         };
-        Arc::new(calibrate(raw, self))
+        Ok(Arc::new(calibrate(raw, self)?))
     }
 }
 
@@ -98,7 +119,7 @@ impl std::fmt::Display for App {
 /// Scales every node's compute time so the application total matches
 /// Table II exactly. The scale factors are small (≤ 5 %) residuals of the
 /// DAG reconstruction; shapes and node counts are untouched.
-fn calibrate(raw: Dag, app: App) -> Dag {
+fn calibrate(raw: Dag, app: App) -> Result<Dag, DagError> {
     let total = raw.total_compute().as_ps() as f64;
     let target = app.table2_compute().as_ps() as f64;
     let scale = target / total;
@@ -114,10 +135,10 @@ fn calibrate(raw: Dag, app: App) -> Dag {
     }
     for from in raw.node_ids() {
         for &to in raw.children(from) {
-            b.add_edge(from, to).expect("copying a valid dag");
+            b.add_edge(from, to)?;
         }
     }
-    b.build().expect("copying a valid dag")
+    b.build()
 }
 
 /// Node helper: a task on `kind` with its default output size.
@@ -137,22 +158,22 @@ fn conv3(app: App) -> NodeSpec {
 
 /// ISP front-end shared by the vision pipelines: raw capture -> ISP ->
 /// grayscale. Returns (isp, grayscale).
-fn vision_frontend(b: &mut DagBuilder, app: App) -> (NodeId, NodeId) {
+fn vision_frontend(b: &mut DagBuilder, app: App) -> Result<(NodeId, NodeId), DagError> {
     let isp = b.add_node(
         task(app, AccKind::Isp, "isp").with_dram_input_bytes(AccKind::isp_raw_input_bytes()),
     );
     let gray = b.add_node(task(app, AccKind::Grayscale, "gray"));
-    b.add_edge(isp, gray).expect("fresh nodes");
-    (isp, gray)
+    b.add_edge(isp, gray)?;
+    Ok((isp, gray))
 }
 
 /// Canny edge detection (Fig. 1b): ISP → grayscale → Gaussian blur →
 /// Sobel x/y → gradient magnitude (sqr, sqr, add, sqrt) and direction
 /// (atan2) → non-max suppression → edge tracking. 12 nodes, 14 edges.
-fn canny() -> Dag {
+fn canny() -> Result<Dag, DagError> {
     let app = App::Canny;
     let mut b = DagBuilder::new(app.name(), app.deadline());
-    let (_isp, gray) = vision_frontend(&mut b, app);
+    let (_isp, gray) = vision_frontend(&mut b, app)?;
     let gauss = b.add_node(task(app, AccKind::Convolution, "gauss5x5"));
     let gx = b.add_node(conv3(app).with_label("C.sobel_x"));
     let gy = b.add_node(conv3(app).with_label("C.sobel_y"));
@@ -178,9 +199,9 @@ fn canny() -> Dag {
         (dir, cnm),
         (cnm, et),
     ] {
-        b.add_edge(f, t).expect("fresh nodes");
+        b.add_edge(f, t)?;
     }
-    b.build().expect("hand-built dag is valid")
+    b.build()
 }
 
 /// Richardson-Lucy deblur (Fig. 1c): ISP → grayscale, then per iteration
@@ -188,10 +209,10 @@ fn canny() -> Dag {
 /// DRAM) → conv(ratio, psf*) → est ×= correction`. A strictly linear
 /// critical path, dominated by convolutions (Table II: only 3 % of its
 /// time is data movement). 2 + 4·iters nodes.
-pub(crate) fn deblur(iters: usize) -> Dag {
+pub(crate) fn deblur(iters: usize) -> Result<Dag, DagError> {
     let app = App::Deblur;
     let mut b = DagBuilder::new(app.name(), app.deadline());
-    let (_isp, gray) = vision_frontend(&mut b, app);
+    let (_isp, gray) = vision_frontend(&mut b, app)?;
     let mut est = gray;
     for i in 0..iters {
         let ca = b.add_node(task(app, AccKind::Convolution, &format!("conv_est{i}")));
@@ -202,20 +223,20 @@ pub(crate) fn deblur(iters: usize) -> Dag {
         let cb = b.add_node(task(app, AccKind::Convolution, &format!("conv_corr{i}")));
         let upd = b.add_node(task(app, AccKind::ElemMatrix, &format!("update{i}")));
         for (f, t) in [(est, ca), (ca, ratio), (ratio, cb), (cb, upd), (est, upd)] {
-            b.add_edge(f, t).expect("fresh nodes");
+            b.add_edge(f, t)?;
         }
         est = upd;
     }
-    b.build().expect("hand-built dag is valid")
+    b.build()
 }
 
 /// Harris corner detection (Fig. 1d): ISP → grayscale → Sobel x/y →
 /// products (xx, yy, xy) → Gaussian-smoothed sums (3 × conv 5×5) →
 /// response = det(M) − k·trace(M)² → non-max. 17 nodes, 21 edges.
-fn harris() -> Dag {
+fn harris() -> Result<Dag, DagError> {
     let app = App::Harris;
     let mut b = DagBuilder::new(app.name(), app.deadline());
-    let (_isp, gray) = vision_frontend(&mut b, app);
+    let (_isp, gray) = vision_frontend(&mut b, app)?;
     let gx = b.add_node(conv3(app).with_label("H.sobel_x"));
     let gy = b.add_node(conv3(app).with_label("H.sobel_y"));
     let xx = b.add_node(task(app, AccKind::ElemMatrix, "xx"));
@@ -253,9 +274,9 @@ fn harris() -> Dag {
         (tr2, resp),
         (resp, hnm),
     ] {
-        b.add_edge(f, t).expect("fresh nodes");
+        b.add_edge(f, t)?;
     }
-    b.build().expect("hand-built dag is valid")
+    b.build()
 }
 
 /// An elem-matrix RNN cell node. `weights` adds always-DRAM input planes
@@ -268,13 +289,18 @@ fn em(app: App, op: &str, weights: u64) -> NodeSpec {
 /// reset gate r (4 nodes each), candidate state (5), and the blended
 /// hidden state (2). The hidden-state chain serializes timesteps; the
 /// longest chain in a timestep is 9 nodes, matching §V-A's observation.
-pub(crate) fn gru(timesteps: usize) -> Dag {
+pub(crate) fn gru(timesteps: usize) -> Result<Dag, DagError> {
     let app = App::Gru;
     let mut b = DagBuilder::new(app.name(), app.deadline());
     let mut h_prev: Option<NodeId> = None;
     for t in 0..timesteps {
-        // `link` wires an h_{t-1} edge, or charges a DRAM read of h_0.
-        let gate = |b: &mut DagBuilder, op: String, parents: &[NodeId], w: u64, h: bool| {
+        // `gate` wires an h_{t-1} edge, or charges a DRAM read of h_0.
+        let gate = |b: &mut DagBuilder,
+                    op: String,
+                    parents: &[NodeId],
+                    w: u64,
+                    h: bool|
+         -> Result<NodeId, DagError> {
             let mut spec = em(app, &op, w);
             if h && h_prev.is_none() {
                 let extra = spec.dram_input_bytes + PLANE_BYTES;
@@ -282,50 +308,51 @@ pub(crate) fn gru(timesteps: usize) -> Dag {
             }
             let n = b.add_node(spec);
             for &p in parents {
-                b.add_edge(p, n).expect("fresh nodes");
+                b.add_edge(p, n)?;
             }
             if h {
                 if let Some(hp) = h_prev {
-                    b.add_edge(hp, n).expect("fresh nodes");
+                    b.add_edge(hp, n)?;
                 }
             }
-            n
+            Ok(n)
         };
-        let z1 = gate(&mut b, format!("z1_{t}"), &[], 2, false);
-        let z2 = gate(&mut b, format!("z2_{t}"), &[], 1, true);
-        let z3 = gate(&mut b, format!("z3_{t}"), &[z1, z2], 0, false);
-        let z4 = gate(&mut b, format!("z4_{t}"), &[z3], 0, false);
-        let r1 = gate(&mut b, format!("r1_{t}"), &[], 2, false);
-        let r2 = gate(&mut b, format!("r2_{t}"), &[], 1, true);
-        let r3 = gate(&mut b, format!("r3_{t}"), &[r1, r2], 0, false);
-        let r4 = gate(&mut b, format!("r4_{t}"), &[r3], 0, false);
-        let c0 = gate(&mut b, format!("c0_{t}"), &[r4], 0, true);
-        let c1 = gate(&mut b, format!("c1_{t}"), &[], 2, false);
-        let c2 = gate(&mut b, format!("c2_{t}"), &[c0], 1, false);
-        let c3 = gate(&mut b, format!("c3_{t}"), &[c1, c2], 0, false);
-        let c4 = gate(&mut b, format!("c4_{t}"), &[c3], 0, false);
-        let h1 = gate(&mut b, format!("h1_{t}"), &[z4, c4], 0, false);
-        let h2 = gate(&mut b, format!("h2_{t}"), &[h1], 0, true);
+        let z1 = gate(&mut b, format!("z1_{t}"), &[], 2, false)?;
+        let z2 = gate(&mut b, format!("z2_{t}"), &[], 1, true)?;
+        let z3 = gate(&mut b, format!("z3_{t}"), &[z1, z2], 0, false)?;
+        let z4 = gate(&mut b, format!("z4_{t}"), &[z3], 0, false)?;
+        let r1 = gate(&mut b, format!("r1_{t}"), &[], 2, false)?;
+        let r2 = gate(&mut b, format!("r2_{t}"), &[], 1, true)?;
+        let r3 = gate(&mut b, format!("r3_{t}"), &[r1, r2], 0, false)?;
+        let r4 = gate(&mut b, format!("r4_{t}"), &[r3], 0, false)?;
+        let c0 = gate(&mut b, format!("c0_{t}"), &[r4], 0, true)?;
+        let c1 = gate(&mut b, format!("c1_{t}"), &[], 2, false)?;
+        let c2 = gate(&mut b, format!("c2_{t}"), &[c0], 1, false)?;
+        let c3 = gate(&mut b, format!("c3_{t}"), &[c1, c2], 0, false)?;
+        let c4 = gate(&mut b, format!("c4_{t}"), &[c3], 0, false)?;
+        let h1 = gate(&mut b, format!("h1_{t}"), &[z4, c4], 0, false)?;
+        let h2 = gate(&mut b, format!("h2_{t}"), &[h1], 0, true)?;
         h_prev = Some(h2);
     }
-    b.build().expect("hand-built dag is valid")
+    b.build()
 }
 
 /// LSTM (Fig. 1f): 8 timesteps of 17 elem-matrix nodes — gates i, f, o, g
 /// as 3-node chains (W·x; fused U·h add; activation), the cell state
 /// (3 nodes), and the hidden state (2).
-pub(crate) fn lstm(timesteps: usize) -> Dag {
+pub(crate) fn lstm(timesteps: usize) -> Result<Dag, DagError> {
     let app = App::Lstm;
     let mut b = DagBuilder::new(app.name(), app.deadline());
     let mut h_prev: Option<NodeId> = None;
     let mut c_prev: Option<NodeId> = None;
     for t in 0..timesteps {
         let node = |b: &mut DagBuilder,
-                        op: String,
-                        parents: &[NodeId],
-                        w: u64,
-                        recur: Option<NodeId>,
-                        first_step_dram: bool| {
+                    op: String,
+                    parents: &[NodeId],
+                    w: u64,
+                    recur: Option<NodeId>,
+                    first_step_dram: bool|
+         -> Result<NodeId, DagError> {
             let mut spec = em(app, &op, w);
             if recur.is_none() && first_step_dram {
                 let extra = spec.dram_input_bytes + PLANE_BYTES;
@@ -333,30 +360,30 @@ pub(crate) fn lstm(timesteps: usize) -> Dag {
             }
             let n = b.add_node(spec);
             for &p in parents {
-                b.add_edge(p, n).expect("fresh nodes");
+                b.add_edge(p, n)?;
             }
             if let Some(r) = recur {
-                b.add_edge(r, n).expect("fresh nodes");
+                b.add_edge(r, n)?;
             }
-            n
+            Ok(n)
         };
         let mut gates = Vec::new();
         for g in ["i", "f", "o", "g"] {
-            let x1 = node(&mut b, format!("{g}1_{t}"), &[], 2, None, false);
-            let x2 = node(&mut b, format!("{g}2_{t}"), &[x1], 1, h_prev, true);
-            let act = node(&mut b, format!("{g}3_{t}"), &[x2], 0, None, false);
+            let x1 = node(&mut b, format!("{g}1_{t}"), &[], 2, None, false)?;
+            let x2 = node(&mut b, format!("{g}2_{t}"), &[x1], 1, h_prev, true)?;
+            let act = node(&mut b, format!("{g}3_{t}"), &[x2], 0, None, false)?;
             gates.push(act);
         }
         let (i3, f3, o3, g3) = (gates[0], gates[1], gates[2], gates[3]);
-        let c1 = node(&mut b, format!("c1_{t}"), &[f3], 0, c_prev, true);
-        let c2 = node(&mut b, format!("c2_{t}"), &[i3, g3], 0, None, false);
-        let c3 = node(&mut b, format!("c3_{t}"), &[c1, c2], 0, None, false);
-        let h1 = node(&mut b, format!("h1_{t}"), &[c3], 0, None, false);
-        let h2 = node(&mut b, format!("h2_{t}"), &[o3, h1], 0, None, false);
+        let c1 = node(&mut b, format!("c1_{t}"), &[f3], 0, c_prev, true)?;
+        let c2 = node(&mut b, format!("c2_{t}"), &[i3, g3], 0, None, false)?;
+        let c3 = node(&mut b, format!("c3_{t}"), &[c1, c2], 0, None, false)?;
+        let h1 = node(&mut b, format!("h1_{t}"), &[c3], 0, None, false)?;
+        let h2 = node(&mut b, format!("h2_{t}"), &[o3, h1], 0, None, false)?;
         h_prev = Some(h2);
         c_prev = Some(c3);
     }
-    b.build().expect("hand-built dag is valid")
+    b.build()
 }
 
 #[cfg(test)]
@@ -479,6 +506,13 @@ mod tests {
     fn dags_are_deterministic() {
         for app in App::ALL {
             assert_eq!(*app.dag(), *app.dag(), "{app}");
+        }
+    }
+
+    #[test]
+    fn try_dag_matches_dag() {
+        for app in App::ALL {
+            assert_eq!(*app.try_dag().unwrap(), *app.dag(), "{app}");
         }
     }
 }

@@ -1,0 +1,53 @@
+//! Typed errors for workload construction.
+
+use relief_dag::DagError;
+use std::fmt;
+
+/// A rejected workload request: a bad parameter, or a graph-construction
+/// failure bubbled up from `relief-dag`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A parameter outside its valid range, with a printable reason.
+    InvalidParam(String),
+    /// The underlying DAG builder rejected the graph.
+    Dag(DagError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParam(msg) => write!(f, "invalid workload parameter: {msg}"),
+            WorkloadError::Dag(e) => write!(f, "workload dag construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::InvalidParam(_) => None,
+            WorkloadError::Dag(e) => Some(e),
+        }
+    }
+}
+
+impl From<DagError> for WorkloadError {
+    fn from(e: DagError) -> Self {
+        WorkloadError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let p = WorkloadError::InvalidParam("need at least one timestep".into());
+        assert_eq!(p.to_string(), "invalid workload parameter: need at least one timestep");
+        let d = WorkloadError::from(DagError::Empty);
+        assert_eq!(d.to_string(), "workload dag construction failed: graph has no nodes");
+        assert!(std::error::Error::source(&d).is_some());
+        assert!(std::error::Error::source(&p).is_none());
+    }
+}

@@ -30,11 +30,16 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 
 pub mod apps;
+pub mod error;
 pub mod scenario;
 pub mod synthetic;
 pub mod variants;
 
 pub use apps::App;
+pub use error::WorkloadError;
 pub use scenario::{Contention, Mix, CONTINUOUS_TIME_LIMIT};

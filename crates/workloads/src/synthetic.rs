@@ -1,5 +1,6 @@
 //! Random task-graph generation for property-based testing.
 
+use crate::error::WorkloadError;
 use relief_dag::{AccTypeId, Dag, DagBuilder, NodeId, NodeSpec};
 use relief_sim::{Dur, SplitMix64};
 use std::sync::Arc;
@@ -50,10 +51,41 @@ impl Default for SyntheticParams {
 ///
 /// # Panics
 ///
-/// Panics if `params.nodes` or `params.acc_types` is zero.
+/// Panics if `params.nodes` or `params.acc_types` is zero, or the edge
+/// probability is outside `[0, 1]`. Fallible callers should prefer
+/// [`try_random_dag`].
 pub fn random_dag(params: &SyntheticParams, seed: u64) -> Arc<Dag> {
-    assert!(params.nodes >= 1, "need at least one node");
-    assert!(params.acc_types >= 1, "need at least one accelerator type");
+    match try_random_dag(params, seed) {
+        Ok(dag) => dag,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`random_dag`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParam`] for zero nodes or accelerator
+/// types or a non-finite/out-of-range edge probability, and propagates
+/// any [`relief_dag::DagError`] (unreachable: edges only point forward).
+pub fn try_random_dag(
+    params: &SyntheticParams,
+    seed: u64,
+) -> Result<Arc<Dag>, WorkloadError> {
+    if params.nodes == 0 {
+        return Err(WorkloadError::InvalidParam("need at least one node".into()));
+    }
+    if params.acc_types == 0 {
+        return Err(WorkloadError::InvalidParam(
+            "need at least one accelerator type".into(),
+        ));
+    }
+    if !params.edge_prob.is_finite() || !(0.0..=1.0).contains(&params.edge_prob) {
+        return Err(WorkloadError::InvalidParam(format!(
+            "edge probability {} outside [0, 1]",
+            params.edge_prob
+        )));
+    }
     let mut rng = SplitMix64::new(seed);
     let mut b = DagBuilder::new(format!("synthetic-{seed}"), params.deadline);
     let mut ids: Vec<NodeId> = Vec::with_capacity(params.nodes);
@@ -67,16 +99,16 @@ pub fn random_dag(params: &SyntheticParams, seed: u64) -> Arc<Dag> {
         let mut has_parent = false;
         for i in 0..j {
             if rng.chance(params.edge_prob) {
-                b.add_edge(ids[i], ids[j]).expect("forward edge is valid");
+                b.add_edge(ids[i], ids[j])?;
                 has_parent = true;
             }
         }
         if !has_parent {
             let i = rng.usize_below(j);
-            b.add_edge(ids[i], ids[j]).expect("forward edge is valid");
+            b.add_edge(ids[i], ids[j])?;
         }
     }
-    Arc::new(b.build().expect("forward-ordered edges are acyclic"))
+    Ok(Arc::new(b.build()?))
 }
 
 #[cfg(test)]
@@ -122,5 +154,22 @@ mod tests {
         let d = random_dag(&p, 0);
         assert_eq!(d.len(), 1);
         assert_eq!(d.edge_count(), 0);
+    }
+
+    #[test]
+    fn bad_params_are_typed_errors() {
+        use crate::error::WorkloadError;
+        let zero_nodes = SyntheticParams { nodes: 0, ..Default::default() };
+        assert!(matches!(
+            try_random_dag(&zero_nodes, 0),
+            Err(WorkloadError::InvalidParam(_))
+        ));
+        let bad_prob = SyntheticParams { edge_prob: f64::NAN, ..Default::default() };
+        assert!(matches!(
+            try_random_dag(&bad_prob, 0),
+            Err(WorkloadError::InvalidParam(_))
+        ));
+        let p = SyntheticParams::default();
+        assert_eq!(*try_random_dag(&p, 7).unwrap(), *random_dag(&p, 7));
     }
 }

@@ -11,7 +11,8 @@
 //! for the paper's sizes).
 
 use crate::apps;
-use relief_dag::Dag;
+use crate::error::WorkloadError;
+use relief_dag::{Dag, DagError};
 use relief_sim::Dur;
 use std::sync::Arc;
 
@@ -20,7 +21,8 @@ use std::sync::Arc;
 ///
 /// # Panics
 ///
-/// Panics if `iterations` is zero.
+/// Panics if `iterations` is zero. Fallible callers should prefer
+/// [`try_deblur`].
 ///
 /// # Examples
 ///
@@ -30,42 +32,85 @@ use std::sync::Arc;
 /// assert_eq!(deblur(10, relief_sim::Dur::from_ms(33)).len(), 42);
 /// ```
 pub fn deblur(iterations: usize, deadline: Dur) -> Arc<Dag> {
-    assert!(iterations > 0, "need at least one iteration");
-    Arc::new(with_deadline(apps::deblur(iterations), deadline))
+    unwrap_variant(try_deblur(iterations, deadline))
+}
+
+/// Fallible [`deblur`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParam`] when `iterations` is zero.
+pub fn try_deblur(iterations: usize, deadline: Dur) -> Result<Arc<Dag>, WorkloadError> {
+    if iterations == 0 {
+        return Err(WorkloadError::InvalidParam("need at least one iteration".into()));
+    }
+    Ok(Arc::new(with_deadline(apps::deblur(iterations)?, deadline)?))
 }
 
 /// GRU with a custom sequence length (the paper uses 8).
 ///
 /// # Panics
 ///
-/// Panics if `timesteps` is zero.
+/// Panics if `timesteps` is zero. Fallible callers should prefer
+/// [`try_gru`].
 pub fn gru(timesteps: usize, deadline: Dur) -> Arc<Dag> {
-    assert!(timesteps > 0, "need at least one timestep");
-    Arc::new(with_deadline(apps::gru(timesteps), deadline))
+    unwrap_variant(try_gru(timesteps, deadline))
+}
+
+/// Fallible [`gru`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParam`] when `timesteps` is zero.
+pub fn try_gru(timesteps: usize, deadline: Dur) -> Result<Arc<Dag>, WorkloadError> {
+    if timesteps == 0 {
+        return Err(WorkloadError::InvalidParam("need at least one timestep".into()));
+    }
+    Ok(Arc::new(with_deadline(apps::gru(timesteps)?, deadline)?))
 }
 
 /// LSTM with a custom sequence length (the paper uses 8).
 ///
 /// # Panics
 ///
-/// Panics if `timesteps` is zero.
+/// Panics if `timesteps` is zero. Fallible callers should prefer
+/// [`try_lstm`].
 pub fn lstm(timesteps: usize, deadline: Dur) -> Arc<Dag> {
-    assert!(timesteps > 0, "need at least one timestep");
-    Arc::new(with_deadline(apps::lstm(timesteps), deadline))
+    unwrap_variant(try_lstm(timesteps, deadline))
+}
+
+/// Fallible [`lstm`].
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParam`] when `timesteps` is zero.
+pub fn try_lstm(timesteps: usize, deadline: Dur) -> Result<Arc<Dag>, WorkloadError> {
+    if timesteps == 0 {
+        return Err(WorkloadError::InvalidParam("need at least one timestep".into()));
+    }
+    Ok(Arc::new(with_deadline(apps::lstm(timesteps)?, deadline)?))
+}
+
+/// Panicking adapter kept for the infallible convenience constructors.
+fn unwrap_variant(result: Result<Arc<Dag>, WorkloadError>) -> Arc<Dag> {
+    match result {
+        Ok(dag) => dag,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Rebuilds `dag` with a different relative deadline.
-fn with_deadline(dag: Dag, deadline: Dur) -> Dag {
+fn with_deadline(dag: Dag, deadline: Dur) -> Result<Dag, DagError> {
     let mut b = relief_dag::DagBuilder::new(dag.name(), deadline);
     for spec in dag.nodes() {
         b.add_node(spec.clone());
     }
     for from in dag.node_ids() {
         for &to in dag.children(from) {
-            b.add_edge(from, to).expect("copying a valid dag");
+            b.add_edge(from, to)?;
         }
     }
-    b.build().expect("copying a valid dag")
+    b.build()
 }
 
 #[cfg(test)]
@@ -101,5 +146,17 @@ mod tests {
     #[should_panic(expected = "at least one timestep")]
     fn zero_timesteps_rejected() {
         gru(0, Dur::from_ms(1));
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        use crate::error::WorkloadError;
+        assert!(matches!(
+            try_deblur(0, Dur::from_ms(1)),
+            Err(WorkloadError::InvalidParam(_))
+        ));
+        assert!(matches!(try_gru(0, Dur::from_ms(1)), Err(WorkloadError::InvalidParam(_))));
+        assert!(matches!(try_lstm(0, Dur::from_ms(1)), Err(WorkloadError::InvalidParam(_))));
+        assert_eq!(*try_gru(4, Dur::from_ms(3)).unwrap(), *gru(4, Dur::from_ms(3)));
     }
 }

@@ -6,16 +6,19 @@
 //! 1. `cargo build --offline --workspace --benches` — the tree, including
 //!    every benchmark target, builds with zero network access (no registry
 //!    dependencies may creep back in).
-//! 2. `cargo clippy --offline -p relief-trace -p relief-bench
-//!    --all-targets -- -D warnings` — the tracing subsystem and the
-//!    campaign engine stay lint-clean. Skipped with a notice when the
+//! 2. `cargo clippy --offline <every library crate> --all-targets --
+//!    -D warnings` — all library crates stay lint-clean, including the
+//!    `clippy::unwrap_used` / `clippy::expect_used` gates their crate
+//!    roots opt into (tests carry a blanket allow; the few non-test
+//!    `expect`s document event-loop invariants via explicit
+//!    file/function-level allows). Skipped with a notice when the
 //!    clippy component is not installed.
 //! 3. `campaign_smoke` (release) — the deterministic campaign engine
 //!    executes a small grid serially and with two workers and proves the
 //!    reports byte-identical.
 //! 4. The determinism, conformance, and property test suites:
 //!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
-//!    and `metamorphic_properties`.
+//!    `metamorphic_properties`, and `fault_injection`.
 //! 5. `xtask bench --check` — a one-iteration smoke run of the hot-path
 //!    benchmark that validates the `BENCH_simcore.json` schema and that
 //!    events/sec is nonzero, so the bench binary cannot bit-rot.
@@ -60,20 +63,27 @@ fn check() -> ExitCode {
         Command::new("cargo").args(["build", "--offline", "--workspace", "--benches"]),
     );
     if have_clippy() {
+        const LIB_CRATES: [&str; 11] = [
+            "relief-sim",
+            "relief-dag",
+            "relief-mem",
+            "relief-core",
+            "relief-fault",
+            "relief-accel",
+            "relief-workloads",
+            "relief-metrics",
+            "relief-trace",
+            "relief-bench",
+            "relief",
+        ];
+        let mut args: Vec<&str> = vec!["clippy", "--offline"];
+        for c in LIB_CRATES {
+            args.extend(["-p", c]);
+        }
+        args.extend(["--all-targets", "--", "-D", "warnings"]);
         ok &= run(
-            "cargo clippy --offline -p relief-trace -p relief-bench --all-targets -- -D warnings",
-            Command::new("cargo").args([
-                "clippy",
-                "--offline",
-                "-p",
-                "relief-trace",
-                "-p",
-                "relief-bench",
-                "--all-targets",
-                "--",
-                "-D",
-                "warnings",
-            ]),
+            "cargo clippy --offline <library crates> --all-targets -- -D warnings",
+            Command::new("cargo").args(&args),
         );
     } else {
         println!("==> clippy component not installed; skipping lint gate");
@@ -95,6 +105,7 @@ fn check() -> ExitCode {
         ("relief", "golden_experiments"),
         ("relief", "scheduler_conformance"),
         ("relief", "metamorphic_properties"),
+        ("relief", "fault_injection"),
     ] {
         ok &= run(
             &format!("cargo test --offline -p {package} --test {suite}"),

@@ -40,6 +40,10 @@ OPTIONS:
     --trace-out <STEM>  capture a structured event trace and write
                         <STEM>.json (chrome://tracing / Perfetto) and
                         <STEM>.txt (canonical text, for trace-diff)
+    --fault-rate <R>    per-attempt task and DMA fault probability in
+                        [0, 1); 0 injects nothing [default: 0]
+    --fault-seed <N>    fault-plan seed, decimal or 0x-hex; the same
+                        seed reproduces the same fault schedule
     --help              print this help
 ";
 
@@ -53,6 +57,27 @@ struct Args {
     no_forwarding: bool,
     partitions: usize,
     trace_out: Option<std::path::PathBuf>,
+    fault_rate: f64,
+    fault_seed: Option<u64>,
+}
+
+impl Args {
+    /// The fault configuration the flags describe, or `None` when no
+    /// fault flag was given (so the config stays byte-for-byte default).
+    fn fault_config(&self) -> Option<FaultConfig> {
+        if self.fault_rate == 0.0 && self.fault_seed.is_none() {
+            return None;
+        }
+        let mut fault = FaultConfig {
+            task_fault_rate: self.fault_rate,
+            dma_fault_rate: self.fault_rate,
+            ..FaultConfig::default()
+        };
+        if let Some(seed) = self.fault_seed {
+            fault.seed = seed;
+        }
+        Some(fault)
+    }
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
@@ -81,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         no_forwarding: false,
         partitions: 2,
         trace_out: None,
+        fault_rate: 0.0,
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -120,6 +147,22 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a value")?;
                 args.trace_out = Some(v.into());
+            }
+            "--fault-rate" => {
+                let v = it.next().ok_or("--fault-rate needs a value")?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad --fault-rate '{v}'"))?;
+                if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+                    return Err(format!("--fault-rate {v} outside [0, 1)"));
+                }
+                args.fault_rate = rate;
+            }
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed needs a value")?;
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                args.fault_seed = Some(parsed.map_err(|_| format!("bad --fault-seed '{v}'"))?);
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -179,6 +222,9 @@ fn main() -> ExitCode {
         cfg.mem = cfg.mem.with_crossbar();
     }
     cfg.output_partitions = args.partitions;
+    if let Some(fault) = args.fault_config() {
+        cfg = cfg.with_fault(fault);
+    }
     let limit = args.limit_ms.or(args.continuous.then_some(50));
     if let Some(ms) = limit {
         cfg = cfg.with_time_limit(Time::from_ms(ms));
@@ -249,6 +295,16 @@ fn main() -> ExitCode {
         e.dram_nj / 1000.0,
         e.spad_nj / 1000.0
     );
+    if s.faults != relief::metrics::FaultStats::default() {
+        println!(
+            "faults            {} injected | {} recovered | {} aborted | {} quarantines | {} fault-misses",
+            s.faults.injected(),
+            s.faults.recovered,
+            s.faults.tasks_aborted,
+            s.faults.unit_quarantines,
+            s.faults.fault_attributed_misses,
+        );
+    }
     println!("node deadlines    {:.1}% met", s.node_deadline_percent());
     println!("occupancy         accel {:.2} | interconnect {:.1}%",
         s.accel_occupancy(), 100.0 * s.interconnect_occupancy());
@@ -304,6 +360,12 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
     if args.partitions != 2 {
         platform_label.push_str(&format!("-p{}", args.partitions));
     }
+    let fault = args.fault_config();
+    if let Some(f) = &fault {
+        // The label is the run's canonical identity: encode the fault
+        // knobs so faulted runs never collide with clean ones.
+        platform_label.push_str(&format!("-f{:.4}s{:x}", f.task_fault_rate, f.seed));
+    }
     let (no_forwarding, crossbar, partitions) =
         (args.no_forwarding, args.crossbar, args.partitions);
     let platform = PlatformSpec::custom(platform_label, move |p| {
@@ -315,6 +377,9 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
             cfg.mem = cfg.mem.with_crossbar();
         }
         cfg.output_partitions = partitions;
+        if let Some(f) = &fault {
+            cfg = cfg.with_fault(f.clone());
+        }
         cfg
     });
 

@@ -10,6 +10,8 @@
 //! * [`mem`] — DRAM / bus / crossbar / DMA contention models
 //! * [`core`] — the scheduling policies (FCFS, GEDF-D/N, LL, LAX,
 //!   HetSched, RELIEF, RELIEF-LAX) and runtime predictors
+//! * [`fault`] — deterministic, seeded fault-injection plans (task, DMA,
+//!   accelerator-unit outages) and the recovery knobs
 //! * [`accel`] — the seven elementary accelerators, forwarding mechanism,
 //!   hardware manager, and the end-to-end SoC simulator
 //! * [`workloads`] — the five benchmark applications and the paper's
@@ -35,10 +37,14 @@
 //! assert!(result.stats.forwards() + result.stats.colocations() > 0);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use relief_accel as accel;
 pub use relief_bench as bench;
 pub use relief_core as core;
 pub use relief_dag as dag;
+pub use relief_fault as fault;
 pub use relief_mem as mem;
 pub use relief_metrics as metrics;
 pub use relief_sim as sim;
@@ -50,6 +56,7 @@ pub mod prelude {
     pub use relief_accel::{AppSpec, BwPredictorKind, SocConfig, SocSim};
     pub use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
     pub use relief_dag::{AccTypeId, Dag, DagBuilder, NodeId, NodeSpec};
+    pub use relief_fault::{FaultConfig, FaultPlan};
     pub use relief_metrics::{EnergyModel, RunStats};
     pub use relief_sim::{Dur, SplitMix64, Time};
     pub use relief_trace::{RingBufferSink, Tracer};
