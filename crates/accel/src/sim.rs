@@ -37,7 +37,7 @@ use relief_dag::{Dag, DagTiming, DeadlineAssignment, NodeId};
 use relief_fault::{FaultPlan, Outage, OutageSchedule};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
 use relief_metrics::{AppStats, FaultStats, RunStats, TrafficStats};
-use relief_sim::{Dur, EventQueue, IdHashMap, SplitMix64, Time, Timeline};
+use relief_sim::{AppId, Dur, EventQueue, IdHashMap, Intern, InternId, KindId, SplitMix64, Time, Timeline};
 use relief_trace::{EventKind, InputSource, ResourceId, TaskRef, Tracer};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -212,10 +212,19 @@ struct AccInst {
 enum Purpose {
     /// A child pulling one parent edge (from DRAM or a producer SPAD).
     /// `attempt` is the 0-based delivery attempt (fault retries re-read
-    /// the checkpointed DRAM copy with `attempt + 1`).
-    InputEdge { child: TaskKey, parent: TaskKey, src_spad: Option<(usize, usize)>, attempt: u32 },
-    /// A child pulling its always-DRAM input bytes.
-    DramInput { child: TaskKey, attempt: u32 },
+    /// the checkpointed DRAM copy with `attempt + 1`). `dst` is the
+    /// consumer's accelerator instance — tasks are non-preemptive, so the
+    /// consumer cannot move while its inputs are in flight, and carrying
+    /// the index here saves a linear scan of the instances on completion.
+    InputEdge {
+        child: TaskKey,
+        parent: TaskKey,
+        src_spad: Option<(usize, usize)>,
+        attempt: u32,
+        dst: usize,
+    },
+    /// A child pulling its always-DRAM input bytes (`dst` as above).
+    DramInput { child: TaskKey, attempt: u32, dst: usize },
     /// A producer writing its output back to DRAM. Write-backs are outside
     /// the fault domain: they are the checkpointing path retries rely on,
     /// so the model treats them as ECC-verified.
@@ -300,6 +309,17 @@ pub struct SocSim {
     app_deadlines: Vec<Option<Arc<DeadlineAssignment>>>,
     /// Whether the app's kernels are already in the compute profile.
     app_profiled: Vec<bool>,
+    /// Interned application symbols; `per_app_*` accumulators are dense
+    /// vectors indexed by [`AppId`], converted to the public string-keyed
+    /// maps once in [`finalize`](Self::finalize).
+    app_syms: Intern<AppId>,
+    /// App spec index → interned symbol id.
+    app_ids: Vec<AppId>,
+    /// Per app spec, the node labels' interned [`KindId`]s in node-id
+    /// order (filled on the app's first arrival, alongside profiling), so
+    /// [`make_entry`](Self::make_entry) predicts compute time without
+    /// hashing the label string.
+    app_kind_ids: Vec<Vec<KindId>>,
     // --- hot-path scratch buffers (reused across events; emptied after
     // each use — see DESIGN.md "Hot-path architecture") ---
     batch_scratch: Vec<TaskEntry>,
@@ -363,10 +383,13 @@ impl SocSim {
                 });
             }
         }
-        let mut events = EventQueue::new();
+        let mut events =
+            if cfg.reference_hot_path { EventQueue::reference() } else { EventQueue::new() };
         for (i, app) in apps.iter().enumerate() {
             events.push(app.arrival, Ev::Arrival(i));
         }
+        let mut app_syms: Intern<AppId> = Intern::new();
+        let app_ids: Vec<AppId> = apps.iter().map(|a| app_syms.intern(&a.symbol)).collect();
         // Arm the first deterministic outage window of every instance.
         let fault = FaultPlan::new(cfg.fault.clone());
         let mut outage_iters: Vec<OutageSchedule> =
@@ -414,14 +437,17 @@ impl SocSim {
             pending_arrivals: n_apps,
             app_deadlines: vec![None; n_apps],
             app_profiled: vec![false; n_apps],
+            app_kind_ids: vec![Vec::new(); n_apps],
             batch_scratch: Vec::new(),
             ready_scratch: Vec::new(),
             idle_scratch: Vec::new(),
             dm_bytes_scratch: Vec::new(),
             child_type_counts: vec![0; num_types],
             app_stats,
-            per_app_mem_time: vec![Dur::ZERO; n_apps],
-            per_app_compute_time: vec![Dur::ZERO; n_apps],
+            per_app_mem_time: vec![Dur::ZERO; app_syms.len()],
+            per_app_compute_time: vec![Dur::ZERO; app_syms.len()],
+            app_syms,
+            app_ids,
             colocated_bytes: 0,
             spad_access_bytes: 0,
             all_dram_baseline_bytes: 0,
@@ -528,6 +554,16 @@ impl SocSim {
                     self.profile.observe(spec.acc, &spec.label, spec.compute);
                 }
             }
+            if self.app_kind_ids[app_idx].is_empty() {
+                // Intern each node's label once; `make_entry` predicts by
+                // these dense ids on every subsequent ready-queue insert.
+                let kinds = dag
+                    .nodes()
+                    .iter()
+                    .map(|spec| self.profile.intern_kind(&spec.label))
+                    .collect::<Vec<_>>();
+                self.app_kind_ids[app_idx] = kinds;
+            }
             self.app_profiled[app_idx] = true;
         }
         let nodes =
@@ -578,11 +614,16 @@ impl SocSim {
         let dag = Arc::clone(&self.dags[key.instance as usize].dag);
         let spec = dag.node(nid);
         let acc = spec.acc;
-        if self.cfg.reference_hot_path {
-            // Reproduce the pre-optimisation per-entry label allocation.
-            let _owned = spec.label.clone();
-        }
-        let pred_compute = self.profile.predict(acc, &spec.label).unwrap_or(spec.compute);
+        let pred_compute = if self.cfg.reference_hot_path {
+            // Reproduce the pre-optimisation per-entry label allocation
+            // and string-keyed profile lookup.
+            let owned = spec.label.clone();
+            self.profile.predict(acc, &owned).unwrap_or(spec.compute)
+        } else {
+            let app_idx = self.dags[key.instance as usize].app_idx;
+            let kind = self.app_kind_ids[app_idx][nid.index()];
+            self.profile.predict_id(acc, kind).unwrap_or(spec.compute)
+        };
         let query = self.dm_query(key, coloc_edge);
         let pred_mem = self.mem_pred.predict(&query);
         let runtime = pred_compute + pred_mem;
@@ -990,8 +1031,10 @@ impl SocSim {
                 bytes,
             });
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.transfers
-                .insert(id, Purpose::InputEdge { child: key, parent: pk, src_spad, attempt: 0 });
+            self.transfers.insert(
+                id,
+                Purpose::InputEdge { child: key, parent: pk, src_spad, attempt: 0, dst: inst_idx },
+            );
             self.events.push(first, Ev::Chunk(id));
             self.node_rt_mut(key).actual_bytes += bytes;
             pending += 1;
@@ -1011,7 +1054,7 @@ impl SocSim {
             });
             let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.transfers.insert(id, Purpose::DramInput { child: key, attempt: 0 });
+            self.transfers.insert(id, Purpose::DramInput { child: key, attempt: 0, dst: inst_idx });
             self.events.push(first, Ev::Chunk(id));
             self.node_rt_mut(key).actual_bytes += bytes;
             pending += 1;
@@ -1057,7 +1100,7 @@ impl SocSim {
         self.spad_access_bytes += input_bytes + out_bytes;
         self.insts[inst_idx].compute_busy += dur;
         let app_idx = self.dags[key.instance as usize].app_idx;
-        self.per_app_compute_time[app_idx] += dur;
+        self.per_app_compute_time[self.app_ids[app_idx].index()] += dur;
         self.node_rt_mut(key).actual_compute = dur;
         self.events.push(self.now + dur, Ev::ComputeDone(inst_idx));
     }
@@ -1417,7 +1460,7 @@ impl SocSim {
     fn on_transfer_done(&mut self, purpose: Purpose, start: Time, end: Time, bytes: u64) {
         let dur = end.saturating_since(start);
         match purpose {
-            Purpose::InputEdge { child, parent, src_spad, attempt } => {
+            Purpose::InputEdge { child, parent, src_spad, attempt, dst } => {
                 self.account_mem_time(child, bytes, src_spad.is_some());
                 if src_spad.is_none() {
                     self.observe_bandwidth(child, bytes, dur);
@@ -1433,24 +1476,24 @@ impl SocSim {
                 if self.fault.enabled()
                     && self.fault.dma_faults(child.instance, child.node, parent.node, attempt)
                 {
-                    self.on_dma_fault(child, Some(parent), bytes, attempt);
+                    self.on_dma_fault(child, Some(parent), bytes, attempt, dst);
                     return;
                 }
                 self.consume_reader(parent);
-                self.input_transfer_done(child);
+                self.input_transfer_done(child, dst);
                 // A partition may have become reusable.
                 self.retry_stalled();
             }
-            Purpose::DramInput { child, attempt } => {
+            Purpose::DramInput { child, attempt, dst } => {
                 self.account_mem_time(child, bytes, false);
                 self.observe_bandwidth(child, bytes, dur);
                 if self.fault.enabled()
                     && self.fault.dma_faults(child.instance, child.node, u32::MAX, attempt)
                 {
-                    self.on_dma_fault(child, None, bytes, attempt);
+                    self.on_dma_fault(child, None, bytes, attempt, dst);
                     return;
                 }
-                self.input_transfer_done(child);
+                self.input_transfer_done(child, dst);
             }
             Purpose::WriteBack { node } => {
                 self.account_mem_time(node, bytes, false);
@@ -1474,7 +1517,14 @@ impl SocSim {
     /// that did move, while the recovery traffic is plain DRAM traffic.
     /// `FaultPlan::dma_faults` never faults attempt `max_retries`, so the
     /// chain is bounded by a verified final read.
-    fn on_dma_fault(&mut self, child: TaskKey, parent: Option<TaskKey>, bytes: u64, attempt: u32) {
+    fn on_dma_fault(
+        &mut self,
+        child: TaskKey,
+        parent: Option<TaskKey>,
+        bytes: u64,
+        attempt: u32,
+        dst: usize,
+    ) {
         self.fault_stats.dma_faults += 1;
         self.dags[child.instance as usize].faults += 1;
         self.tracer.emit(self.now.as_ps(), || EventKind::DmaFaulted {
@@ -1483,20 +1533,20 @@ impl SocSim {
             bytes,
             attempt,
         });
-        let inst_idx = self
-            .insts
-            .iter()
-            .position(|i| i.running.as_ref().is_some_and(|r| r.key == child))
-            .expect("faulted input's consumer is running somewhere");
+        let inst_idx = self.consumer_inst(child, dst);
         self.spad_access_bytes += bytes; // the retry rewrites the local SPAD
         self.node_rt_mut(child).actual_bytes += bytes;
         let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
         let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
         let purpose = match parent {
-            Some(pk) => {
-                Purpose::InputEdge { child, parent: pk, src_spad: None, attempt: attempt + 1 }
-            }
-            None => Purpose::DramInput { child, attempt: attempt + 1 },
+            Some(pk) => Purpose::InputEdge {
+                child,
+                parent: pk,
+                src_spad: None,
+                attempt: attempt + 1,
+                dst: inst_idx,
+            },
+            None => Purpose::DramInput { child, attempt: attempt + 1, dst: inst_idx },
         };
         self.transfers.insert(id, purpose);
         self.events.push(first, Ev::Chunk(id));
@@ -1516,7 +1566,7 @@ impl SocSim {
             self.cfg.mem.dram_bandwidth
         };
         let app_idx = self.dags[key.instance as usize].app_idx;
-        self.per_app_mem_time[app_idx] += Dur::for_bytes(bytes, rate);
+        self.per_app_mem_time[self.app_ids[app_idx].index()] += Dur::for_bytes(bytes, rate);
     }
 
     fn observe_bandwidth(&mut self, key: TaskKey, bytes: u64, dur: Dur) {
@@ -1533,13 +1583,28 @@ impl SocSim {
         self.mem_pred.observe_bandwidth(achieved);
     }
 
-    fn input_transfer_done(&mut self, child: TaskKey) {
-        // Find the instance running this child.
-        let inst_idx = self
-            .insts
-            .iter()
-            .position(|i| i.running.as_ref().is_some_and(|r| r.key == child))
-            .expect("child is running somewhere");
+    /// The accelerator instance running `child`. The fast path trusts the
+    /// index carried in the transfer's [`Purpose`] (tasks are
+    /// non-preemptive, so the consumer cannot migrate while its inputs are
+    /// in flight); reference mode reproduces the pre-optimisation linear
+    /// scan of the instances.
+    fn consumer_inst(&self, child: TaskKey, carried: usize) -> usize {
+        if self.cfg.reference_hot_path {
+            return self
+                .insts
+                .iter()
+                .position(|i| i.running.as_ref().is_some_and(|r| r.key == child))
+                .expect("child is running somewhere");
+        }
+        debug_assert!(
+            self.insts[carried].running.as_ref().is_some_and(|r| r.key == child),
+            "stale consumer instance carried in transfer purpose"
+        );
+        carried
+    }
+
+    fn input_transfer_done(&mut self, child: TaskKey, dst: usize) {
+        let inst_idx = self.consumer_inst(child, dst);
         let done = {
             let r = self.insts[inst_idx].running.as_mut().expect("running");
             match &mut r.phase {
@@ -1624,11 +1689,13 @@ impl SocSim {
             edges_total,
             faults: self.fault_stats,
         };
+        // The only point where the dense AppId-indexed accumulators take
+        // their public string-keyed form.
         let mut per_app_mem_time = BTreeMap::new();
         let mut per_app_compute_time = BTreeMap::new();
-        for (i, app) in self.apps.iter().enumerate() {
-            per_app_mem_time.insert(app.symbol.clone(), self.per_app_mem_time[i]);
-            per_app_compute_time.insert(app.symbol.clone(), self.per_app_compute_time[i]);
+        for (id, name) in self.app_syms.iter() {
+            per_app_mem_time.insert(name.to_owned(), self.per_app_mem_time[id.index()]);
+            per_app_compute_time.insert(name.to_owned(), self.per_app_compute_time[id.index()]);
         }
         let trace = match &self.span_sink {
             Some(sink) => Trace { spans: sink.borrow_mut().take_spans() },

@@ -1,28 +1,37 @@
 //! Front end for `xtask bench`: measures the simulation hot path over the
-//! pinned campaign subset and writes `BENCH_simcore.json` (format
+//! pinned campaign subset, writes `BENCH_simcore.json`, and appends the
+//! run's medians to the sibling `BENCH_trajectory.json` history (formats
 //! documented in README.md).
 //!
 //! ```text
-//! simcore_bench [--iters N] [--out PATH] [--check]
+//! simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT]
 //! ```
 //!
-//! `--check` is the CI smoke mode wired into `xtask check`: one iteration,
-//! written to `target/BENCH_simcore.check.json` (unless `--out` is given),
-//! then read back and validated — well-formed JSON, the expected schema
-//! tag, and strictly positive events/sec for both paths.
+//! `--check` is the CI gate wired into `xtask check`: three iterations,
+//! written to `target/BENCH_simcore.check.json` (unless `--out` is
+//! given), read back and schema-validated, then compared against the
+//! committed `BENCH_simcore.json` baseline — the fresh run's fastest
+//! pass must stay within `--tolerance` percent (default 10) of the
+//! committed optimised median ns/event, or the gate fails printing both
+//! sides. A missing baseline skips the comparison with a notice, so
+//! fresh clones and baseline-refresh commits still pass.
 
 use relief_bench::walltime;
 use std::process::ExitCode;
 
+/// The committed perf baseline the `--check` gate compares against.
+const BASELINE: &str = "BENCH_simcore.json";
+
 fn main() -> ExitCode {
-    let mut iters: u32 = 5;
+    let mut iters: Option<u32> = None;
     let mut out: Option<String> = None;
     let mut check = false;
+    let mut tolerance = 0.10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--iters" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => iters = n,
+                Some(n) if n > 0 => iters = Some(n),
                 _ => return usage("--iters needs a positive integer"),
             },
             "--out" => match args.next() {
@@ -30,12 +39,16 @@ fn main() -> ExitCode {
                 None => return usage("--out needs a path"),
             },
             "--check" => check = true,
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 && pct.is_finite() => tolerance = pct / 100.0,
+                _ => return usage("--tolerance needs a non-negative percentage"),
+            },
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
-    if check {
-        iters = 1;
-    }
+    // Check mode needs several passes so its min is a usable noise floor;
+    // a standalone bench defaults to a longer run for tighter medians.
+    let iters = iters.unwrap_or(if check { 3 } else { 5 });
     let out = out.unwrap_or_else(|| {
         if check { "target/BENCH_simcore.check.json".into() } else { "BENCH_simcore.json".into() }
     });
@@ -61,6 +74,16 @@ fn main() -> ExitCode {
     }
     println!("  wrote {out}");
 
+    let trajectory = trajectory_path(&out);
+    let entry = walltime::TrajectoryEntry::from_report(&revision_label(), &report);
+    let history = std::fs::read_to_string(&trajectory).ok();
+    let body = walltime::append_trajectory(history.as_deref(), &entry);
+    if let Err(e) = std::fs::write(&trajectory, body) {
+        eprintln!("simcore_bench: cannot write {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  appended entry '{}' to {trajectory}", entry.label);
+
     if check {
         let back = match std::fs::read_to_string(&out) {
             Ok(s) => s,
@@ -74,12 +97,51 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("  check OK: schema valid, events/sec positive");
+        match std::fs::read_to_string(BASELINE) {
+            Ok(baseline) => match walltime::regression_gate(&baseline, &report, tolerance) {
+                Ok(summary) => println!("  no-regression gate OK: {summary}"),
+                Err(e) => {
+                    eprintln!("simcore_bench: {e}");
+                    eprintln!(
+                        "simcore_bench: if this is an intended trade-off, refresh {BASELINE} \
+                         with 'cargo run -p xtask -- bench' and commit it"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                println!("  no committed {BASELINE}; skipping no-regression gate");
+            }
+        }
     }
     ExitCode::SUCCESS
 }
 
+/// `BENCH_trajectory*.json` next to the report it belongs to.
+fn trajectory_path(out: &str) -> String {
+    if out.contains("BENCH_simcore") {
+        out.replace("BENCH_simcore", "BENCH_trajectory")
+    } else {
+        format!("{out}.trajectory.json")
+    }
+}
+
+/// Short commit hash of the working tree, or `"worktree"` when git is
+/// unavailable — the label is informational, not load-bearing.
+fn revision_label() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "worktree".into())
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("simcore_bench: {err}");
-    eprintln!("usage: simcore_bench [--iters N] [--out PATH] [--check]");
+    eprintln!("usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT]");
     ExitCode::from(2)
 }

@@ -24,6 +24,9 @@ use std::time::Instant;
 /// Schema tag written to (and required in) `BENCH_simcore.json`.
 pub const SCHEMA: &str = "relief-simcore-bench/v1";
 
+/// Schema tag of the sibling `BENCH_trajectory.json` history file.
+pub const TRAJECTORY_SCHEMA: &str = "relief-simcore-trajectory/v1";
+
 /// Human-readable description of the pinned subset, recorded in the JSON
 /// so readers know what was measured.
 pub const SUBSET: &str =
@@ -238,6 +241,133 @@ pub fn to_json(r: &BenchReport) -> String {
     )
 }
 
+/// One point of the cross-PR performance trajectory: the medians of one
+/// full `xtask bench` run, labelled by revision.
+#[derive(Debug, Clone)]
+pub struct TrajectoryEntry {
+    /// Revision label (short commit hash, or `"worktree"` when unknown).
+    pub label: String,
+    /// Timed passes behind the medians.
+    pub iters: u32,
+    /// Median optimised ns/event.
+    pub optimized_ns_per_event: f64,
+    /// Median reference ns/event.
+    pub reference_ns_per_event: f64,
+    /// Median optimised events/sec.
+    pub events_per_sec: f64,
+    /// Median reference over median optimised ns/event.
+    pub speedup: f64,
+}
+
+impl TrajectoryEntry {
+    /// Extracts the trajectory-relevant medians from a full report.
+    #[must_use]
+    pub fn from_report(label: &str, r: &BenchReport) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: label.into(),
+            iters: r.iters,
+            optimized_ns_per_event: r.optimized.ns_per_event.median,
+            reference_ns_per_event: r.reference.ns_per_event.median,
+            events_per_sec: r.optimized.events_per_sec.median,
+            speedup: r.speedup,
+        }
+    }
+
+    /// The entry as a single flat JSON object (one line, no nesting —
+    /// [`append_trajectory`] relies on this shape to re-parse entries).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"iters\": {}, \"optimized_ns_per_event\": {:.1}, \
+             \"reference_ns_per_event\": {:.1}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+            self.label.replace(['"', '\\'], "_"),
+            self.iters,
+            self.optimized_ns_per_event,
+            self.reference_ns_per_event,
+            self.events_per_sec,
+            self.speedup,
+        )
+    }
+}
+
+/// Appends `entry` to a serialised trajectory file, returning the new
+/// file body. `existing` is the previous content (`None` or unparseable
+/// content starts a fresh history — the file is derived data). Entries
+/// are kept in append order, one per line, so diffs stay one-line-per-PR.
+#[must_use]
+pub fn append_trajectory(existing: Option<&str>, entry: &TrajectoryEntry) -> String {
+    let mut entries: Vec<String> = existing
+        .filter(|body| body.contains(TRAJECTORY_SCHEMA))
+        .map(extract_flat_objects)
+        .unwrap_or_default();
+    entries.push(entry.to_json());
+    let mut out = format!("{{\n  \"schema\": \"{TRAJECTORY_SCHEMA}\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("    {e}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Collects every flat (nesting-free) `{...}` object in `body` that has
+/// a `"label"` key — the entry shape [`TrajectoryEntry::to_json`] emits.
+fn extract_flat_objects(body: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut rest = body;
+    while let Some(at) = rest.find("{\"label\":") {
+        let tail = &rest[at..];
+        let Some(end) = tail.find('}') else { break };
+        entries.push(tail[..=end].to_string());
+        rest = &tail[end + 1..];
+    }
+    entries
+}
+
+/// Reads the optimised median ns/event out of a serialised
+/// `BENCH_simcore.json` — the committed baseline the regression gate
+/// compares against.
+pub fn baseline_optimized_ns(json: &str) -> Result<f64, String> {
+    validate(json)?;
+    let opt = json
+        .find("\"optimized\":")
+        .map(|at| &json[at..])
+        .ok_or("missing optimized section")?;
+    let key = "\"ns_per_event\": {\"median\": ";
+    let num = opt.find(key).map(|at| &opt[at + key.len()..]).ok_or("missing ns_per_event")?;
+    let end = num.find([',', '}']).ok_or("unterminated ns_per_event median")?;
+    num[..end].trim().parse().map_err(|e| format!("bad ns_per_event median: {e}"))
+}
+
+/// The no-regression gate of `xtask bench --check`: the *fastest* pass
+/// of the fresh run must stay within `tolerance` (a fraction, e.g.
+/// `0.10`) of the committed baseline's *median* ns/event. Comparing
+/// fresh-min against committed-median absorbs run-to-run host noise
+/// (a loaded box only ever makes the fresh run look slower) while still
+/// catching real hot-path regressions. Returns a side-by-side summary
+/// either way; `Err` means the gate failed.
+pub fn regression_gate(
+    baseline_json: &str,
+    report: &BenchReport,
+    tolerance: f64,
+) -> Result<String, String> {
+    let old = baseline_optimized_ns(baseline_json).map_err(|e| format!("bad baseline: {e}"))?;
+    let new_min = report.optimized.ns_per_event.min;
+    let new_median = report.optimized.ns_per_event.median;
+    let limit = old * (1.0 + tolerance);
+    let summary = format!(
+        "committed median {old:.1} ns/event vs fresh median {new_median:.1} (min {new_min:.1}); \
+         limit {limit:.1} at {:.0}% tolerance",
+        tolerance * 100.0
+    );
+    // total_cmp: a NaN measurement must fail the gate, not sneak past `>`.
+    if new_min.total_cmp(&limit) == std::cmp::Ordering::Greater || !new_min.is_finite() {
+        Err(format!("hot path regressed: {summary}"))
+    } else {
+        Ok(summary)
+    }
+}
+
 /// Validates a serialised report: well-formed JSON, the expected schema
 /// tag, and strictly positive `events_per_sec` medians for both paths.
 /// Used by `xtask bench --check` so the bench binary cannot bit-rot.
@@ -334,6 +464,68 @@ mod tests {
             speedup: 1.0,
         });
         assert!(validate(&zeroed).unwrap_err().contains("positive"));
+    }
+
+    fn report_with_optimized_median(median: f64) -> BenchReport {
+        let stats = PathStats {
+            wall_ms: Spread { median: 10.0, min: 9.5, max: 11.0 },
+            ns_per_event: Spread { median, min: median * 0.95, max: median * 1.4 },
+            events_per_sec: Spread { median: 2e7, min: 1.9e7, max: 2.1e7 },
+        };
+        BenchReport {
+            iters: 3,
+            runs_per_iter: 32,
+            events_per_iter: 123_456,
+            optimized: stats,
+            reference: stats,
+            speedup: 1.0,
+        }
+    }
+
+    #[test]
+    fn trajectory_appends_and_reparses() {
+        let entry = TrajectoryEntry::from_report("pr5", &report_with_optimized_median(50.0));
+        let first = append_trajectory(None, &entry);
+        assert!(first.contains(TRAJECTORY_SCHEMA));
+        assert!(relief_trace::chrome::is_well_formed_json(&first));
+        let second = append_trajectory(Some(&first), &entry);
+        assert_eq!(second.matches("\"label\": \"pr5\"").count(), 2);
+        assert!(relief_trace::chrome::is_well_formed_json(&second));
+        // Garbage previous content starts a fresh single-entry history.
+        let fresh = append_trajectory(Some("not json"), &entry);
+        assert_eq!(fresh.matches("\"label\"").count(), 1);
+    }
+
+    #[test]
+    fn trajectory_entry_sanitizes_label() {
+        let mut entry = TrajectoryEntry::from_report("x", &report_with_optimized_median(50.0));
+        entry.label = "a\"b\\c".into();
+        assert!(relief_trace::chrome::is_well_formed_json(&format!(
+            "{{\"e\": {}}}",
+            entry.to_json()
+        )));
+    }
+
+    #[test]
+    fn baseline_median_roundtrips() {
+        let json = to_json(&report_with_optimized_median(62.5));
+        assert_eq!(baseline_optimized_ns(&json), Ok(62.5));
+        assert!(baseline_optimized_ns("{}").is_err());
+    }
+
+    #[test]
+    fn regression_gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = to_json(&report_with_optimized_median(100.0));
+        // Fresh min 95.0 (median 100) against limit 110: pass.
+        let same = report_with_optimized_median(100.0);
+        assert!(regression_gate(&baseline, &same, 0.10).is_ok());
+        // Fresh min 114 > 110: fail, and the message shows both sides.
+        let slower = report_with_optimized_median(120.0);
+        let err = regression_gate(&baseline, &slower, 0.10).unwrap_err();
+        assert!(err.contains("100.0"), "missing old median: {err}");
+        assert!(err.contains("114.0"), "missing new min: {err}");
+        // A looser tolerance admits the same run.
+        assert!(regression_gate(&baseline, &slower, 0.20).is_ok());
     }
 
     #[test]

@@ -40,8 +40,8 @@ impl DagTiming {
         // Topological order via Kahn's algorithm (the builder guarantees
         // acyclicity, so this always visits every node).
         let mut indeg: Vec<usize> = dag.node_ids().map(|id| dag.parents(id).len()).collect();
-        let mut queue: std::collections::VecDeque<NodeId> =
-            dag.node_ids().filter(|&id| dag.parents(id).is_empty()).collect();
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.extend(dag.node_ids().filter(|&id| dag.parents(id).is_empty()));
         let mut topo = Vec::with_capacity(n);
         while let Some(id) = queue.pop_front() {
             topo.push(id);

@@ -1,0 +1,177 @@
+//! String interning for hot-loop identities.
+//!
+//! The dispatch loop accounts per-application and per-kernel-kind state
+//! millions of times per run; hashing `String` keys there dominates the
+//! accounting cost. An [`Intern`] table maps each distinct symbol to a
+//! dense `u32`-backed id exactly once, so the hot loop indexes plain
+//! `Vec`s and the string form is only reconstructed when results are
+//! converted to their public string-keyed maps at end of run.
+//!
+//! Ids are dense (`0..len`) in first-interning order, which makes them
+//! directly usable as `Vec` indices. Two typed ids are provided for the
+//! simulator's two hot identity spaces: [`AppId`] (application/workload
+//! symbols) and [`KindId`] (kernel-kind labels fed to the compute-time
+//! predictor).
+//!
+//! # Examples
+//!
+//! ```
+//! use relief_sim::{AppId, Intern};
+//!
+//! let mut apps: Intern<AppId> = Intern::new();
+//! let a = apps.intern("resnet50");
+//! let b = apps.intern("bert");
+//! assert_eq!(apps.intern("resnet50"), a); // stable on re-intern
+//! assert_eq!(apps.resolve(b), "bert");
+//! assert_eq!(apps.len(), 2);
+//! ```
+
+use std::collections::HashMap;
+
+/// A dense `u32`-backed identifier produced by an [`Intern`] table.
+pub trait InternId: Copy {
+    /// Wraps a raw dense index.
+    fn from_index(index: u32) -> Self;
+    /// Unwraps back to the dense index.
+    fn index(self) -> usize;
+}
+
+macro_rules! intern_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl InternId for $name {
+            fn from_index(index: u32) -> Self {
+                $name(index)
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+intern_id! {
+    /// Interned application/workload symbol (e.g. `"resnet50"`).
+    AppId
+}
+intern_id! {
+    /// Interned kernel-kind label fed to the compute-time predictor.
+    KindId
+}
+
+/// A symbol table mapping strings to dense typed ids and back.
+///
+/// `intern` is amortized O(1) (one hash lookup; one `String` clone only
+/// on first sight of a symbol); `resolve` is an array index.
+#[derive(Debug, Clone)]
+pub struct Intern<K> {
+    by_name: HashMap<String, K>,
+    names: Vec<String>,
+}
+
+impl<K> Default for Intern<K> {
+    fn default() -> Self {
+        Intern { by_name: HashMap::new(), names: Vec::new() }
+    }
+}
+
+impl<K: InternId> Intern<K> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, allocating the next dense id on first
+    /// sight. Ids are stable for the lifetime of the table.
+    pub fn intern(&mut self, name: &str) -> K {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = K::from_index(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned symbol without allocating an id.
+    pub fn get(&self, name: &str) -> Option<K> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string form of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this table.
+    pub fn resolve(&self, id: K) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in dense-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (K::from_index(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t: Intern<AppId> = Intern::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        let a2 = t.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t: Intern<KindId> = Intern::new();
+        let names = ["conv", "gemm", "pool", "conv"];
+        let ids: Vec<KindId> = names.iter().map(|n| t.intern(n)).collect();
+        for (id, name) in ids.iter().zip(names) {
+            assert_eq!(t.resolve(*id), name);
+        }
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_allocate_ids() {
+        let mut t: Intern<AppId> = Intern::new();
+        assert_eq!(t.get("missing"), None);
+        let id = t.intern("present");
+        assert_eq!(t.get("present"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_dense_order() {
+        let mut t: Intern<KindId> = Intern::new();
+        t.intern("x");
+        t.intern("y");
+        let pairs: Vec<(usize, String)> =
+            t.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+}

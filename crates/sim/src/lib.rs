@@ -36,12 +36,14 @@
 
 
 pub mod idmap;
+pub mod intern;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod timeline;
 
 pub use idmap::{IdHashMap, IdHasher};
+pub use intern::{AppId, Intern, InternId, KindId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use time::{Dur, Time};

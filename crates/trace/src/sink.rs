@@ -47,7 +47,7 @@ impl RingBufferSink {
     #[must_use]
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "ring buffer needs capacity");
-        RingBufferSink { cap, buf: VecDeque::new(), dropped: 0, total: 0 }
+        RingBufferSink { cap, buf: VecDeque::with_capacity(cap), dropped: 0, total: 0 }
     }
 
     /// Creates a shared handle suitable for [`Tracer::attach`].

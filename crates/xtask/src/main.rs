@@ -18,16 +18,21 @@
 //!    reports byte-identical.
 //! 4. The determinism, conformance, and property test suites:
 //!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
-//!    `metamorphic_properties`, and `fault_injection`.
-//! 5. `xtask bench --check` — a one-iteration smoke run of the hot-path
-//!    benchmark that validates the `BENCH_simcore.json` schema and that
-//!    events/sec is nonzero, so the bench binary cannot bit-rot.
+//!    `metamorphic_properties`, `fault_injection`, and
+//!    `queue_equivalence` (the optimised hot path against its own
+//!    reference implementation, bit for bit, under all eight policies).
+//! 5. `xtask bench --check` — a short run of the hot-path benchmark that
+//!    validates the `BENCH_simcore.json` schema and then gates on the
+//!    committed baseline: the fresh run's fastest pass must stay within
+//!    10 % of the committed optimised median ns/event (skipped with a
+//!    notice when no baseline is committed).
 //!
 //! `bench` (release) measures the simulation hot path over a pinned
 //! campaign subset — optimised vs the `reference_hot_path` cost model —
-//! and writes `BENCH_simcore.json` at the repo root (see README.md).
-//! Extra arguments (`--iters N`, `--out PATH`, `--check`) are forwarded
-//! to the `simcore_bench` binary.
+//! writes `BENCH_simcore.json` at the repo root, and appends the run's
+//! medians to the `BENCH_trajectory.json` history (see README.md).
+//! Extra arguments (`--iters N`, `--out PATH`, `--check`,
+//! `--tolerance PCT`) are forwarded to the `simcore_bench` binary.
 //!
 //! Exit code is nonzero if any executed step fails.
 
@@ -106,6 +111,7 @@ fn check() -> ExitCode {
         ("relief", "scheduler_conformance"),
         ("relief", "metamorphic_properties"),
         ("relief", "fault_injection"),
+        ("relief", "queue_equivalence"),
     ] {
         ok &= run(
             &format!("cargo test --offline -p {package} --test {suite}"),
@@ -155,7 +161,9 @@ fn main() -> ExitCode {
         Some("check") => check(),
         Some("bench") => bench(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <check | bench [--iters N] [--out PATH] [--check]>");
+            eprintln!(
+                "usage: cargo run -p xtask -- <check | bench [--iters N] [--out PATH] [--check] [--tolerance PCT]>"
+            );
             ExitCode::from(2)
         }
     }

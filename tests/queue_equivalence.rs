@@ -1,0 +1,123 @@
+//! Hot-path equivalence suite: `SocConfig::reference_hot_path` restores
+//! the pre-optimisation *host* costs (BinaryHeap event core, string-keyed
+//! compute predictions, linear consumer scans) and must not change one
+//! bit of *simulated* behaviour. Every optimisation that the wall-clock
+//! benchmark credits — the calendar event queue, interned kind ids, the
+//! carried consumer index — is therefore validated here against its own
+//! reference implementation on real workloads:
+//!
+//! 1. **Policy sweep** — all eight fairness-study policies over a pinned
+//!    high-contention mix produce byte-identical `RunStats`, identical
+//!    per-app accounting, identical prediction samples, identical
+//!    executed-task traces, and the same event count on both paths.
+//! 2. **Fault recovery** — with task faults, DMA faults, and unit
+//!    outages injected (requeues at the current instant plus far-future
+//!    repair events, the calendar queue's hardest traffic), both paths
+//!    still agree exactly.
+//! 3. **Continuous contention** — the 50 ms time-limited repeat path
+//!    agrees under the paper's policy and the FCFS baseline.
+
+use relief::bench::config_for;
+use relief::prelude::*;
+use relief_accel::SimResult;
+
+const ALL_POLICIES: [PolicyKind; 8] = PolicyKind::ALL;
+
+/// Runs `cfg` over `workload` on the optimised and the reference hot
+/// path and asserts the two `SimResult`s are observationally identical.
+fn assert_paths_agree(mut cfg: SocConfig, workload: &[AppSpec], what: &str) {
+    cfg.record_trace = true;
+    let run = |reference: bool| -> SimResult {
+        let mut cfg = cfg.clone();
+        cfg.reference_hot_path = reference;
+        SocSim::new(cfg, workload.to_vec()).run()
+    };
+    let fast = run(false);
+    let reference = run(true);
+
+    assert_eq!(
+        format!("{:?}", fast.stats),
+        format!("{:?}", reference.stats),
+        "{what}: RunStats diverged between hot paths"
+    );
+    assert_eq!(
+        fast.per_app_mem_time, reference.per_app_mem_time,
+        "{what}: per-app DMA accounting diverged"
+    );
+    assert_eq!(
+        fast.per_app_compute_time, reference.per_app_compute_time,
+        "{what}: per-app compute accounting diverged"
+    );
+    assert_eq!(
+        fast.prediction.compute_rel_errors, reference.prediction.compute_rel_errors,
+        "{what}: compute-prediction samples diverged"
+    );
+    assert_eq!(
+        fast.prediction.dm_rel_errors, reference.prediction.dm_rel_errors,
+        "{what}: data-movement-prediction samples diverged"
+    );
+    assert_eq!(fast.trace, reference.trace, "{what}: executed-task traces diverged");
+    assert_eq!(
+        fast.events_dispatched, reference.events_dispatched,
+        "{what}: event counts diverged"
+    );
+}
+
+#[test]
+fn all_policies_agree_on_high_contention_mix() {
+    let mixes = Contention::High.mixes();
+    let mix = mixes.first().expect("high contention has mixes");
+    let workload = mix.workload();
+    for policy in ALL_POLICIES {
+        assert_paths_agree(
+            config_for(policy, Contention::High),
+            &workload,
+            &format!("{policy:?} on high/{}", mix.label()),
+        );
+    }
+}
+
+#[test]
+fn second_mix_covers_a_different_dag_shape() {
+    let mixes = Contention::High.mixes();
+    let mix = mixes.get(1).expect("high contention has at least two mixes");
+    let workload = mix.workload();
+    for policy in [PolicyKind::Fcfs, PolicyKind::Relief] {
+        assert_paths_agree(
+            config_for(policy, Contention::High),
+            &workload,
+            &format!("{policy:?} on high/{}", mix.label()),
+        );
+    }
+}
+
+#[test]
+fn fault_recovery_requeues_agree() {
+    let mixes = Contention::High.mixes();
+    let mix = mixes.first().expect("high contention has mixes");
+    let workload = mix.workload();
+    for policy in [PolicyKind::Fcfs, PolicyKind::Relief, PolicyKind::ReliefLax] {
+        let mut cfg = config_for(policy, Contention::High);
+        cfg.fault = FaultConfig {
+            task_fault_rate: 0.05,
+            dma_fault_rate: 0.05,
+            unit_mttf_ps: 20_000_000_000, // one outage every ~20 ms
+            ..FaultConfig::default()
+        };
+        assert_paths_agree(cfg, &workload, &format!("{policy:?} with faults"));
+    }
+}
+
+#[test]
+fn continuous_contention_repeat_path_agrees() {
+    let mixes = Contention::Continuous.mixes();
+    let mix = mixes.first().expect("continuous contention has mixes");
+    let workload = mix.workload();
+    for policy in [PolicyKind::Fcfs, PolicyKind::Relief] {
+        assert_paths_agree(
+            config_for(policy, Contention::Continuous),
+            &workload,
+            &format!("{policy:?} on continuous/{}", mix.label()),
+        );
+    }
+}
