@@ -5,6 +5,7 @@ use relief_core::predict::DataMovePredictor;
 use relief_core::{BandwidthPredictor, PolicyKind};
 use relief_fault::FaultConfig;
 use relief_mem::MemConfig;
+use relief_service::StreamConfig;
 use relief_sim::{Dur, Time};
 
 /// Which bandwidth-prediction scheme to instantiate (§III-B / Table VIII).
@@ -93,6 +94,12 @@ pub struct SocConfig {
     /// checkpointing mode (every output is written back to DRAM so
     /// retries always have a verified copy to re-read).
     pub fault: FaultConfig,
+    /// Open-loop streaming knobs (`relief-service`). The default is
+    /// disabled and leaves every output byte-identical to a build without
+    /// the service layer; when enabled, tenant `t` streams instances of
+    /// the workload's app spec at index `t` and the closed-loop t=0
+    /// releases are replaced by the arrival plan.
+    pub stream: StreamConfig,
 }
 
 impl SocConfig {
@@ -137,6 +144,7 @@ impl SocConfig {
             record_trace: false,
             reference_hot_path: false,
             fault: FaultConfig::default(),
+            stream: StreamConfig::default(),
         }
     }
 
@@ -172,6 +180,12 @@ impl SocConfig {
         self
     }
 
+    /// Installs an open-loop streaming plan.
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
+    }
+
     /// Total accelerator instances.
     pub fn total_instances(&self) -> usize {
         self.acc_instances.iter().sum()
@@ -191,6 +205,9 @@ impl SocConfig {
             "compute jitter must be in [0, 1)"
         );
         if let Err(e) = self.fault.validate() {
+            panic!("{e}");
+        }
+        if let Err(e) = self.stream.validate() {
             panic!("{e}");
         }
         self.mem.validate();
@@ -254,6 +271,31 @@ mod tests {
         let c = c.with_fault(f.clone());
         assert!(c.fault.enabled());
         assert_eq!(c.fault, f);
+        c.validate();
+    }
+
+    #[test]
+    fn default_stream_config_is_disabled() {
+        use relief_service::{QosClass, TenantCfg};
+        let c = SocConfig::mobile(PolicyKind::Relief);
+        assert!(!c.stream.enabled());
+        let s = StreamConfig {
+            duration_ps: 1_000_000,
+            tenants: vec![TenantCfg::new(QosClass::Latency, 1000.0)],
+            ..StreamConfig::default()
+        };
+        let c = c.with_stream(s.clone());
+        assert!(c.stream.enabled());
+        assert_eq!(c.stream, s);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream config")]
+    fn bad_stream_warmup_rejected() {
+        let mut c = SocConfig::mobile(PolicyKind::Fcfs);
+        c.stream.warmup_ps = 10;
+        c.stream.duration_ps = 5;
         c.validate();
     }
 

@@ -36,9 +36,10 @@ use relief_core::{
 use relief_dag::{Dag, DagTiming, DeadlineAssignment, NodeId};
 use relief_fault::{FaultPlan, Outage, OutageSchedule};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
-use relief_metrics::{AppStats, FaultStats, RunStats, TrafficStats};
+use relief_metrics::{AppStats, FaultStats, Histogram, RunStats, ServiceStats, TrafficStats};
+use relief_service::{AdmissionState, QosClass, ShedReason, StreamPlan};
 use relief_sim::{AppId, Dur, EventQueue, IdHashMap, Intern, InternId, KindId, SplitMix64, Time, Timeline};
-use relief_trace::{EventKind, InputSource, ResourceId, TaskRef, Tracer};
+use relief_trace::{EventKind, InputSource, ResourceId, ServiceClass, ShedCause, TaskRef, Tracer};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -48,6 +49,22 @@ use std::sync::Arc;
 fn tref(key: TaskKey) -> TaskRef {
     TaskRef { instance: key.instance, node: key.node }
 }
+
+/// Converts a service QoS class into the trace layer's mirror enum.
+fn sclass(q: QosClass) -> ServiceClass {
+    match q {
+        QosClass::Latency => ServiceClass::Latency,
+        QosClass::Standard => ServiceClass::Standard,
+        QosClass::BestEffort => ServiceClass::BestEffort,
+    }
+}
+
+/// Steady-state sojourn histogram layout: 50 µs bins spanning 30 ms.
+const SOJOURN_BIN_PS: u64 = 50_000_000;
+const SOJOURN_BINS: usize = 600;
+/// Steady-state node-latency histogram layout: 20 µs bins spanning 10 ms.
+const NODE_LATENCY_BIN_PS: u64 = 20_000_000;
+const NODE_LATENCY_BINS: usize = 500;
 
 /// In-flight transfer purposes: [`TransferId`]s are sequential `u64`s, so
 /// the identity-hashed map from `relief_sim` beats SipHash here.
@@ -243,6 +260,8 @@ enum Ev {
     UnitDown(usize),
     /// Accelerator instance comes back online.
     UnitUp(usize),
+    /// An open-loop tenant's next request arrives (`relief-service`).
+    StreamArrival(usize),
 }
 
 /// The simulated SoC.
@@ -304,6 +323,19 @@ pub struct SocSim {
     /// live DAG work, the signal that outage re-arming may continue
     /// without keeping a drained simulation alive forever.
     pending_arrivals: usize,
+    // --- open-loop streaming (`relief-service`) ---
+    /// Stateless arrival plan; a pure function of `cfg.stream`, so arrival
+    /// schedules are identical at any campaign parallelism.
+    stream: StreamPlan,
+    /// Cached `stream.enabled()`: the hot handlers branch on this.
+    stream_on: bool,
+    /// Token buckets + in-flight cap; evolves in event order within the run.
+    admission: AdmissionState,
+    service_stats: ServiceStats,
+    /// Next request index per tenant (tenant `t` streams app spec `t`).
+    stream_next_index: Vec<u64>,
+    /// Cached per-tenant QoS class.
+    tenant_class: Vec<QosClass>,
     // --- per-app caches (pure functions of the immutable app specs) ---
     /// Deadline assignment computed on each app's first arrival.
     app_deadlines: Vec<Option<Arc<DeadlineAssignment>>>,
@@ -385,9 +417,48 @@ impl SocSim {
         }
         let mut events =
             if cfg.reference_hot_path { EventQueue::reference() } else { EventQueue::new() };
-        for (i, app) in apps.iter().enumerate() {
-            events.push(app.arrival, Ev::Arrival(i));
+        // Seed the event queue with releases. Closed loop: every app's
+        // fixed arrival. Open loop (`relief-service`): each tenant's first
+        // generated arrival inside the duration horizon; subsequent
+        // arrivals are armed one at a time as their predecessors fire.
+        let stream = StreamPlan::new(cfg.stream.clone());
+        let stream_on = stream.enabled();
+        let mut pending_arrivals = 0usize;
+        if stream_on {
+            assert_eq!(
+                cfg.stream.tenants.len(),
+                apps.len(),
+                "stream mode needs exactly one tenant per app spec"
+            );
+            assert!(
+                apps.iter().all(|a| !a.repeat),
+                "stream mode replaces closed-loop repetition; use arrival rates instead"
+            );
+            for t in 0..apps.len() {
+                if let Some(gap) = stream.gap_ps(t as u32, 0, 0) {
+                    if gap <= cfg.stream.duration_ps {
+                        events.push(Time::from_ps(gap), Ev::StreamArrival(t));
+                        pending_arrivals += 1;
+                    }
+                }
+            }
+        } else {
+            for (i, app) in apps.iter().enumerate() {
+                events.push(app.arrival, Ev::Arrival(i));
+                pending_arrivals += 1;
+            }
         }
+        let mut service_stats = ServiceStats::default();
+        if stream_on {
+            service_stats.warmup_ps = cfg.stream.warmup_ps;
+            service_stats.duration_ps = cfg.stream.duration_ps;
+            for c in &mut service_stats.classes {
+                c.sojourn = Histogram::new(SOJOURN_BIN_PS, SOJOURN_BINS);
+                c.node_latency = Histogram::new(NODE_LATENCY_BIN_PS, NODE_LATENCY_BINS);
+            }
+        }
+        let admission = AdmissionState::new(&cfg.stream);
+        let tenant_class: Vec<QosClass> = cfg.stream.tenants.iter().map(|t| t.qos).collect();
         let mut app_syms: Intern<AppId> = Intern::new();
         let app_ids: Vec<AppId> = apps.iter().map(|a| app_syms.intern(&a.symbol)).collect();
         // Arm the first deterministic outage window of every instance.
@@ -434,7 +505,13 @@ impl SocSim {
             fault_stats: FaultStats::default(),
             outage_iters,
             next_outage,
-            pending_arrivals: n_apps,
+            pending_arrivals,
+            stream,
+            stream_on,
+            admission,
+            service_stats,
+            stream_next_index: vec![0; n_apps],
+            tenant_class,
             app_deadlines: vec![None; n_apps],
             app_profiled: vec![false; n_apps],
             app_kind_ids: vec![Vec::new(); n_apps],
@@ -513,6 +590,7 @@ impl SocSim {
                 Ev::Requeue(key) => self.on_requeue(key),
                 Ev::UnitDown(inst) => self.on_unit_down(inst),
                 Ev::UnitUp(inst) => self.on_unit_up(inst),
+                Ev::StreamArrival(tenant) => self.on_stream_arrival(tenant),
             }
         }
         self.finalize()
@@ -524,6 +602,70 @@ impl SocSim {
 
     fn on_arrival(&mut self, app_idx: usize) {
         self.pending_arrivals = self.pending_arrivals.saturating_sub(1);
+        self.admit_dag(app_idx);
+    }
+
+    /// An open-loop tenant's request arrived: account it, arm the
+    /// tenant's next arrival (if it lands inside the duration horizon),
+    /// and run admission control — an admitted request releases a DAG
+    /// instance exactly like a closed-loop arrival, a shed request leaves
+    /// no trace in the simulation proper.
+    fn on_stream_arrival(&mut self, tenant: usize) {
+        self.pending_arrivals = self.pending_arrivals.saturating_sub(1);
+        let index = self.stream_next_index[tenant];
+        self.stream_next_index[tenant] = index + 1;
+        let class = self.tenant_class[tenant];
+        self.service_stats.classes[class.index()].arrivals += 1;
+        self.tracer.emit(self.now.as_ps(), || EventKind::StreamArrival {
+            tenant: tenant as u32,
+            index,
+            class: sclass(class),
+        });
+        // Arm the tenant's next arrival. `now` is arrival `index`'s exact
+        // time, so the gap draw stays a pure function of the identity.
+        if let Some(gap) = self.stream.gap_ps(tenant as u32, index + 1, self.now.as_ps()) {
+            let at = self.now.as_ps().saturating_add(gap);
+            if at <= self.stream.cfg().duration_ps {
+                self.pending_arrivals += 1;
+                self.events.push(Time::from_ps(at), Ev::StreamArrival(tenant));
+            }
+        }
+        match self.admission.try_admit(self.now.as_ps(), tenant, class) {
+            Ok(()) => {
+                self.service_stats.classes[class.index()].admitted += 1;
+                let instance = self.admit_dag(tenant);
+                self.tracer.emit(self.now.as_ps(), || EventKind::RequestAdmitted {
+                    tenant: tenant as u32,
+                    index,
+                    instance,
+                });
+            }
+            Err(reason) => {
+                let c = &mut self.service_stats.classes[class.index()];
+                let cause = match reason {
+                    ShedReason::Bucket => {
+                        c.shed_bucket += 1;
+                        ShedCause::Bucket
+                    }
+                    ShedReason::Capacity => {
+                        c.shed_capacity += 1;
+                        ShedCause::Capacity
+                    }
+                };
+                self.tracer.emit(self.now.as_ps(), || EventKind::RequestShed {
+                    tenant: tenant as u32,
+                    index,
+                    class: sclass(class),
+                    cause,
+                });
+            }
+        }
+    }
+
+    /// Releases one instance of app `app_idx` at the current time: the
+    /// shared tail of closed-loop arrivals and admitted open-loop
+    /// requests. Returns the new DAG instance index.
+    fn admit_dag(&mut self, app_idx: usize) -> u32 {
         let dag = Arc::clone(&self.apps[app_idx].dag);
         // Static analysis at arrival: predicted runtimes under the Max
         // predictors drive critical-path deadlines (§III-B). The assignment
@@ -593,6 +735,7 @@ impl SocSim {
             batch.push(self.make_entry(TaskKey::new(instance, n.0), false, None));
         }
         self.enqueue_batch(batch);
+        instance
     }
 
     // ------------------------------------------------------------------
@@ -1155,13 +1298,13 @@ impl SocSim {
         self.last_completion = self.now;
 
         // Per-node statistics.
-        let (app_idx, node_deadline, dag_done, dag_runtime_met) = {
+        let (app_idx, node_deadline, dag_done, dag_runtime_met, dag_arrival) = {
             let d = &mut self.dags[key.instance as usize];
             d.remaining -= 1;
             let nd = d.arrival + d.deadlines.node_deadline(NodeId(key.node));
             let dag_done = d.remaining == 0 && !d.aborted;
             let met = self.now.saturating_since(d.arrival) <= d.dag.relative_deadline();
-            (d.app_idx, nd, dag_done, met)
+            (d.app_idx, nd, dag_done, met, d.arrival)
         };
         {
             let stats = &mut self.app_stats[app_idx];
@@ -1169,6 +1312,16 @@ impl SocSim {
             if self.now <= node_deadline {
                 stats.node_deadlines_met += 1;
             }
+        }
+        // Steady-state per-class node accounting (service mode): samples
+        // before the warm-up cutoff are cold-start transient and excluded.
+        if self.stream_on && self.now.as_ps() >= self.service_stats.warmup_ps {
+            let c = &mut self.service_stats.classes[self.tenant_class[app_idx].index()];
+            c.nodes_measured += 1;
+            if self.now <= node_deadline {
+                c.node_deadlines_met += 1;
+            }
+            c.node_latency.record(self.now.saturating_since(dag_arrival).as_ps());
         }
         {
             // Table VIII sign convention: (actual − predicted) / predicted,
@@ -1288,6 +1441,27 @@ impl SocSim {
             stats.dag_deadlines_met += 1;
         }
         stats.dag_runtimes.push(runtime);
+        if self.stream_on {
+            // The request's in-flight slot frees; its end-to-end sojourn
+            // feeds the steady-state (post-warm-up) histogram.
+            self.admission.release();
+            let class = self.tenant_class[app_idx];
+            let c = &mut self.service_stats.classes[class.index()];
+            c.completed += 1;
+            if met {
+                c.dag_deadlines_met += 1;
+            }
+            if self.now.as_ps() >= self.service_stats.warmup_ps {
+                self.service_stats.classes[class.index()].sojourn.record(runtime.as_ps());
+            }
+            self.tracer.emit(self.now.as_ps(), || EventKind::RequestCompleted {
+                tenant: app_idx as u32,
+                instance,
+                class: sclass(class),
+                sojourn_ps: runtime.as_ps(),
+                met,
+            });
+        }
         if self.apps[app_idx].repeat {
             self.pending_arrivals += 1;
             self.events.push(self.now, Ev::Arrival(app_idx));
@@ -1341,7 +1515,14 @@ impl SocSim {
         } else {
             self.fault_stats.tasks_aborted += 1;
             self.node_rt_mut(key).phase = NodePhase::Aborted;
-            self.dags[key.instance as usize].aborted = true;
+            let was_aborted =
+                std::mem::replace(&mut self.dags[key.instance as usize].aborted, true);
+            if self.stream_on && !was_aborted {
+                // The instance will never complete; free its in-flight
+                // slot exactly once (later sibling aborts must not
+                // double-release).
+                self.admission.release();
+            }
             self.tracer.emit(self.now.as_ps(), || EventKind::TaskAborted {
                 task: tref(key),
                 attempts: attempt + 1,
@@ -1688,6 +1869,7 @@ impl SocSim {
             scheduler_time: self.sched_time,
             edges_total,
             faults: self.fault_stats,
+            service: std::mem::take(&mut self.service_stats),
         };
         // The only point where the dense AppId-indexed accumulators take
         // their public string-keyed form.

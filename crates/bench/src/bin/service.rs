@@ -1,0 +1,54 @@
+//! Service campaign: latency-vs-load and goodput-vs-overload tables
+//! under the open-loop streaming frontend, per policy, on the
+//! deterministic campaign engine.
+//!
+//! ```sh
+//! cargo run --release -p relief-bench --bin service
+//! cargo run --release -p relief-bench --bin service -- \
+//!     --arrival mmpp --rate 500,2000,8000 --duration-us 20000 --jobs 4
+//! ```
+//!
+//! The report is byte-identical at any `--jobs`: every cell's arrival
+//! plan is a pure function of its platform label (see
+//! `relief_bench::service`).
+
+use relief_bench::campaign::{execute, ExecOptions};
+use relief_bench::service::parse_cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (spec, jobs) = match parse_cli(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: service [--stream-seed N] [--rate R[,R...]] \
+                 [--arrival det|poisson|mmpp|diurnal] [--duration-us N] \
+                 [--warmup-us N] [--max-in-flight N] [--jobs N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let campaign = spec.campaign();
+    eprintln!(
+        "campaign 'service' (hash {:016x}): {} runs on {jobs} worker(s)",
+        campaign.hash(),
+        campaign.expand().len()
+    );
+    let results = execute(campaign.expand(), &ExecOptions { jobs, ..Default::default() });
+    let mut failed = false;
+    for (label, msg) in results.failures() {
+        eprintln!("run {label} panicked: {msg}");
+        failed = true;
+    }
+    for (label, mismatches) in results.mismatched() {
+        eprintln!("run {label} failed event/stats reconciliation: {mismatches:?}");
+        failed = true;
+    }
+    print!("{}", spec.render(&results));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -4,8 +4,16 @@
 //! documented in README.md).
 //!
 //! ```text
-//! simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT]
+//! simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service]
 //! ```
+//!
+//! `--service` measures the pinned service-mode subset instead (the
+//! open-loop Poisson stream at ~80% utilisation, see
+//! [`walltime::SERVICE_SUBSET`]) and appends its medians to the
+//! trajectory history under a `+service` label. It writes no
+//! `BENCH_simcore.json` and runs no regression gate: the closed-loop
+//! subset stays the committed baseline, the service entry is a second
+//! trajectory series.
 //!
 //! `--check` is the CI gate wired into `xtask check`: three iterations,
 //! written to `target/BENCH_simcore.check.json` (unless `--out` is
@@ -26,6 +34,7 @@ fn main() -> ExitCode {
     let mut iters: Option<u32> = None;
     let mut out: Option<String> = None;
     let mut check = false;
+    let mut service = false;
     let mut tolerance = 0.10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +48,7 @@ fn main() -> ExitCode {
                 None => return usage("--out needs a path"),
             },
             "--check" => check = true,
+            "--service" => service = true,
             "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(pct) if pct >= 0.0 && pct.is_finite() => tolerance = pct / 100.0,
                 _ => return usage("--tolerance needs a non-negative percentage"),
@@ -52,6 +62,10 @@ fn main() -> ExitCode {
     let out = out.unwrap_or_else(|| {
         if check { "target/BENCH_simcore.check.json".into() } else { "BENCH_simcore.json".into() }
     });
+
+    if service {
+        return run_service(iters, &trajectory_path(&out));
+    }
 
     let report = walltime::measure(iters);
     println!(
@@ -117,6 +131,36 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--service` mode: time the service-mode subset and append one
+/// `<rev>+service` entry to the trajectory history.
+fn run_service(iters: u32, trajectory: &str) -> ExitCode {
+    let report = walltime::measure_service(iters);
+    println!(
+        "service bench ({}): {} runs/iter, {} events/iter, {} iters per path",
+        walltime::SERVICE_SUBSET,
+        report.runs_per_iter,
+        report.events_per_iter,
+        report.iters
+    );
+    for (name, p) in [("optimized", &report.optimized), ("reference", &report.reference)] {
+        println!(
+            "  {name:<10} {:>8.1} ns/event (min {:.1}, max {:.1})  {:>12.0} events/s",
+            p.ns_per_event.median, p.ns_per_event.min, p.ns_per_event.max,
+            p.events_per_sec.median,
+        );
+    }
+    let label = format!("{}+service", revision_label());
+    let entry = walltime::TrajectoryEntry::from_report(&label, &report);
+    let history = std::fs::read_to_string(trajectory).ok();
+    let body = walltime::append_trajectory(history.as_deref(), &entry);
+    if let Err(e) = std::fs::write(trajectory, body) {
+        eprintln!("simcore_bench: cannot write {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  appended entry '{label}' to {trajectory}");
+    ExitCode::SUCCESS
+}
+
 /// `BENCH_trajectory*.json` next to the report it belongs to.
 fn trajectory_path(out: &str) -> String {
     if out.contains("BENCH_simcore") {
@@ -142,6 +186,8 @@ fn revision_label() -> String {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("simcore_bench: {err}");
-    eprintln!("usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT]");
+    eprintln!(
+        "usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service]"
+    );
     ExitCode::from(2)
 }

@@ -242,6 +242,14 @@ impl RunSpec {
 
 /// A cartesian grid of runs: every policy × workload × platform ×
 /// replicate combination, expanded in stable nested order.
+///
+/// Axes beyond the policy/workload/platform trio are encoded *into* the
+/// platform axis by folding their knobs into the platform label: the
+/// fault-rate axis of `crate::resilience` and the arrival-rate axis of
+/// `crate::service` (open-loop streaming — arrival process, per-tenant
+/// rate, admission cap) are both one [`PlatformSpec::custom`] per axis
+/// value. The label is the cell's canonical identity, so distinct knob
+/// settings must never produce colliding labels.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Campaign name (reports, hashing).

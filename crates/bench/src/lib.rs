@@ -134,5 +134,6 @@ pub mod campaign;
 pub mod experiments;
 pub mod microbench;
 pub mod resilience;
+pub mod service;
 pub mod traceio;
 pub mod walltime;

@@ -32,6 +32,10 @@ pub const TRAJECTORY_SCHEMA: &str = "relief-simcore-trajectory/v1";
 pub const SUBSET: &str =
     "6 main policies x 10 high-contention mixes + FCFS/RELIEF x continuous GHL";
 
+/// Description of the pinned service-mode subset (`xtask bench --service`).
+pub const SERVICE_SUBSET: &str =
+    "4 policies x CGL Poisson stream at ~80% utilisation, 20 ms + drain";
+
 /// One cell of the pinned subset: a policy on a pre-built workload.
 pub struct Case {
     /// Scheduling policy under measurement.
@@ -43,6 +47,8 @@ pub struct Case {
     /// Applications, built once so DAG construction stays outside the
     /// timed region (`AppSpec` clones are `Arc` bumps).
     pub workload: Vec<AppSpec>,
+    /// Open-loop stream plan (`None` = the closed-loop subsets).
+    pub stream: Option<relief_service::StreamConfig>,
 }
 
 /// The pinned campaign subset: every main-comparison policy over the ten
@@ -57,6 +63,7 @@ pub fn pinned_subset() -> Vec<Case> {
                 contention: Contention::High,
                 label: format!("high/{}", mix.label()),
                 workload: mix.workload(),
+                stream: None,
             });
         }
     }
@@ -69,9 +76,35 @@ pub fn pinned_subset() -> Vec<Case> {
             contention: Contention::Continuous,
             label: format!("continuous/{}", ghl.label()),
             workload: ghl.workload(),
+            stream: None,
         });
     }
     cases
+}
+
+/// The pinned service-mode subset: the four headline policies each
+/// driving the CGL tenant trio under a sustained Poisson stream at
+/// roughly 80% platform utilisation (80 req/s per tenant against the
+/// ~100 req/s capacity the service sweep measures), so the wall-clock
+/// trajectory also tracks the open-loop arrival/admission hot path.
+pub fn service_subset() -> Vec<Case> {
+    let spec = crate::service::ServiceSpec {
+        rates: vec![80.0],
+        duration_ps: 20_000_000_000,
+        warmup_ps: 2_000_000_000,
+        ..Default::default()
+    };
+    let stream = spec.stream_config(80.0);
+    [PolicyKind::Fcfs, PolicyKind::Lax, PolicyKind::HetSched, PolicyKind::Relief]
+        .into_iter()
+        .map(|policy| Case {
+            policy,
+            contention: Contention::High,
+            label: "service/CGL@80".to_string(),
+            workload: crate::service::tenant_workload(),
+            stream: Some(stream.clone()),
+        })
+        .collect()
 }
 
 /// One timed pass over a set of cases.
@@ -102,6 +135,9 @@ pub fn run_cases(cases: &[Case], reference: bool) -> Sample {
     for case in cases {
         let mut cfg = config_for(case.policy, case.contention);
         cfg.reference_hot_path = reference;
+        if let Some(stream) = &case.stream {
+            cfg = cfg.with_stream(stream.clone());
+        }
         let result = SocSim::new(cfg, case.workload.clone()).run();
         events += result.events_dispatched;
     }
@@ -178,8 +214,25 @@ pub struct BenchReport {
 /// Panics if the two paths ever dispatch different event counts — that
 /// would mean `reference_hot_path` changed behaviour, not just cost.
 pub fn measure(iters: u32) -> BenchReport {
+    measure_cases(pinned_subset(), iters)
+}
+
+/// Like [`measure`], but over the pinned service-mode subset
+/// ([`service_subset`]): ns/event of the open-loop arrival, admission
+/// and per-class accounting path under sustained Poisson load. Appended
+/// to `BENCH_trajectory.json` under its own `+service` label by
+/// `xtask bench --service`.
+///
+/// # Panics
+///
+/// Same contract as [`measure`].
+pub fn measure_service(iters: u32) -> BenchReport {
+    measure_cases(service_subset(), iters)
+}
+
+/// Shared timing loop behind [`measure`] and [`measure_service`].
+fn measure_cases(cases: Vec<Case>, iters: u32) -> BenchReport {
     assert!(iters > 0, "need at least one iteration");
-    let cases = pinned_subset();
     // Warm-up pass per path (page-cache, branch predictors, allocator).
     run_cases(&cases, false);
     run_cases(&cases, true);
@@ -533,6 +586,25 @@ mod tests {
         let cases = pinned_subset();
         let high_mixes = Contention::High.mixes().len();
         assert_eq!(cases.len(), high_mixes * crate::MAIN_POLICIES.len() + 2);
-        assert!(cases.iter().all(|c| !c.workload.is_empty()));
+        assert!(cases.iter().all(|c| !c.workload.is_empty() && c.stream.is_none()));
+    }
+
+    #[test]
+    fn service_subset_streams_every_case() {
+        let cases = service_subset();
+        assert_eq!(cases.len(), 4);
+        for c in &cases {
+            assert_eq!(c.workload.len(), 3);
+            let stream = c.stream.as_ref().unwrap();
+            assert!(stream.enabled(), "service case must stream");
+            assert_eq!(stream.tenants.len(), c.workload.len());
+        }
+        // The two paths must dispatch identical event counts in stream
+        // mode too — the microbench's core assertion, checked once here
+        // so `xtask bench --service` cannot be the first to find out.
+        let o = run_cases(&cases, false);
+        let r = run_cases(&cases, true);
+        assert_eq!(o.events, r.events);
+        assert!(o.events > 0);
     }
 }

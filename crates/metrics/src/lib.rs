@@ -18,14 +18,19 @@
 
 
 pub mod energy;
+pub mod hist;
 pub mod reconcile;
 pub mod report;
 pub mod stats;
 pub mod summary;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use hist::Histogram;
 pub use reconcile::{reconcile, Mismatch};
-pub use stats::{AppStats, FaultStats, RunStats, TrafficStats};
+pub use stats::{
+    AppStats, ClassServiceStats, FaultStats, RunStats, ServiceStats, TrafficStats,
+    SERVICE_CLASSES,
+};
 
 // Thread-safety audit: per-run statistics are the campaign engine's
 // cross-thread output payload; keep them `Send + Sync`.
@@ -35,5 +40,7 @@ const _: () = {
     assert_send_sync::<AppStats>();
     assert_send_sync::<TrafficStats>();
     assert_send_sync::<FaultStats>();
+    assert_send_sync::<ServiceStats>();
+    assert_send_sync::<Histogram>();
     assert_send_sync::<Mismatch>();
 };

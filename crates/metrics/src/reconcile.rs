@@ -54,7 +54,7 @@ pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
     let nodes: u64 = stats.apps.values().map(|a| a.nodes_completed).sum();
     let dags: u64 = stats.apps.values().map(|a| a.dags_completed).sum();
     let dags_met: u64 = stats.apps.values().map(|a| a.dag_deadlines_met).sum();
-    let checks: [(&'static str, u64, u64); 14] = [
+    let checks: [(&'static str, u64, u64); 19] = [
         ("tasks_completed", counters.tasks_completed, nodes),
         ("dags_done", counters.dags_done, dags),
         ("dags_met", counters.dags_met, dags_met),
@@ -73,6 +73,15 @@ pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
             counters.fault_attributed_misses,
             stats.faults.fault_attributed_misses,
         ),
+        ("stream_arrivals", counters.stream_arrivals, stats.service.arrivals()),
+        ("requests_admitted", counters.requests_admitted, stats.service.admitted()),
+        ("requests_shed_bucket", counters.requests_shed_bucket, stats.service.shed_bucket()),
+        (
+            "requests_shed_capacity",
+            counters.requests_shed_capacity,
+            stats.service.shed_capacity(),
+        ),
+        ("requests_completed", counters.requests_completed, stats.service.completed()),
     ];
     checks
         .into_iter()
@@ -148,6 +157,29 @@ mod tests {
         let mismatches = reconcile(&counters, &stats);
         assert_eq!(mismatches.len(), 1);
         assert_eq!(mismatches[0].field, "dma_faults");
+    }
+
+    #[test]
+    fn service_counters_reconcile() {
+        let (mut counters, mut stats) = consistent_pair();
+        counters.stream_arrivals = 12;
+        counters.requests_admitted = 9;
+        counters.requests_shed_bucket = 1;
+        counters.requests_shed_capacity = 2;
+        counters.requests_completed = 9;
+        stats.service.classes[0].arrivals = 7;
+        stats.service.classes[2].arrivals = 5;
+        stats.service.classes[0].admitted = 6;
+        stats.service.classes[2].admitted = 3;
+        stats.service.classes[0].shed_bucket = 1;
+        stats.service.classes[2].shed_capacity = 2;
+        stats.service.classes[0].completed = 6;
+        stats.service.classes[2].completed = 3;
+        assert!(reconcile(&counters, &stats).is_empty());
+        stats.service.classes[2].completed = 2;
+        let mismatches = reconcile(&counters, &stats);
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].field, "requests_completed");
     }
 
     #[test]

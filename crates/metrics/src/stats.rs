@@ -4,6 +4,7 @@
 //! SoC simulator and consumed by the experiment harness. Everything the
 //! paper's figures report is derivable from a [`RunStats`].
 
+use crate::hist::Histogram;
 use relief_sim::Dur;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -174,6 +175,120 @@ impl FaultStats {
     }
 }
 
+/// QoS class names in dense-index order; `ClassServiceStats` at index `i`
+/// of [`ServiceStats::classes`] describes `SERVICE_CLASSES[i]` traffic
+/// (the same order as `relief_service::QosClass::index`).
+pub const SERVICE_CLASSES: [&str; 3] = ["latency", "standard", "besteffort"];
+
+/// One QoS class's slice of a service run.
+///
+/// The counters are run totals (used by trace reconciliation); the
+/// histograms are warm-up-truncated — only samples completing at or after
+/// the configured warm-up time are recorded, so tail quantiles describe
+/// steady state rather than the cold-start transient.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClassServiceStats {
+    /// Requests the stream generated.
+    pub arrivals: u64,
+    /// Requests the admission controller let in.
+    pub admitted: u64,
+    /// Requests shed by an empty per-tenant token bucket.
+    pub shed_bucket: u64,
+    /// Requests shed by the class's share of the in-flight cap.
+    pub shed_capacity: u64,
+    /// Admitted instances that ran to completion.
+    pub completed: u64,
+    /// Completed instances that met their DAG deadline.
+    pub dag_deadlines_met: u64,
+    /// Node completions sampled after warm-up.
+    pub nodes_measured: u64,
+    /// Sampled node completions that met their node deadline.
+    pub node_deadlines_met: u64,
+    /// End-to-end sojourn time (arrival to completion) of instances
+    /// completing after warm-up.
+    pub sojourn: Histogram,
+    /// Arrival-to-node-completion latency of nodes completing after
+    /// warm-up.
+    pub node_latency: Histogram,
+}
+
+impl ClassServiceStats {
+    /// Total shed requests.
+    pub fn shed(&self) -> u64 {
+        self.shed_bucket + self.shed_capacity
+    }
+
+    /// Deadline attainment: instances that met the DAG deadline over
+    /// *generated* requests (shed requests count as misses), in `[0, 1]`.
+    pub fn attainment(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.dag_deadlines_met as f64 / self.arrivals as f64
+        }
+    }
+}
+
+/// Steady-state accounting of one open-loop service run; all-default (and
+/// omitted from `Debug` output) when streaming is disabled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServiceStats {
+    /// Warm-up truncation point, picoseconds.
+    pub warmup_ps: u64,
+    /// Request-generation horizon, picoseconds.
+    pub duration_ps: u64,
+    /// Per-class breakdowns, indexed per [`SERVICE_CLASSES`].
+    pub classes: [ClassServiceStats; 3],
+}
+
+impl ServiceStats {
+    /// Total generated requests across classes.
+    pub fn arrivals(&self) -> u64 {
+        self.classes.iter().map(|c| c.arrivals).sum()
+    }
+
+    /// Total admitted requests across classes.
+    pub fn admitted(&self) -> u64 {
+        self.classes.iter().map(|c| c.admitted).sum()
+    }
+
+    /// Total bucket-shed requests across classes.
+    pub fn shed_bucket(&self) -> u64 {
+        self.classes.iter().map(|c| c.shed_bucket).sum()
+    }
+
+    /// Total capacity-shed requests across classes.
+    pub fn shed_capacity(&self) -> u64 {
+        self.classes.iter().map(|c| c.shed_capacity).sum()
+    }
+
+    /// Total completed instances across classes.
+    pub fn completed(&self) -> u64 {
+        self.classes.iter().map(|c| c.completed).sum()
+    }
+
+    /// Fraction of generated requests shed, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.arrivals();
+        if arrivals == 0 {
+            0.0
+        } else {
+            (self.shed_bucket() + self.shed_capacity()) as f64 / arrivals as f64
+        }
+    }
+
+    /// Goodput of one class: deadline-meeting completions per simulated
+    /// second of the generation horizon.
+    pub fn goodput_per_s(&self, class: usize) -> f64 {
+        if self.duration_ps == 0 {
+            return 0.0;
+        }
+        self.classes[class].dag_deadlines_met as f64 / (self.duration_ps as f64 / 1e12)
+    }
+}
+
 /// Everything one simulation run reports.
 #[derive(Clone, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -204,12 +319,16 @@ pub struct RunStats {
     /// Fault-injection and recovery accounting; all-zero (and omitted from
     /// `Debug` output) when fault injection is disabled.
     pub faults: FaultStats,
+    /// Open-loop service accounting; all-default (and omitted from
+    /// `Debug` output) when streaming is disabled.
+    pub service: ServiceStats,
 }
 
-/// Hand-written so fault-free runs render exactly as they did before the
-/// fault field existed: campaign stdout is `{:?}` of `RunStats`, and its
-/// golden outputs must stay byte-identical at fault rate 0. The `faults`
-/// field is appended only when some counter is nonzero.
+/// Hand-written so fault-free, stream-free runs render exactly as they
+/// did before those fields existed: campaign stdout is `{:?}` of
+/// `RunStats`, and its golden outputs must stay byte-identical at fault
+/// rate 0 / stream disabled. The `faults` and `service` fields are
+/// appended only when some counter is nonzero.
 impl fmt::Debug for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut d = f.debug_struct("RunStats");
@@ -225,6 +344,9 @@ impl fmt::Debug for RunStats {
             .field("edges_total", &self.edges_total);
         if self.faults != FaultStats::default() {
             d.field("faults", &self.faults);
+        }
+        if self.service != ServiceStats::default() {
+            d.field("service", &self.service);
         }
         d.finish()
     }
@@ -393,9 +515,60 @@ mod tests {
     }
 
     #[test]
+    fn debug_omits_service_only_when_stream_free() {
+        let clean = RunStats { policy: "relief".into(), ..Default::default() };
+        let rendered = format!("{clean:?}");
+        assert!(
+            !rendered.contains("service"),
+            "stream-free runs must render without the service field (golden stability): {rendered}"
+        );
+        let mut streamed = clean;
+        streamed.service.classes[0].arrivals = 5;
+        let rendered = format!("{streamed:?}");
+        assert!(rendered.contains("service: ServiceStats"), "{rendered}");
+        assert!(rendered.contains("arrivals: 5"), "{rendered}");
+    }
+
+    #[test]
     fn fault_totals() {
         let f = FaultStats { task_faults: 3, dma_faults: 4, ..Default::default() };
         assert_eq!(f.injected(), 7);
+    }
+
+    #[test]
+    fn service_totals_and_rates() {
+        let mut s = ServiceStats { duration_ps: 2_000_000_000_000, ..Default::default() }; // 2 s
+        s.classes[0] = ClassServiceStats {
+            arrivals: 10,
+            admitted: 8,
+            shed_bucket: 1,
+            shed_capacity: 1,
+            completed: 8,
+            dag_deadlines_met: 6,
+            ..Default::default()
+        };
+        s.classes[2] = ClassServiceStats {
+            arrivals: 10,
+            admitted: 4,
+            shed_bucket: 2,
+            shed_capacity: 4,
+            completed: 4,
+            dag_deadlines_met: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.arrivals(), 20);
+        assert_eq!(s.admitted(), 12);
+        assert_eq!(s.shed_bucket(), 3);
+        assert_eq!(s.shed_capacity(), 5);
+        assert_eq!(s.completed(), 12);
+        assert!((s.shed_rate() - 0.4).abs() < 1e-12);
+        assert!((s.goodput_per_s(0) - 3.0).abs() < 1e-12);
+        assert_eq!(s.classes[0].shed(), 2);
+        assert!((s.classes[0].attainment() - 0.6).abs() < 1e-12);
+        assert!(s.classes[0].attainment() > s.classes[2].attainment());
+        assert_eq!(ClassServiceStats::default().attainment(), 0.0);
+        assert_eq!(ServiceStats::default().shed_rate(), 0.0);
+        assert_eq!(ServiceStats::default().goodput_per_s(0), 0.0);
     }
 
     #[test]

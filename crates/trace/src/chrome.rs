@@ -296,6 +296,28 @@ pub fn to_chrome_json(events: &[TraceEvent], opts: &ChromeOptions) -> String {
                 let args = format!("\"instance\":{instance},\"faults\":{faults}");
                 w.instant(PID_SCHED, TID_APPS, "fault-miss", at, &args);
             }
+            EventKind::StreamArrival { tenant, index, class } => {
+                let args = format!("\"tenant\":{tenant},\"index\":{index},\"class\":\"{class}\"");
+                w.instant(PID_SCHED, TID_APPS, "stream-arrival", at, &args);
+            }
+            EventKind::RequestAdmitted { tenant, index, instance } => {
+                let args =
+                    format!("\"tenant\":{tenant},\"index\":{index},\"instance\":{instance}");
+                w.instant(PID_SCHED, TID_APPS, "request-admit", at, &args);
+            }
+            EventKind::RequestShed { tenant, index, class, cause } => {
+                let args = format!(
+                    "\"tenant\":{tenant},\"index\":{index},\"class\":\"{class}\",\"cause\":\"{cause}\""
+                );
+                w.instant(PID_SCHED, TID_APPS, "request-shed", at, &args);
+            }
+            EventKind::RequestCompleted { tenant, instance, class, sojourn_ps, met } => {
+                let args = format!(
+                    "\"tenant\":{tenant},\"instance\":{instance},\"class\":\"{class}\",\"sojourn_us\":{},\"met\":{met}",
+                    us(*sojourn_ps)
+                );
+                w.instant(PID_SCHED, TID_APPS, "request-complete", at, &args);
+            }
         }
     }
     w.finish()

@@ -84,6 +84,47 @@ impl fmt::Display for DenyReason {
     }
 }
 
+/// QoS class of a streamed request. Mirrors `relief_service::QosClass`
+/// and renders the same names (this crate sits below `relief-service` and
+/// cannot name its types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// Interactive traffic.
+    Latency,
+    /// Default traffic class.
+    Standard,
+    /// Scavenger traffic.
+    BestEffort,
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceClass::Latency => write!(f, "latency"),
+            ServiceClass::Standard => write!(f, "standard"),
+            ServiceClass::BestEffort => write!(f, "besteffort"),
+        }
+    }
+}
+
+/// Which admission check shed a streamed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedCause {
+    /// The tenant's token bucket was empty.
+    Bucket,
+    /// The class's share of the global in-flight cap was full.
+    Capacity,
+}
+
+impl fmt::Display for ShedCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedCause::Bucket => write!(f, "token-bucket"),
+            ShedCause::Capacity => write!(f, "in-flight-cap"),
+        }
+    }
+}
+
 /// A single-server resource whose occupancy is traced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceId {
@@ -357,6 +398,51 @@ pub enum EventKind {
         /// Faults (task + DMA) the instance absorbed.
         faults: u64,
     },
+
+    // ---- relief-service ----
+    /// The open-loop frontend generated a request (before admission).
+    StreamArrival {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// Per-tenant request index.
+        index: u64,
+        /// The tenant's QoS class.
+        class: ServiceClass,
+    },
+    /// The admission controller let a request in; a DAG instance was
+    /// released.
+    RequestAdmitted {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// Per-tenant request index.
+        index: u64,
+        /// DAG instance index the request became.
+        instance: u32,
+    },
+    /// The admission controller shed a request; no DAG instance exists.
+    RequestShed {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// Per-tenant request index.
+        index: u64,
+        /// The tenant's QoS class.
+        class: ServiceClass,
+        /// Which check rejected it.
+        cause: ShedCause,
+    },
+    /// An admitted request's DAG instance ran to completion.
+    RequestCompleted {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// DAG instance index.
+        instance: u32,
+        /// The tenant's QoS class.
+        class: ServiceClass,
+        /// Arrival-to-completion time, picoseconds.
+        sojourn_ps: u64,
+        /// Whether the DAG deadline was met.
+        met: bool,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -440,6 +526,19 @@ impl fmt::Display for EventKind {
             FaultAttributedMiss { instance, faults } => {
                 write!(f, "fault-miss inst{instance} faults={faults}")
             }
+            StreamArrival { tenant, index, class } => {
+                write!(f, "stream-arrival t{tenant}#{index} {class}")
+            }
+            RequestAdmitted { tenant, index, instance } => {
+                write!(f, "request-admit t{tenant}#{index} inst{instance}")
+            }
+            RequestShed { tenant, index, class, cause } => {
+                write!(f, "request-shed t{tenant}#{index} {class} {cause}")
+            }
+            RequestCompleted { tenant, instance, class, sojourn_ps, met } => write!(
+                f,
+                "request-complete t{tenant} inst{instance} {class} sojourn={sojourn_ps} met={met}"
+            ),
         }
     }
 }
@@ -459,6 +558,33 @@ mod tests {
             },
         };
         assert_eq!(ev.to_string(), "       1500000 escalation-granted d2:n5 acc1 idx=0");
+    }
+
+    #[test]
+    fn service_display_is_stable() {
+        let arrival = EventKind::StreamArrival {
+            tenant: 1,
+            index: 42,
+            class: ServiceClass::Latency,
+        };
+        assert_eq!(arrival.to_string(), "stream-arrival t1#42 latency");
+        let admit = EventKind::RequestAdmitted { tenant: 0, index: 3, instance: 7 };
+        assert_eq!(admit.to_string(), "request-admit t0#3 inst7");
+        let shed = EventKind::RequestShed {
+            tenant: 2,
+            index: 9,
+            class: ServiceClass::BestEffort,
+            cause: ShedCause::Capacity,
+        };
+        assert_eq!(shed.to_string(), "request-shed t2#9 besteffort in-flight-cap");
+        let done = EventKind::RequestCompleted {
+            tenant: 0,
+            instance: 7,
+            class: ServiceClass::Standard,
+            sojourn_ps: 1_000,
+            met: true,
+        };
+        assert_eq!(done.to_string(), "request-complete t0 inst7 standard sojourn=1000 met=true");
     }
 
     #[test]

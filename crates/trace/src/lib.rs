@@ -58,5 +58,8 @@ pub mod text;
 
 pub use counters::{CountersSink, EventCounters};
 pub use diff::{first_divergence_events, first_divergence_lines, Divergence, DivergenceCause};
-pub use event::{DenyReason, Endpoint, EventKind, InputSource, ResourceId, TaskRef, TraceEvent};
+pub use event::{
+    DenyReason, Endpoint, EventKind, InputSource, ResourceId, ServiceClass, ShedCause, TaskRef,
+    TraceEvent,
+};
 pub use sink::{NullSink, RingBufferSink, TraceSink, Tracer};

@@ -18,7 +18,9 @@
 //!    reports byte-identical.
 //! 4. The determinism, conformance, and property test suites:
 //!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
-//!    `metamorphic_properties`, `fault_injection`, and
+//!    `metamorphic_properties`, `fault_injection`, `service_mode`
+//!    (the open-loop streaming frontend: byte-identical reports at any
+//!    `--jobs`, bit-inert when disabled, admission accounting), and
 //!    `queue_equivalence` (the optimised hot path against its own
 //!    reference implementation, bit for bit, under all eight policies).
 //! 5. `xtask bench --check` — a short run of the hot-path benchmark that
@@ -32,7 +34,9 @@
 //! writes `BENCH_simcore.json` at the repo root, and appends the run's
 //! medians to the `BENCH_trajectory.json` history (see README.md).
 //! Extra arguments (`--iters N`, `--out PATH`, `--check`,
-//! `--tolerance PCT`) are forwarded to the `simcore_bench` binary.
+//! `--tolerance PCT`, `--service`) are forwarded to the
+//! `simcore_bench` binary; `bench --service` times the open-loop
+//! service subset and appends a `+service` trajectory entry instead.
 //!
 //! Exit code is nonzero if any executed step fails.
 
@@ -68,12 +72,13 @@ fn check() -> ExitCode {
         Command::new("cargo").args(["build", "--offline", "--workspace", "--benches"]),
     );
     if have_clippy() {
-        const LIB_CRATES: [&str; 11] = [
+        const LIB_CRATES: [&str; 12] = [
             "relief-sim",
             "relief-dag",
             "relief-mem",
             "relief-core",
             "relief-fault",
+            "relief-service",
             "relief-accel",
             "relief-workloads",
             "relief-metrics",
@@ -111,6 +116,7 @@ fn check() -> ExitCode {
         ("relief", "scheduler_conformance"),
         ("relief", "metamorphic_properties"),
         ("relief", "fault_injection"),
+        ("relief", "service_mode"),
         ("relief", "queue_equivalence"),
     ] {
         ok &= run(

@@ -44,6 +44,17 @@ OPTIONS:
                         [0, 1); 0 injects nothing [default: 0]
     --fault-seed <N>    fault-plan seed, decimal or 0x-hex; the same
                         seed reproduces the same fault schedule
+    --arrival <PROC>    open-loop service mode: stream DAG instances
+                        under det | poisson | mmpp | diurnal arrivals
+                        instead of releasing each app once
+    --rate <R>          arrival rate per tenant, requests/s
+                        [default: 100, needs --arrival]
+    --duration-us <N>   arrival window, microseconds; the run drains
+                        after the last arrival [default: 20000]
+    --tenants <N>       number of streaming tenants; the mix symbols
+                        are cycled to fill [default: one per symbol]
+    --qos <CLASSES>     comma list of latency | standard | besteffort,
+                        cycled across tenants [default: all three]
     --help              print this help
 ";
 
@@ -59,6 +70,11 @@ struct Args {
     trace_out: Option<std::path::PathBuf>,
     fault_rate: f64,
     fault_seed: Option<u64>,
+    arrival: Option<ArrivalProcess>,
+    rate: f64,
+    duration_us: u64,
+    tenants: Option<usize>,
+    qos: Vec<QosClass>,
 }
 
 impl Args {
@@ -77,6 +93,30 @@ impl Args {
             fault.seed = seed;
         }
         Some(fault)
+    }
+
+    /// The streaming tenants the flags describe: `--tenants` entries (or
+    /// one per mix symbol), cycling the `--qos` classes.
+    fn tenant_list(&self, n_mix: usize) -> Vec<TenantCfg> {
+        (0..self.tenants.unwrap_or(n_mix))
+            .map(|i| TenantCfg::new(self.qos[i % self.qos.len()], self.rate))
+            .collect()
+    }
+
+    /// The stream configuration the flags describe, or `None` when
+    /// `--arrival` was not given (so the config stays bit-for-bit
+    /// default and the run is the ordinary closed-loop one).
+    fn stream_config(&self, n_mix: usize) -> Option<StreamConfig> {
+        let process = self.arrival.clone()?;
+        let duration_ps = self.duration_us * 1_000_000;
+        Some(StreamConfig {
+            duration_ps,
+            // Steady-state truncation: skip the first tenth of the window.
+            warmup_ps: duration_ps / 10,
+            process,
+            tenants: self.tenant_list(n_mix),
+            ..StreamConfig::default()
+        })
     }
 }
 
@@ -108,6 +148,11 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         fault_rate: 0.0,
         fault_seed: None,
+        arrival: None,
+        rate: 100.0,
+        duration_us: 20_000,
+        tenants: None,
+        qos: vec![QosClass::Latency, QosClass::Standard, QosClass::BestEffort],
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -164,6 +209,44 @@ fn parse_args() -> Result<Args, String> {
                 };
                 args.fault_seed = Some(parsed.map_err(|_| format!("bad --fault-seed '{v}'"))?);
             }
+            "--arrival" => {
+                let v = it.next().ok_or("--arrival needs a value")?;
+                args.arrival = Some(ArrivalProcess::parse(&v)?);
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad --rate '{v}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("--rate {v} must be positive"));
+                }
+                args.rate = rate;
+            }
+            "--duration-us" => {
+                let v = it.next().ok_or("--duration-us needs a value")?;
+                let us: u64 = v.parse().map_err(|_| format!("bad --duration-us '{v}'"))?;
+                if us == 0 {
+                    return Err("--duration-us must be positive".into());
+                }
+                args.duration_us = us;
+            }
+            "--tenants" => {
+                let v = it.next().ok_or("--tenants needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --tenants '{v}'"))?;
+                if n == 0 {
+                    return Err("--tenants must be at least 1".into());
+                }
+                args.tenants = Some(n);
+            }
+            "--qos" => {
+                let v = it.next().ok_or("--qos needs a value")?;
+                args.qos = v
+                    .split(',')
+                    .map(|s| QosClass::parse(s.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.qos.is_empty() {
+                    return Err("--qos needs at least one class".into());
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -172,6 +255,32 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The application set the flags describe. Service mode cycles the mix
+/// symbols across the tenant count and suffixes each label with its
+/// tenant index (tenant `t` streams app spec `t`, and labels must stay
+/// unique); closed-loop mode keeps the bare symbols.
+fn build_apps(args: &Args, mix_apps: &[App]) -> Vec<AppSpec> {
+    if args.arrival.is_some() {
+        let n = args.tenants.unwrap_or(mix_apps.len());
+        return (0..n)
+            .map(|i| {
+                let app = mix_apps[i % mix_apps.len()];
+                AppSpec::once(format!("{}{i}", app.symbol()), app.dag())
+            })
+            .collect();
+    }
+    mix_apps
+        .iter()
+        .map(|app| {
+            if args.continuous {
+                AppSpec::continuous(app.symbol(), app.dag())
+            } else {
+                AppSpec::once(app.symbol(), app.dag())
+            }
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -195,6 +304,14 @@ fn main() -> ExitCode {
         eprintln!("error: --mix must name at least one application");
         return ExitCode::FAILURE;
     }
+    if args.arrival.is_none() && (args.tenants.is_some() || args.rate != 100.0) {
+        eprintln!("error: --tenants/--rate/--qos need --arrival to enable service mode");
+        return ExitCode::FAILURE;
+    }
+    if args.arrival.is_some() && args.continuous {
+        eprintln!("error: --arrival replaces closed-loop repetition; drop --continuous");
+        return ExitCode::FAILURE;
+    }
     if args.policies.len() > 1 {
         if args.trace_out.is_some() {
             eprintln!("error: --trace-out needs a single --policy (whose run should I trace?)");
@@ -203,16 +320,7 @@ fn main() -> ExitCode {
         return compare_policies(&args, &mix_apps);
     }
 
-    let apps: Vec<AppSpec> = mix_apps
-        .iter()
-        .map(|app| {
-            if args.continuous {
-                AppSpec::continuous(app.symbol(), app.dag())
-            } else {
-                AppSpec::once(app.symbol(), app.dag())
-            }
-        })
-        .collect();
+    let apps: Vec<AppSpec> = build_apps(&args, &mix_apps);
 
     let mut cfg = SocConfig::mobile(args.policies[0]);
     if args.no_forwarding {
@@ -224,6 +332,9 @@ fn main() -> ExitCode {
     cfg.output_partitions = args.partitions;
     if let Some(fault) = args.fault_config() {
         cfg = cfg.with_fault(fault);
+    }
+    if let Some(stream) = args.stream_config(mix_apps.len()) {
+        cfg = cfg.with_stream(stream);
     }
     let limit = args.limit_ms.or(args.continuous.then_some(50));
     if let Some(ms) = limit {
@@ -305,6 +416,34 @@ fn main() -> ExitCode {
             s.faults.fault_attributed_misses,
         );
     }
+    if s.service != relief::metrics::ServiceStats::default() {
+        let sv = &s.service;
+        println!(
+            "service           {} arrivals | {} admitted | {} shed ({:.1}%) | {} completed",
+            sv.arrivals(),
+            sv.admitted(),
+            sv.shed_bucket() + sv.shed_capacity(),
+            sv.shed_rate() * 100.0,
+            sv.completed(),
+        );
+        for (i, name) in relief::metrics::SERVICE_CLASSES.iter().enumerate() {
+            let c = &sv.classes[i];
+            if c.arrivals == 0 {
+                continue;
+            }
+            let p99 = c
+                .sojourn
+                .quantile_ps(0.99)
+                .map(|ps| format!("{:.1} us", ps as f64 / 1e6))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "  {name}: {} arrived | {} done | attainment {:.1}% | p99 sojourn {p99}",
+                c.arrivals,
+                c.completed,
+                c.attainment() * 100.0,
+            );
+        }
+    }
     println!("node deadlines    {:.1}% met", s.node_deadline_percent());
     println!("occupancy         accel {:.2} | interconnect {:.1}%",
         s.accel_occupancy(), 100.0 * s.interconnect_occupancy());
@@ -333,23 +472,14 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
 
     let mix_label = args.mix.to_ascii_uppercase();
     let limit = args.limit_ms.or(args.continuous.then_some(50)).map(Time::from_ms);
-    let continuous = args.continuous;
-    let apps: Vec<App> = mix_apps.to_vec();
-    let workload = WorkloadSpec::custom(
-        format!("cli/{mix_label}{}", if continuous { "+cont" } else { "" }),
-        limit,
-        move || {
-            apps.iter()
-                .map(|app| {
-                    if continuous {
-                        AppSpec::continuous(app.symbol(), app.dag())
-                    } else {
-                        AppSpec::once(app.symbol(), app.dag())
-                    }
-                })
-                .collect()
-        },
-    );
+    let apps_spec = build_apps(args, mix_apps);
+    let mut workload_label =
+        format!("cli/{mix_label}{}", if args.continuous { "+cont" } else { "" });
+    if args.arrival.is_some() {
+        workload_label.push_str(&format!("+svc{}", apps_spec.len()));
+    }
+    let workload =
+        WorkloadSpec::custom(workload_label, limit, move || apps_spec.clone());
     let mut platform_label = "mobile".to_string();
     if args.no_forwarding {
         platform_label.push_str("-nofwd");
@@ -366,6 +496,16 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
         // knobs so faulted runs never collide with clean ones.
         platform_label.push_str(&format!("-f{:.4}s{:x}", f.task_fault_rate, f.seed));
     }
+    let stream = args.stream_config(mix_apps.len());
+    if let Some(st) = &stream {
+        // Same identity rule for the stream knobs.
+        platform_label.push_str(&format!(
+            "-svc{}r{:.0}d{}us",
+            st.process.name(),
+            args.rate,
+            args.duration_us
+        ));
+    }
     let (no_forwarding, crossbar, partitions) =
         (args.no_forwarding, args.crossbar, args.partitions);
     let platform = PlatformSpec::custom(platform_label, move |p| {
@@ -379,6 +519,9 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
         cfg.output_partitions = partitions;
         if let Some(f) = &fault {
             cfg = cfg.with_fault(f.clone());
+        }
+        if let Some(st) = &stream {
+            cfg = cfg.with_stream(st.clone());
         }
         cfg
     });

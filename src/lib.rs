@@ -12,6 +12,8 @@
 //!   HetSched, RELIEF, RELIEF-LAX) and runtime predictors
 //! * [`fault`] — deterministic, seeded fault-injection plans (task, DMA,
 //!   accelerator-unit outages) and the recovery knobs
+//! * [`service`] — the open-loop streaming frontend: deterministic
+//!   arrival processes, per-tenant QoS classes, token-bucket admission
 //! * [`accel`] — the seven elementary accelerators, forwarding mechanism,
 //!   hardware manager, and the end-to-end SoC simulator
 //! * [`workloads`] — the five benchmark applications and the paper's
@@ -47,6 +49,7 @@ pub use relief_dag as dag;
 pub use relief_fault as fault;
 pub use relief_mem as mem;
 pub use relief_metrics as metrics;
+pub use relief_service as service;
 pub use relief_sim as sim;
 pub use relief_trace as trace;
 pub use relief_workloads as workloads;
@@ -57,7 +60,10 @@ pub mod prelude {
     pub use relief_core::{PolicyKind, ReadyQueues, TaskEntry, TaskKey};
     pub use relief_dag::{AccTypeId, Dag, DagBuilder, NodeId, NodeSpec};
     pub use relief_fault::{FaultConfig, FaultPlan};
-    pub use relief_metrics::{EnergyModel, RunStats};
+    pub use relief_metrics::{EnergyModel, Histogram, RunStats};
+    pub use relief_service::{
+        AdmissionConfig, ArrivalProcess, QosClass, StreamConfig, StreamPlan, TenantCfg,
+    };
     pub use relief_sim::{Dur, SplitMix64, Time};
     pub use relief_trace::{RingBufferSink, Tracer};
     pub use relief_workloads::{App, Contention, Mix, CONTINUOUS_TIME_LIMIT};
