@@ -118,6 +118,10 @@ impl SocConfig {
             PolicyKind::ReliefLax => 750,
             PolicyKind::ReliefHet => 700,
             PolicyKind::ReliefUnthrottled => 550,
+            // FCFS-priced while relaxed, RELIEF-priced under pressure;
+            // a single modeled cost splits the difference low, since the
+            // switch exists to spend most epochs in the cheap mode.
+            PolicyKind::Adaptive => 250,
         };
         Dur::from_ns(ns)
     }

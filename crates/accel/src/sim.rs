@@ -562,6 +562,18 @@ impl SocSim {
         self
     }
 
+    /// Replaces the policy object while keeping `cfg.policy` (and thus the
+    /// reported policy name and modeled insert cost) untouched. This is the
+    /// schedule-replay hook: a [`relief_core::ScheduleReplay`] standing in
+    /// for the recorded policy reproduces its run bit-exactly because every
+    /// cost the simulator models still comes from the recorded
+    /// configuration.
+    pub fn with_policy_object(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = policy;
+        self.wire_tracer();
+        self
+    }
+
     /// Re-distributes clones of the current tracer to every instrumented
     /// component. Must be called whenever the sink set changes.
     fn wire_tracer(&mut self) {
@@ -931,18 +943,28 @@ impl SocSim {
                 .iter()
                 .find(|&&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
             {
-                let Some(entry) =
-                    self.policy.pop(&mut self.queues, relief_dag::AccTypeId(t as u32), self.now)
-                else {
+                let insts = &self.insts;
+                let Some((entry, pin)) = self.policy.pop_placed(
+                    &mut self.queues,
+                    relief_dag::AccTypeId(t as u32),
+                    self.now,
+                    &|i| insts.get(i).is_some_and(|u| u.running.is_none() && !u.quarantined),
+                ) else {
                     break;
                 };
-                // Prefer the instance that enables colocation: the idle
-                // instance whose previously executed node is a parent of
-                // this task with its output still live there.
-                let chosen = self
-                    .colocation_instance(t, entry.key)
-                    .filter(|&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
-                    .unwrap_or(inst_idx);
+                let chosen = match pin {
+                    // A placement-aware policy (schedule replay) pins the
+                    // instance; it only releases a task whose pin is idle.
+                    Some(i) => i,
+                    // Otherwise prefer the instance that enables
+                    // colocation: the idle instance whose previously
+                    // executed node is a parent of this task with its
+                    // output still live there.
+                    None => self
+                        .colocation_instance(t, entry.key)
+                        .filter(|&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
+                        .unwrap_or(inst_idx),
+                };
                 self.launch(chosen, entry);
             }
         }
@@ -1403,16 +1425,22 @@ impl SocSim {
         let all_next_in_line = !self.fault.enabled()
             && self.cfg.forwarding
             && !children.is_empty()
-            && children.iter().all(|&c| {
-                let ck = TaskKey::new(key.instance, c.0);
-                match self.node_rt(ck).phase {
-                    NodePhase::Waiting | NodePhase::Aborted => false,
-                    NodePhase::Launched | NodePhase::Done => true,
-                    NodePhase::Ready => {
-                        self.queues.is_escalated_or_head(dag.node(c).acc, ck)
+            && match self.policy.writeback_elision(key) {
+                // Schedule replay: the decision is part of the plan (the
+                // live decision hinged on the recording policy's
+                // escalations, which replay does not re-enact).
+                Some(elide) => elide,
+                None => children.iter().all(|&c| {
+                    let ck = TaskKey::new(key.instance, c.0);
+                    match self.node_rt(ck).phase {
+                        NodePhase::Waiting | NodePhase::Aborted => false,
+                        NodePhase::Launched | NodePhase::Done => true,
+                        NodePhase::Ready => {
+                            self.queues.is_escalated_or_head(dag.node(c).acc, ck)
+                        }
                     }
-                }
-            });
+                }),
+            };
         if !all_next_in_line {
             self.issue_writeback(key, false);
         }

@@ -62,5 +62,11 @@ fn main() {
         print!("{}", f(&ctx));
         println!();
     }
+    // The oracle table searches rather than replays the campaign grid,
+    // so it runs on its own `jobs`-wide pool (separate from the array
+    // above: its renderer captures `jobs` and can't be a fn pointer).
+    eprintln!("== running oracle ({:.0?} elapsed) ==", t0.elapsed());
+    print!("{}", relief_bench::oracle::table_oracle(jobs));
+    println!();
     eprintln!("== done in {:.0?} ==", t0.elapsed());
 }

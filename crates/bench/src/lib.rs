@@ -133,6 +133,7 @@ mod tests {
 pub mod campaign;
 pub mod experiments;
 pub mod microbench;
+pub mod oracle;
 pub mod resilience;
 pub mod service;
 pub mod traceio;

@@ -54,7 +54,10 @@ pub mod predict;
 pub mod queue;
 pub mod task;
 
-pub use policy::{DeadlineScheme, Policy, PolicyKind};
+pub use policy::{
+    Adaptive, AdaptiveParams, DeadlineScheme, Policy, PolicyKind, SchedMode, Schedule,
+    ScheduleRecorder, ScheduleReplay, ScheduledLaunch,
+};
 pub use predict::{BandwidthPredictor, ComputeProfile, DataMovePredictor, MemTimePredictor};
 pub use queue::ReadyQueues;
 pub use task::{TaskEntry, TaskKey};

@@ -5,17 +5,21 @@
 //! order key, the deadline-assignment scheme, and — uniquely for RELIEF —
 //! in escalating newly ready *forwarding nodes* to the queue front.
 
+mod adaptive;
 mod fcfs;
 mod gedf;
 mod hetsched;
 mod ll;
 mod relief;
+mod replay;
 
+pub use adaptive::{Adaptive, AdaptiveParams, SchedMode};
 pub use fcfs::Fcfs;
 pub use gedf::{GedfD, GedfN};
 pub use hetsched::HetSched;
 pub use ll::{Lax, Ll};
 pub use relief::{is_feasible, Relief};
+pub use replay::{Schedule, ScheduleRecorder, ScheduleReplay, ScheduledLaunch};
 
 use crate::queue::ReadyQueues;
 use crate::task::{TaskEntry, TaskKey};
@@ -78,6 +82,39 @@ pub trait Policy {
     /// `acc`, or `None` when its queue is empty.
     fn pop(&mut self, queues: &mut ReadyQueues, acc: AccTypeId, now: Time) -> Option<TaskEntry>;
 
+    /// Like [`pop`](Policy::pop), but with placement control: returns the
+    /// selected task together with an optional *global accelerator
+    /// instance index* the task must launch on. `is_idle(inst)` reports
+    /// whether a global instance index is currently idle (and not
+    /// quarantined), letting a placement-aware policy refuse to release a
+    /// task whose prescribed instance is busy.
+    ///
+    /// The default implementation delegates to `pop` with no pin, so
+    /// every online policy keeps its existing behavior; only schedule
+    /// replay ([`ScheduleReplay`]) overrides this.
+    fn pop_placed(
+        &mut self,
+        queues: &mut ReadyQueues,
+        acc: AccTypeId,
+        now: Time,
+        is_idle: &dyn Fn(usize) -> bool,
+    ) -> Option<(TaskEntry, Option<usize>)> {
+        let _ = is_idle;
+        self.pop(queues, acc, now).map(|e| (e, None))
+    }
+
+    /// Prescribes the simulator's write-back decision for `producer`'s
+    /// output at compute completion: `Some(true)` elides the eager DRAM
+    /// write-back (all consumers will forward), `Some(false)` forces it,
+    /// `None` (the default, and every online policy) lets the simulator
+    /// derive the decision from queue escalation state. Only schedule
+    /// replay ([`ScheduleReplay`]) prescribes: the live decision depends
+    /// on the originating policy's escalations, which a replay does not
+    /// re-enact, so bit-exact replay must carry the decision in the plan.
+    fn writeback_elision(&self, _producer: TaskKey) -> Option<bool> {
+        None
+    }
+
     /// Attaches a tracer for scheduling-decision events (escalations,
     /// feasibility verdicts, queue bypasses). Policies without decision
     /// events ignore it.
@@ -110,6 +147,10 @@ pub enum PolicyKind {
     /// RELIEF with the feasibility check disabled (ablation: escalate
     /// whenever an instance is idle, regardless of victims' laxity).
     ReliefUnthrottled,
+    /// DAS-style runtime switch (Goksoy et al.): FCFS while the SoC is
+    /// lightly loaded, RELIEF once per-epoch queue depth / laxity slack
+    /// signals memory pressure.
+    Adaptive,
 }
 
 impl PolicyKind {
@@ -136,9 +177,10 @@ impl PolicyKind {
     ];
 
     /// Extension and ablation variants beyond the paper's evaluation
-    /// (§VII future work; feasibility-check ablation).
-    pub const EXTENSIONS: [PolicyKind; 2] =
-        [PolicyKind::ReliefHet, PolicyKind::ReliefUnthrottled];
+    /// (§VII future work; feasibility-check ablation; the DAS-style
+    /// adaptive switch).
+    pub const EXTENSIONS: [PolicyKind; 3] =
+        [PolicyKind::ReliefHet, PolicyKind::ReliefUnthrottled, PolicyKind::Adaptive];
 
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
@@ -153,6 +195,7 @@ impl PolicyKind {
             PolicyKind::ReliefLax => "RELIEF-LAX",
             PolicyKind::ReliefHet => "RELIEF-HET",
             PolicyKind::ReliefUnthrottled => "RELIEF-NOTHROTTLE",
+            PolicyKind::Adaptive => "ADAPTIVE",
         }
     }
 
@@ -169,6 +212,7 @@ impl PolicyKind {
             PolicyKind::ReliefLax => Box::new(Relief::with_lax_deprioritization()),
             PolicyKind::ReliefHet => Box::new(Relief::over_hetsched()),
             PolicyKind::ReliefUnthrottled => Box::new(Relief::without_feasibility()),
+            PolicyKind::Adaptive => Box::new(Adaptive::new()),
         }
     }
 }

@@ -114,6 +114,9 @@ fn drive(policy_kind: PolicyKind, script: Vec<Op>, idle: usize, ctx: &str) {
             PolicyKind::GedfD | PolicyKind::GedfN => {
                 sorted_by(&|t: &TaskEntry| t.deadline.as_ps() as i128)
             }
+            // Adaptive flips between FCFS (constant key) and RELIEF
+            // (laxity) ordering; the invariant is the cached sort key.
+            PolicyKind::Adaptive => sorted_by(&|t: &TaskEntry| t.sort_key),
             _ => sorted_by(&|t: &TaskEntry| t.laxity),
         };
         assert!(ok, "{ctx}: queue must stay key-sorted");

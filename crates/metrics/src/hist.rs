@@ -252,6 +252,47 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_pins_every_quantile_to_its_bin() {
+        // One sample: every q clamps to rank 1, and within = 1/1 puts the
+        // estimate at the upper edge of the sample's bin [100, 200).
+        let h = filled(&[150]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ps(q), Some(200), "q={q}");
+        }
+        assert_eq!(h.mean_ps(), Some(150.0));
+        assert_eq!(h.max_ps(), 150);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn all_samples_in_overflow_report_the_tracked_max() {
+        // Configured layout [0, 1000), every sample past it: the binned
+        // scan finds nothing and every quantile falls through to max_ps.
+        let h = filled(&[1_000, 5_000, 123_456]);
+        assert_eq!(h.overflow(), 3);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile_ps(q), Some(123_456), "q={q}");
+        }
+        assert_eq!(h.max_ps(), 123_456);
+    }
+
+    #[test]
+    fn merge_with_empty_configured_histogram_is_identity() {
+        // Unlike Default (unconfigured), an empty *configured* histogram
+        // has a layout; merging it in either direction must not disturb
+        // counts, quantiles, or layout.
+        let a = filled(&[10, 110, 950, 2_000]);
+        let empty = Histogram::new(100, 10);
+        let mut left = a.clone();
+        left.merge(&empty);
+        assert_eq!(left, a);
+        let mut right = empty;
+        right.merge(&a);
+        assert_eq!(right, a);
+        assert_eq!(right.quantile_ps(0.5), a.quantile_ps(0.5));
+    }
+
+    #[test]
     fn merge_is_exact_and_associative() {
         let a = filled(&[10, 110, 210]);
         let b = filled(&[310, 410, 2_000]);

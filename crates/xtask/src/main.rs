@@ -20,14 +20,21 @@
 //!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
 //!    `metamorphic_properties`, `fault_injection`, `service_mode`
 //!    (the open-loop streaming frontend: byte-identical reports at any
-//!    `--jobs`, bit-inert when disabled, admission accounting), and
+//!    `--jobs`, bit-inert when disabled, admission accounting),
 //!    `queue_equivalence` (the optimised hot path against its own
-//!    reference implementation, bit for bit, under all eight policies).
+//!    reference implementation, bit for bit, under all eight policies),
+//!    and `oracle_conformance` (the ahead-of-time scheduling bound:
+//!    oracle ≤ every online policy, prediction = replay bit-exactly,
+//!    beam-width monotonicity, recorded-run replay differentials).
 //! 5. `xtask bench --check` — a short run of the hot-path benchmark that
 //!    validates the `BENCH_simcore.json` schema and then gates on the
 //!    committed baseline: the fresh run's fastest pass must stay within
 //!    10 % of the committed optimised median ns/event (skipped with a
 //!    notice when no baseline is committed).
+//!
+//! `check --suite <name>[,<name>...]` runs a subset of those steps by
+//! name (see `check --list-suites` for the names); everything else is
+//! skipped. Unknown names abort with the list of valid ones.
 //!
 //! `bench` (release) measures the simulation hot path over a pinned
 //! campaign subset — optimised vs the `reference_hot_path` cost model —
@@ -65,69 +72,142 @@ fn have_clippy() -> bool {
         .unwrap_or(false)
 }
 
-fn check() -> ExitCode {
-    let mut ok = true;
-    ok &= run(
-        "cargo build --offline --workspace --benches",
-        Command::new("cargo").args(["build", "--offline", "--workspace", "--benches"]),
-    );
-    if have_clippy() {
-        const LIB_CRATES: [&str; 12] = [
-            "relief-sim",
-            "relief-dag",
-            "relief-mem",
-            "relief-core",
-            "relief-fault",
-            "relief-service",
-            "relief-accel",
-            "relief-workloads",
-            "relief-metrics",
-            "relief-trace",
-            "relief-bench",
-            "relief",
-        ];
-        let mut args: Vec<&str> = vec!["clippy", "--offline"];
-        for c in LIB_CRATES {
-            args.extend(["-p", c]);
-        }
-        args.extend(["--all-targets", "--", "-D", "warnings"]);
-        ok &= run(
-            "cargo clippy --offline <library crates> --all-targets -- -D warnings",
-            Command::new("cargo").args(&args),
-        );
-    } else {
-        println!("==> clippy component not installed; skipping lint gate");
+/// The integration-test suites step 4 runs, as `(package, test target)`.
+const TEST_SUITES: [(&str, &str); 8] = [
+    ("relief-bench", "campaign_engine"),
+    ("relief", "golden_experiments"),
+    ("relief", "scheduler_conformance"),
+    ("relief", "metamorphic_properties"),
+    ("relief", "fault_injection"),
+    ("relief", "service_mode"),
+    ("relief", "queue_equivalence"),
+    ("relief", "oracle_conformance"),
+];
+
+/// Names accepted by `check --suite` that are not test targets.
+const META_SUITES: [&str; 4] = ["build", "lint", "campaign-smoke", "bench-check"];
+
+fn print_suites() {
+    println!("check suites (for --suite <name>[,<name>...]):");
+    for name in META_SUITES {
+        println!("  {name}");
     }
-    ok &= run(
-        "campaign engine smoke test (jobs=1 vs jobs=2)",
-        Command::new("cargo").args([
-            "run",
-            "--offline",
-            "--release",
-            "-p",
-            "relief-bench",
-            "--bin",
-            "campaign_smoke",
-        ]),
-    );
-    for (package, suite) in [
-        ("relief-bench", "campaign_engine"),
-        ("relief", "golden_experiments"),
-        ("relief", "scheduler_conformance"),
-        ("relief", "metamorphic_properties"),
-        ("relief", "fault_injection"),
-        ("relief", "service_mode"),
-        ("relief", "queue_equivalence"),
-    ] {
+    for (package, suite) in TEST_SUITES {
+        println!("  {suite}  (cargo test -p {package} --test {suite})");
+    }
+}
+
+/// Parses `check` arguments into a suite filter. `None` = run everything.
+fn parse_suite_filter(args: &[String]) -> Result<Option<Vec<String>>, String> {
+    let mut filter: Option<Vec<String>> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => {
+                let v = it.next().ok_or("--suite needs a value")?;
+                let names = filter.get_or_insert_with(Vec::new);
+                names.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--list-suites" => {
+                print_suites();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown check option '{other}'")),
+        }
+    }
+    if let Some(names) = &filter {
+        let known = |n: &str| {
+            META_SUITES.contains(&n) || TEST_SUITES.iter().any(|&(_, s)| s == n)
+        };
+        for n in names {
+            if !known(n) {
+                print_suites();
+                return Err(format!("unknown suite '{n}'"));
+            }
+        }
+        if names.is_empty() {
+            return Err("--suite needs at least one name".into());
+        }
+    }
+    Ok(filter)
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let filter = match parse_suite_filter(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wants = |name: &str| filter.as_ref().is_none_or(|f| f.iter().any(|n| n == name));
+
+    let mut ok = true;
+    if wants("build") {
+        ok &= run(
+            "cargo build --offline --workspace --benches",
+            Command::new("cargo").args(["build", "--offline", "--workspace", "--benches"]),
+        );
+    }
+    if wants("lint") {
+        if have_clippy() {
+            const LIB_CRATES: [&str; 13] = [
+                "relief-sim",
+                "relief-dag",
+                "relief-mem",
+                "relief-core",
+                "relief-fault",
+                "relief-service",
+                "relief-accel",
+                "relief-workloads",
+                "relief-metrics",
+                "relief-trace",
+                "relief-oracle",
+                "relief-bench",
+                "relief",
+            ];
+            let mut args: Vec<&str> = vec!["clippy", "--offline"];
+            for c in LIB_CRATES {
+                args.extend(["-p", c]);
+            }
+            args.extend(["--all-targets", "--", "-D", "warnings"]);
+            ok &= run(
+                "cargo clippy --offline <library crates> --all-targets -- -D warnings",
+                Command::new("cargo").args(&args),
+            );
+        } else {
+            println!("==> clippy component not installed; skipping lint gate");
+        }
+    }
+    if wants("campaign-smoke") {
+        ok &= run(
+            "campaign engine smoke test (jobs=1 vs jobs=2)",
+            Command::new("cargo").args([
+                "run",
+                "--offline",
+                "--release",
+                "-p",
+                "relief-bench",
+                "--bin",
+                "campaign_smoke",
+            ]),
+        );
+    }
+    for (package, suite) in TEST_SUITES {
+        if !wants(suite) {
+            continue;
+        }
         ok &= run(
             &format!("cargo test --offline -p {package} --test {suite}"),
             Command::new("cargo").args(["test", "--offline", "-p", package, "--test", suite]),
         );
     }
-    ok &= run(
-        "hot-path benchmark smoke run (xtask bench --check)",
-        &mut bench_command(&["--check".to_string()]),
-    );
+    if wants("bench-check") {
+        ok &= run(
+            "hot-path benchmark smoke run (xtask bench --check)",
+            &mut bench_command(&["--check".to_string()]),
+        );
+    }
     if ok {
         println!("xtask check: OK");
         ExitCode::SUCCESS
@@ -164,11 +244,11 @@ fn bench(args: &[String]) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => check(),
+        Some("check") => check(&args[1..]),
         Some("bench") => bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <check | bench [--iters N] [--out PATH] [--check] [--tolerance PCT]>"
+                "usage: cargo run -p xtask -- <check [--suite NAMES] [--list-suites] | bench [--iters N] [--out PATH] [--check] [--tolerance PCT]>"
             );
             ExitCode::from(2)
         }

@@ -27,9 +27,16 @@ OPTIONS:
                         D (deblur), G (gru), H (harris), L (lstm)
                         [default: CGL]
     --policy <NAMES>    fcfs | gedf-d | gedf-n | ll | lax | hetsched |
-                        relief | relief-lax | relief-het [default: relief]
+                        relief | relief-lax | relief-het | adaptive
+                        [default: relief]
                         A comma-separated list compares the policies
-                        side by side on the campaign engine
+                        side by side on the campaign engine. Adding
+                        'oracle' to the list also computes the
+                        ahead-of-time scheduling bound and a
+                        '% of oracle' column ('oracle' alone compares
+                        all eight paper policies against the bound;
+                        closed-loop runs only — no --continuous,
+                        --limit-ms, --arrival, or fault flags)
     --jobs <N>          worker threads for comparison mode
                         [default: available parallelism]
     --continuous        loop every application; stops at --limit-ms
@@ -61,6 +68,7 @@ OPTIONS:
 struct Args {
     mix: String,
     policies: Vec<PolicyKind>,
+    oracle: bool,
     jobs: usize,
     continuous: bool,
     limit_ms: Option<u64>,
@@ -131,6 +139,7 @@ fn parse_policy(s: &str) -> Option<PolicyKind> {
         "relief" => PolicyKind::Relief,
         "relief-lax" => PolicyKind::ReliefLax,
         "relief-het" => PolicyKind::ReliefHet,
+        "adaptive" => PolicyKind::Adaptive,
         _ => return None,
     })
 }
@@ -139,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         mix: "CGL".to_string(),
         policies: vec![PolicyKind::Relief],
+        oracle: false,
         jobs: relief::bench::campaign::default_jobs(),
         continuous: false,
         limit_ms: None,
@@ -160,15 +170,23 @@ fn parse_args() -> Result<Args, String> {
             "--mix" => args.mix = it.next().ok_or("--mix needs a value")?,
             "--policy" => {
                 let v = it.next().ok_or("--policy needs a value")?;
-                args.policies = v
-                    .split(',')
-                    .map(|s| {
-                        parse_policy(s.trim())
-                            .ok_or_else(|| format!("unknown policy '{}'", s.trim()))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                if args.policies.is_empty() {
+                args.policies = Vec::new();
+                for name in v.split(',').map(str::trim) {
+                    if name.eq_ignore_ascii_case("oracle") {
+                        args.oracle = true;
+                    } else {
+                        args.policies.push(
+                            parse_policy(name)
+                                .ok_or_else(|| format!("unknown policy '{name}'"))?,
+                        );
+                    }
+                }
+                if args.policies.is_empty() && !args.oracle {
                     return Err("--policy needs at least one name".into());
+                }
+                if args.policies.is_empty() {
+                    // `--policy oracle` alone: bound the full paper set.
+                    args.policies = PolicyKind::ALL.to_vec();
                 }
             }
             "--jobs" => {
@@ -312,7 +330,23 @@ fn main() -> ExitCode {
         eprintln!("error: --arrival replaces closed-loop repetition; drop --continuous");
         return ExitCode::FAILURE;
     }
-    if args.policies.len() > 1 {
+    if args.oracle {
+        // The oracle searches the deterministic closed-loop timing model;
+        // open-ended or randomized runs have no finite schedule to bound.
+        let conflict = [
+            (args.continuous, "--continuous"),
+            (args.limit_ms.is_some(), "--limit-ms"),
+            (args.arrival.is_some(), "--arrival"),
+            (args.fault_config().is_some(), "--fault-rate/--fault-seed"),
+        ]
+        .into_iter()
+        .find_map(|(set, flag)| set.then_some(flag));
+        if let Some(flag) = conflict {
+            eprintln!("error: the oracle bounds finite deterministic runs; drop {flag}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.policies.len() > 1 || args.oracle {
         if args.trace_out.is_some() {
             eprintln!("error: --trace-out needs a single --policy (whose run should I trace?)");
             return ExitCode::FAILURE;
@@ -546,30 +580,88 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
         }
     }
 
-    let mut t = relief::metrics::report::Table::with_columns(&[
-        "policy",
-        "exec ms",
-        "fwd+coloc %",
-        "DRAM MB",
-        "ddl % (node)",
-        "DAGs met",
-    ]);
+    // The ahead-of-time bound, when requested: solve over the same
+    // platform knobs (fault and stream flags were rejected up front,
+    // so the closed-loop closure below is the full configuration) and
+    // verify the winning schedule by replaying it through the simulator.
+    let oracle = if args.oracle {
+        let (no_forwarding, crossbar, partitions) =
+            (args.no_forwarding, args.crossbar, args.partitions);
+        let mk_cfg = move |p: PolicyKind| {
+            let mut cfg = SocConfig::mobile(p);
+            if no_forwarding {
+                cfg = cfg.without_forwarding();
+            }
+            if crossbar {
+                cfg.mem = cfg.mem.with_crossbar();
+            }
+            cfg.output_partitions = partitions;
+            cfg
+        };
+        let apps = build_apps(args, mix_apps);
+        let opts = relief::bench::oracle::campaign_options();
+        match relief::oracle::solve(&mk_cfg, &apps, &opts) {
+            Ok(res) => {
+                let replayed = res.replay(&mk_cfg, &apps);
+                if replayed.stats.exec_time.as_ps() != res.makespan_ps {
+                    eprintln!(
+                        "warning: oracle replay diverged from its prediction \
+                         ({} vs {} ps) — the bound is suspect",
+                        replayed.stats.exec_time.as_ps(),
+                        res.makespan_ps
+                    );
+                }
+                Some(res)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut cols =
+        vec!["policy", "exec ms", "fwd+coloc %", "DRAM MB", "ddl % (node)", "DAGs met"];
+    if oracle.is_some() {
+        cols.push("% of oracle");
+    }
+    let mut t = relief::metrics::report::Table::with_columns(&cols);
     for spec in &specs {
         let rec = results.get(&spec.label()).expect("no failures past the check above");
         let s = &rec.result.stats;
         let (done, met) = s.apps.values().fold((0u64, 0u64), |(d, m), a| {
             (d + a.dags_completed, m + a.dag_deadlines_met)
         });
-        t.row(vec![
+        let mut row = vec![
             spec.policy.name().to_string(),
             format!("{:.3}", s.exec_time.as_ms_f64()),
             format!("{:.1}", s.forward_percent()),
             format!("{:.2}", s.traffic.dram_bytes() as f64 / 1e6),
             format!("{:.1}", s.node_deadline_percent()),
             format!("{met}/{done}"),
-        ]);
+        ];
+        if let Some(res) = &oracle {
+            row.push(if res.makespan_ps == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}",
+                    s.exec_time.as_ps() as f64 * 100.0 / res.makespan_ps as f64
+                )
+            });
+        }
+        t.row(row);
     }
     println!("mix {mix_label} on {} worker(s), {} policies:", args.jobs, specs.len());
+    if let Some(res) = &oracle {
+        println!(
+            "oracle bound      {:.3} ms (from {}, replay-verified)",
+            res.makespan_ps as f64 / 1e9,
+            if res.from_search { "search" } else { res.impersonates.name() },
+        );
+    }
     print!("{}", t.render());
     ExitCode::SUCCESS
 }

@@ -19,6 +19,8 @@
 //! * [`workloads`] — the five benchmark applications and the paper's
 //!   contention scenarios
 //! * [`metrics`] — statistics, the memory energy model, reporting
+//! * [`oracle`] — the ahead-of-time scheduling bound: beam search through
+//!   the simulator's timing model, replayable schedules, "% of oracle"
 //! * [`trace`] — structured event tracing, Chrome/Perfetto export, and
 //!   the `trace-diff` regression tool
 //! * [`bench`] — the paper-experiment harness and the deterministic
@@ -49,6 +51,7 @@ pub use relief_dag as dag;
 pub use relief_fault as fault;
 pub use relief_mem as mem;
 pub use relief_metrics as metrics;
+pub use relief_oracle as oracle;
 pub use relief_service as service;
 pub use relief_sim as sim;
 pub use relief_trace as trace;
