@@ -38,7 +38,7 @@ use relief_fault::{FaultPlan, Outage, OutageSchedule};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
 use relief_metrics::{AppStats, FaultStats, Histogram, RunStats, ServiceStats, TrafficStats};
 use relief_service::{AdmissionState, QosClass, ShedReason, StreamPlan};
-use relief_sim::{AppId, Dur, EventQueue, IdHashMap, Intern, InternId, KindId, SplitMix64, Time, Timeline};
+use relief_sim::{AppId, Dur, EventQueue, Intern, InternId, KindId, SplitMix64, Time, Timeline};
 use relief_trace::{EventKind, InputSource, ResourceId, ServiceClass, ShedCause, TaskRef, Tracer};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -65,10 +65,6 @@ const SOJOURN_BINS: usize = 600;
 /// Steady-state node-latency histogram layout: 20 µs bins spanning 10 ms.
 const NODE_LATENCY_BIN_PS: u64 = 20_000_000;
 const NODE_LATENCY_BINS: usize = 500;
-
-/// In-flight transfer purposes: [`TransferId`]s are sequential `u64`s, so
-/// the identity-hashed map from `relief_sim` beats SipHash here.
-type TransferMap = IdHashMap<TransferId, Purpose>;
 
 /// Where a completed node's output currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,7 +301,11 @@ pub struct SocSim {
     events: EventQueue<Ev>,
     now: Time,
     seq: u64,
-    transfers: TransferMap,
+    /// In-flight transfer purposes, indexed by the engine's dense slot id
+    /// ([`TransferId::slot`]): a bounds check instead of a hash probe on
+    /// every chunk event, with slot reuse keeping the column at the
+    /// high-water mark of concurrent transfers.
+    transfers: Vec<Option<Purpose>>,
     manager: Timeline,
     mem_pred: MemTimePredictor,
     profile: ComputeProfile,
@@ -341,11 +341,9 @@ pub struct SocSim {
     app_deadlines: Vec<Option<Arc<DeadlineAssignment>>>,
     /// Whether the app's kernels are already in the compute profile.
     app_profiled: Vec<bool>,
-    /// Interned application symbols; `per_app_*` accumulators are dense
-    /// vectors indexed by [`AppId`], converted to the public string-keyed
-    /// maps once in [`finalize`](Self::finalize).
-    app_syms: Intern<AppId>,
-    /// App spec index → interned symbol id.
+    /// App spec index → interned symbol id. The `per_app_*` accumulators
+    /// are dense vectors indexed by [`AppId`], converted to the public
+    /// string-keyed maps once in [`finalize`](Self::finalize).
     app_ids: Vec<AppId>,
     /// Per app spec, the node labels' interned [`KindId`]s in node-id
     /// order (filled on the app's first arrival, alongside profiling), so
@@ -496,7 +494,7 @@ impl SocSim {
             events,
             now: Time::ZERO,
             seq: 0,
-            transfers: TransferMap::default(),
+            transfers: Vec::new(),
             manager: Timeline::new(),
             mem_pred,
             profile: ComputeProfile::new(),
@@ -523,7 +521,6 @@ impl SocSim {
             app_stats,
             per_app_mem_time: vec![Dur::ZERO; app_syms.len()],
             per_app_compute_time: vec![Dur::ZERO; app_syms.len()],
-            app_syms,
             app_ids,
             colocated_bytes: 0,
             spad_access_bytes: 0,
@@ -585,27 +582,60 @@ impl SocSim {
 
     /// Runs the simulation to completion (all work drained, or the
     /// configured time limit reached) and returns the collected results.
+    ///
+    /// The fast path drains same-timestamp event *cohorts* into a reused
+    /// scratch vector and dispatches each in one pass, hoisting the
+    /// time-limit check (and `now` update) out of the per-event loop;
+    /// events a handler pushes at the current instant form the *next*
+    /// cohort at the same time, which is exactly the order the per-event
+    /// loop would pop them in (they get later sequence numbers). Reference
+    /// mode keeps the pre-optimisation per-event loop.
     pub fn run(mut self) -> SimResult {
-        while let Some((at, ev)) = self.events.pop() {
+        if self.cfg.reference_hot_path {
+            while let Some((at, ev)) = self.events.pop() {
+                if let Some(limit) = self.cfg.time_limit {
+                    if at > limit {
+                        self.truncated = true;
+                        break;
+                    }
+                }
+                self.now = at;
+                self.dispatch(ev);
+            }
+            return self.finalize();
+        }
+        let mut cohort: Vec<Ev> = Vec::new();
+        while let Some(at) = self.events.pop_cohort(&mut cohort) {
             if let Some(limit) = self.cfg.time_limit {
                 if at > limit {
+                    // The per-event loop pops (and counts) exactly one
+                    // event past the limit before breaking; mirror that so
+                    // the dispatch trace and count stay bit-identical.
+                    self.events.mark_dispatched(at);
                     self.truncated = true;
                     break;
                 }
             }
             self.now = at;
-            match ev {
-                Ev::Arrival(app_idx) => self.on_arrival(app_idx),
-                Ev::Chunk(id) => self.on_chunk(id),
-                Ev::ComputeDone(inst) => self.on_compute_done(inst),
-                Ev::Launch => self.try_launch_all(),
-                Ev::Requeue(key) => self.on_requeue(key),
-                Ev::UnitDown(inst) => self.on_unit_down(inst),
-                Ev::UnitUp(inst) => self.on_unit_up(inst),
-                Ev::StreamArrival(tenant) => self.on_stream_arrival(tenant),
+            for &ev in &cohort {
+                self.events.mark_dispatched(at);
+                self.dispatch(ev);
             }
         }
         self.finalize()
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(app_idx) => self.on_arrival(app_idx),
+            Ev::Chunk(id) => self.on_chunk(id),
+            Ev::ComputeDone(inst) => self.on_compute_done(inst),
+            Ev::Launch => self.try_launch_all(),
+            Ev::Requeue(key) => self.on_requeue(key),
+            Ev::UnitDown(inst) => self.on_unit_down(inst),
+            Ev::UnitUp(inst) => self.on_unit_up(inst),
+            Ev::StreamArrival(tenant) => self.on_stream_arrival(tenant),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1196,7 +1226,7 @@ impl SocSim {
                 bytes,
             });
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.transfers.insert(
+            self.track(
                 id,
                 Purpose::InputEdge { child: key, parent: pk, src_spad, attempt: 0, dst: inst_idx },
             );
@@ -1219,7 +1249,7 @@ impl SocSim {
             });
             let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.transfers.insert(id, Purpose::DramInput { child: key, attempt: 0, dst: inst_idx });
+            self.track(id, Purpose::DramInput { child: key, attempt: 0, dst: inst_idx });
             self.events.push(first, Ev::Chunk(id));
             self.node_rt_mut(key).actual_bytes += bytes;
             pending += 1;
@@ -1648,7 +1678,7 @@ impl SocSim {
         });
         let route = Route { src: Port::Spad(inst), dst: Port::Dram };
         let (id, first) = self.engine.begin(route, bytes, inst, self.now);
-        self.transfers.insert(id, Purpose::WriteBack { node: key });
+        self.track(id, Purpose::WriteBack { node: key });
         self.events.push(first, Ev::Chunk(id));
     }
 
@@ -1656,11 +1686,21 @@ impl SocSim {
     // Transfer progress
     // ------------------------------------------------------------------
 
+    /// Records an in-flight transfer's purpose under its dense slot id.
+    fn track(&mut self, id: TransferId, purpose: Purpose) {
+        let slot = id.slot();
+        if slot >= self.transfers.len() {
+            self.transfers.resize(slot + 1, None);
+        }
+        debug_assert!(self.transfers[slot].is_none(), "slot reused while purpose still tracked");
+        self.transfers[slot] = Some(purpose);
+    }
+
     fn on_chunk(&mut self, id: TransferId) {
         match self.engine.on_chunk_done(id, self.now) {
             Progress::Chunk(next) => self.events.push(next, Ev::Chunk(id)),
             Progress::Done { start, end, bytes } => {
-                let purpose = self.transfers.remove(&id).expect("tracked transfer");
+                let purpose = self.transfers[id.slot()].take().expect("tracked transfer");
                 self.on_transfer_done(purpose, start, end, bytes);
             }
         }
@@ -1757,7 +1797,7 @@ impl SocSim {
             },
             None => Purpose::DramInput { child, attempt: attempt + 1, dst: inst_idx },
         };
-        self.transfers.insert(id, purpose);
+        self.track(id, purpose);
         self.events.push(first, Ev::Chunk(id));
         // The released forwarding-source partition may unblock a claim.
         self.retry_stalled();
@@ -1880,9 +1920,19 @@ impl SocSim {
             spad_access_bytes: self.spad_access_bytes,
             all_dram_bytes: self.all_dram_baseline_bytes,
         };
+        // The only point where the dense AppId-indexed accumulators take
+        // their public string-keyed form: one pass over the app specs
+        // builds all three maps (app specs sharing a symbol collapse to
+        // the same key with the same dense accumulator, exactly as the
+        // separate per-map loops did).
         let mut apps_map = BTreeMap::new();
-        for a in &self.app_stats {
-            apps_map.insert(a.name.clone(), a.clone());
+        let mut per_app_mem_time = BTreeMap::new();
+        let mut per_app_compute_time = BTreeMap::new();
+        for (a, id) in self.app_stats.iter().zip(&self.app_ids) {
+            let name = a.name.clone();
+            per_app_mem_time.insert(name.clone(), self.per_app_mem_time[id.index()]);
+            per_app_compute_time.insert(name.clone(), self.per_app_compute_time[id.index()]);
+            apps_map.insert(name, a.clone());
         }
         let edges_total = self.app_stats.iter().map(|a| a.edges_consumed).sum();
         let stats = RunStats {
@@ -1899,14 +1949,6 @@ impl SocSim {
             faults: self.fault_stats,
             service: std::mem::take(&mut self.service_stats),
         };
-        // The only point where the dense AppId-indexed accumulators take
-        // their public string-keyed form.
-        let mut per_app_mem_time = BTreeMap::new();
-        let mut per_app_compute_time = BTreeMap::new();
-        for (id, name) in self.app_syms.iter() {
-            per_app_mem_time.insert(name.to_owned(), self.per_app_mem_time[id.index()]);
-            per_app_compute_time.insert(name.to_owned(), self.per_app_compute_time[id.index()]);
-        }
         let trace = match &self.span_sink {
             Some(sink) => Trace { spans: sink.borrow_mut().take_spans() },
             None => Trace::default(),

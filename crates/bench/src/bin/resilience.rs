@@ -10,29 +10,30 @@
 //! The report is byte-identical at any `--jobs`: every cell's fault plan
 //! is a pure function of its platform label (see `relief_bench::resilience`).
 
-use relief_bench::campaign::{execute, ExecOptions};
+use relief_bench::campaign::execute;
 use relief_bench::resilience::parse_cli;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let (spec, jobs) = match parse_cli(std::env::args().skip(1)) {
+    let (spec, opts) = match parse_cli(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: resilience [--fault-seed N] [--fault-rate R[,R...]] \
-                 [--mttf-us N] [--jobs N]"
+                 [--mttf-us N] [--jobs N] [--no-cache]"
             );
             return ExitCode::FAILURE;
         }
     };
     let campaign = spec.campaign();
     eprintln!(
-        "campaign 'resilience' (hash {:016x}): {} runs on {jobs} worker(s)",
+        "campaign 'resilience' (hash {:016x}): {} runs on {} worker(s)",
         campaign.hash(),
-        campaign.expand().len()
+        campaign.expand().len(),
+        opts.jobs,
     );
-    let results = execute(campaign.expand(), &ExecOptions { jobs, ..Default::default() });
+    let results = execute(campaign.expand(), &opts);
     let mut failed = false;
     for (label, msg) in results.failures() {
         eprintln!("run {label} panicked: {msg}");

@@ -4,13 +4,16 @@
 //! documented in README.md).
 //!
 //! ```text
-//! simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service]
+//! simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events]
 //! ```
 //!
 //! `--service` measures the pinned service-mode subset instead (the
 //! open-loop Poisson stream at ~80% utilisation, see
 //! [`walltime::SERVICE_SUBSET`]) and appends its medians to the
-//! trajectory history under a `+service` label. It writes no
+//! trajectory history under a `+service` label; `--events` times the
+//! calendar-queue cohort-pop microbench alone (no simulator handlers,
+//! see [`walltime::EVENTS_SUBSET`]) under a `+events` label. Either
+//! mode writes no
 //! `BENCH_simcore.json` and runs no regression gate: the closed-loop
 //! subset stays the committed baseline, the service entry is a second
 //! trajectory series.
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut check = false;
     let mut service = false;
+    let mut events = false;
     let mut tolerance = 0.10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +53,7 @@ fn main() -> ExitCode {
             },
             "--check" => check = true,
             "--service" => service = true,
+            "--events" => events = true,
             "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(pct) if pct >= 0.0 && pct.is_finite() => tolerance = pct / 100.0,
                 _ => return usage("--tolerance needs a non-negative percentage"),
@@ -63,6 +68,9 @@ fn main() -> ExitCode {
         if check { "target/BENCH_simcore.check.json".into() } else { "BENCH_simcore.json".into() }
     });
 
+    if events {
+        return run_events(iters, &trajectory_path(&out));
+    }
     if service {
         return run_service(iters, &trajectory_path(&out));
     }
@@ -131,6 +139,39 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--events` mode: time the calendar-queue cohort-pop microbench
+/// (no simulator handler work, just `pop_cohort` + refill on a synthetic
+/// stream) and append one `<rev>+events` entry to the trajectory
+/// history. No `BENCH_simcore.json` is written and no gate runs: like
+/// `--service`, this is a second trajectory series.
+fn run_events(iters: u32, trajectory: &str) -> ExitCode {
+    let report = walltime::measure_events(iters);
+    println!(
+        "events bench ({}): {} events/iter, {} iters per path",
+        walltime::EVENTS_SUBSET,
+        report.events_per_iter,
+        report.iters
+    );
+    for (name, p) in [("calendar", &report.optimized), ("binary-heap", &report.reference)] {
+        println!(
+            "  {name:<11} {:>7.1} ns/event (min {:.1}, max {:.1})  {:>12.0} events/s",
+            p.ns_per_event.median, p.ns_per_event.min, p.ns_per_event.max,
+            p.events_per_sec.median,
+        );
+    }
+    println!("  speedup    {:.2}x (binary-heap ns/event over calendar)", report.speedup);
+    let label = format!("{}+events", revision_label());
+    let entry = walltime::TrajectoryEntry::from_report(&label, &report);
+    let history = std::fs::read_to_string(trajectory).ok();
+    let body = walltime::append_trajectory(history.as_deref(), &entry);
+    if let Err(e) = std::fs::write(trajectory, body) {
+        eprintln!("simcore_bench: cannot write {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  appended entry '{label}' to {trajectory}");
+    ExitCode::SUCCESS
+}
+
 /// The `--service` mode: time the service-mode subset and append one
 /// `<rev>+service` entry to the trajectory history.
 fn run_service(iters: u32, trajectory: &str) -> ExitCode {
@@ -187,7 +228,7 @@ fn revision_label() -> String {
 fn usage(err: &str) -> ExitCode {
     eprintln!("simcore_bench: {err}");
     eprintln!(
-        "usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service]"
+        "usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events]"
     );
     ExitCode::from(2)
 }

@@ -1,0 +1,782 @@
+//! Content-addressed persistent campaign cache.
+//!
+//! Every campaign cell is a pure function of its [`RunSpec`]: the policy,
+//! workload label, platform label, and replicate index determine the seed
+//! and therefore every output byte (see `crate::campaign`'s determinism
+//! contract). That makes results cacheable by *content address*: the
+//! FNV-1a hash of the spec's canonical label salted with a code-version
+//! string names a file under the cache directory, and re-running a
+//! campaign only simulates cells whose entry is absent, stale, or
+//! unreadable.
+//!
+//! Design rules:
+//!
+//! * **Byte-identical output.** A cache hit deserializes the exact
+//!   `SimResult` and `EventCounters` the original run produced (floats
+//!   round-trip through their IEEE bit patterns), and reconciliation
+//!   mismatches are recomputed from those — so campaign stdout is
+//!   byte-identical with a cold or warm cache at any `--jobs` level.
+//! * **Corrupt-entry tolerance.** Any parse failure — truncation, a
+//!   schema bump, a salt or label mismatch, stray bytes — degrades to a
+//!   cache miss and the cell re-simulates; the fresh result then
+//!   overwrites the bad entry via an atomic temp-file rename.
+//! * **No third-party formats.** The workspace is hermetic (no serde at
+//!   run time), so entries are a whitespace-separated token stream:
+//!   `u64` in decimal, `f64` as 16-hex-digit bit patterns, strings
+//!   percent-encoded behind an `s` prefix, collections length-prefixed.
+//! * **Trace captures bypass the cache.** Runs captured via
+//!   `ExecOptions::trace_labels` carry a full text trace that is not
+//!   persisted; they are neither served from nor stored to the cache.
+//!
+//! Besides per-cell records the cache also stores *rendered artifacts*
+//! (the oracle table, the Fig. 12 host-latency table) so a warm
+//! `all_experiments` rerun recomputes nothing at all.
+
+use crate::campaign::{fnv1a, RunRecord, RunSpec};
+use relief_accel::{PredictionStats, SimResult, Span, Trace};
+use relief_core::TaskKey;
+use relief_metrics::{
+    reconcile, AppStats, ClassServiceStats, FaultStats, Histogram, RunStats, ServiceStats,
+    TrafficStats,
+};
+use relief_sim::{Dur, Time};
+use relief_trace::EventCounters;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// On-disk schema identifier; the first token of every entry. Bump the
+/// version suffix whenever the serialized layout changes shape — old
+/// entries then parse as misses instead of garbage.
+pub const SCHEMA: &str = "relief-campaign-cache/v1";
+
+/// Code-version salt folded into every content address. Bump whenever
+/// simulator *semantics* change (anything that can alter a `SimResult`
+/// byte), so every stale entry misses at once. The `xtask check`
+/// cache-hygiene step asserts the on-disk cache contains no entries
+/// written under another salt.
+pub const CODE_SALT: &str = "relief-sim/2026-08-09.data-oriented-core";
+
+/// Default cache location, relative to the working directory.
+pub const DEFAULT_DIR: &str = "target/campaign-cache";
+
+/// Where (and whether) campaign results persist between processes.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Master switch; when false, lookups miss and stores are dropped.
+    pub enabled: bool,
+    /// Directory holding the entries (created on first store).
+    pub dir: PathBuf,
+    /// Code-version salt mixed into every key and stored in every entry.
+    pub salt: String,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::disabled()
+    }
+}
+
+impl CacheConfig {
+    /// A disabled cache: every lookup misses, every store is a no-op.
+    /// This is the `ExecOptions::default()` setting, so tests and library
+    /// callers never touch the filesystem unless they opt in.
+    pub fn disabled() -> Self {
+        CacheConfig { enabled: false, dir: PathBuf::new(), salt: String::new() }
+    }
+
+    /// The standard persistent cache the campaign binaries use:
+    /// [`DEFAULT_DIR`] (overridable via the `RELIEF_CACHE_DIR`
+    /// environment variable) under the current [`CODE_SALT`].
+    pub fn standard() -> Self {
+        let dir = std::env::var_os("RELIEF_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_DIR));
+        CacheConfig::at(dir)
+    }
+
+    /// An enabled cache rooted at `dir` under the current [`CODE_SALT`]
+    /// (tests point this at a temp directory).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        CacheConfig { enabled: true, dir: dir.into(), salt: CODE_SALT.to_string() }
+    }
+
+    /// The entry file for a cell label: 16 hex digits of
+    /// `fnv1a(salt ⧺ 0x1f ⧺ label)`.
+    fn entry_path(&self, label: &str, ext: &str) -> PathBuf {
+        let mut key = self.salt.clone().into_bytes();
+        key.push(0x1f);
+        key.extend_from_slice(label.as_bytes());
+        self.dir.join(format!("{:016x}.{ext}", fnv1a(&key)))
+    }
+
+    /// Fetches a cached record for `spec`, or `None` on any miss:
+    /// disabled cache, absent file, schema/salt/label mismatch, or a
+    /// corrupt body. Reconciliation mismatches are recomputed from the
+    /// deserialized counters and stats exactly as a live run would.
+    pub fn lookup(&self, spec: &RunSpec) -> Option<RunRecord> {
+        if !self.enabled {
+            return None;
+        }
+        let label = spec.label();
+        let text = std::fs::read_to_string(self.entry_path(&label, "run")).ok()?;
+        let mut r = Reader::new(&text);
+        r.expect_header(&self.salt, &label)?;
+        let result = read_sim_result(&mut r)?;
+        let counters = read_counters(&mut r)?;
+        r.finish()?;
+        // Truncated runs legitimately disagree byte-wise (transfers in
+        // flight at the cap) — same rule as `execute_instrumented`.
+        let truncated = spec.config().time_limit.is_some();
+        let mismatches =
+            if truncated { Vec::new() } else { reconcile(&counters, &result.stats) };
+        Some(RunRecord { result, counters, mismatches, trace_text: None })
+    }
+
+    /// Persists one run's record. Disabled caches, trace-captured records
+    /// (their text trace is not persisted), and I/O failures all degrade
+    /// to "not stored" — the cache is an accelerator, never a correctness
+    /// dependency.
+    pub fn store(&self, spec: &RunSpec, rec: &RunRecord) {
+        if !self.enabled || rec.trace_text.is_some() {
+            return;
+        }
+        let label = spec.label();
+        let mut w = Writer::new(&self.salt, &label);
+        write_sim_result(&mut w, &rec.result);
+        write_counters(&mut w, &rec.counters);
+        self.commit(&self.entry_path(&label, "run"), &w.finish());
+    }
+
+    /// Fetches a cached rendered artifact (an already-formatted report
+    /// string) stored under `name`.
+    pub fn lookup_artifact(&self, name: &str) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.entry_path(name, "art")).ok()?;
+        let mut r = Reader::new(&text);
+        r.expect_header(&self.salt, name)?;
+        let body = r.string()?;
+        r.finish()?;
+        Some(body)
+    }
+
+    /// Persists a rendered artifact string under `name`.
+    pub fn store_artifact(&self, name: &str, body: &str) {
+        if !self.enabled {
+            return;
+        }
+        let mut w = Writer::new(&self.salt, name);
+        w.string(body);
+        self.commit(&self.entry_path(name, "art"), &w.finish());
+    }
+
+    /// Atomically installs `content` at `path` (temp file + rename), so a
+    /// concurrent reader sees either the old entry or the new one, never
+    /// a torn write. All I/O errors are swallowed: a failed store is a
+    /// future cache miss, not a campaign failure.
+    fn commit(&self, path: &Path, content: &str) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, content).is_ok() && std::fs::rename(&tmp, path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Scans the cache directory for entries whose header does not carry
+    /// the current schema and salt, returning the offending file names.
+    /// Unreadable files count as stale (they would never hit). Used by
+    /// the `xtask check` cache-hygiene step; an absent directory is
+    /// vacuously clean.
+    pub fn stale_entries(&self) -> Vec<String> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut stale = Vec::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            if !matches!(ext, Some("run" | "art")) {
+                continue;
+            }
+            let fresh = std::fs::read_to_string(&path).ok().is_some_and(|text| {
+                let mut r = Reader::new(&text);
+                r.tok() == Some(SCHEMA) && r.string().as_deref() == Some(&self.salt)
+            });
+            if !fresh {
+                stale.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        stale.sort();
+        stale
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token-stream writer
+// ---------------------------------------------------------------------
+
+/// Serializer over the whitespace token stream. Every `write` pushes one
+/// token and a separator; `finish` appends the end marker the reader
+/// uses to detect truncation.
+struct Writer {
+    out: String,
+}
+
+impl Writer {
+    fn new(salt: &str, label: &str) -> Self {
+        let mut w = Writer { out: String::with_capacity(4096) };
+        w.out.push_str(SCHEMA);
+        w.out.push(' ');
+        w.string(salt);
+        w.string(label);
+        w.out.push('\n');
+        w
+    }
+
+    fn u64(&mut self, v: u64) {
+        let _ = write!(self.out, "{v} ");
+    }
+
+    fn f64(&mut self, v: f64) {
+        let _ = write!(self.out, "{:016x} ", v.to_bits());
+    }
+
+    fn boolean(&mut self, v: bool) {
+        self.out.push(if v { '1' } else { '0' });
+        self.out.push(' ');
+    }
+
+    fn time(&mut self, t: Time) {
+        self.u64(t.as_ps());
+    }
+
+    fn dur(&mut self, d: Dur) {
+        self.u64(d.as_ps());
+    }
+
+    /// Strings are one token: an `s` prefix (so the empty string is a
+    /// valid token) followed by the bytes with everything outside the
+    /// graphic-ASCII range — and `%` itself — percent-encoded.
+    fn string(&mut self, s: &str) {
+        self.out.push('s');
+        for &b in s.as_bytes() {
+            if b.is_ascii_graphic() && b != b'%' {
+                self.out.push(b as char);
+            } else {
+                let _ = write!(self.out, "%{b:02x}");
+            }
+        }
+        self.out.push(' ');
+    }
+
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    fn hist(&mut self, h: &Histogram) {
+        let (width, counts, overflow, total, sum, max) = h.to_parts();
+        self.u64(width);
+        self.u64(counts.len() as u64);
+        for &c in counts {
+            self.u64(c);
+        }
+        self.u64(overflow);
+        self.u64(total);
+        self.u64(sum);
+        self.u64(max);
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str(".\n");
+        self.out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token-stream reader
+// ---------------------------------------------------------------------
+
+/// Deserializer over the token stream. Every accessor returns `None` on
+/// malformed or missing input; callers propagate with `?` so any corrupt
+/// entry collapses to a cache miss.
+struct Reader<'a> {
+    toks: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader { toks: text.split_ascii_whitespace() }
+    }
+
+    fn tok(&mut self) -> Option<&'a str> {
+        self.toks.next()
+    }
+
+    /// Verifies the schema / salt / label header tokens.
+    fn expect_header(&mut self, salt: &str, label: &str) -> Option<()> {
+        (self.tok()? == SCHEMA).then_some(())?;
+        (self.string()? == salt).then_some(())?;
+        (self.string()? == label).then_some(())
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.tok()?.parse().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.tok()?.parse().ok()
+    }
+
+    fn boolean(&mut self) -> Option<bool> {
+        match self.tok()? {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => None,
+        }
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let t = self.tok()?;
+        (t.len() == 16).then_some(())?;
+        Some(f64::from_bits(u64::from_str_radix(t, 16).ok()?))
+    }
+
+    fn time(&mut self) -> Option<Time> {
+        Some(Time::from_ps(self.u64()?))
+    }
+
+    fn dur(&mut self) -> Option<Dur> {
+        Some(Dur::from_ps(self.u64()?))
+    }
+
+    /// Guards length-prefixed loops against absurd counts from corrupt
+    /// entries (a flipped high bit must not allocate petabytes).
+    fn len(&mut self) -> Option<usize> {
+        let n = self.u64()?;
+        (n <= 1 << 32).then_some(n as usize)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let t = self.tok()?.strip_prefix('s')?;
+        let mut bytes = Vec::with_capacity(t.len());
+        let mut it = t.bytes();
+        while let Some(b) = it.next() {
+            if b == b'%' {
+                let hi = it.next()?;
+                let lo = it.next()?;
+                let hex = [hi, lo];
+                let hex = std::str::from_utf8(&hex).ok()?;
+                bytes.push(u8::from_str_radix(hex, 16).ok()?);
+            } else {
+                bytes.push(b);
+            }
+        }
+        String::from_utf8(bytes).ok()
+    }
+
+    fn vec_f64(&mut self) -> Option<Vec<f64>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn hist(&mut self) -> Option<Histogram> {
+        let width = self.u64()?;
+        let n = self.len()?;
+        let counts = (0..n).map(|_| self.u64()).collect::<Option<Vec<_>>>()?;
+        let overflow = self.u64()?;
+        let total = self.u64()?;
+        let sum = self.u64()?;
+        let max = self.u64()?;
+        Some(Histogram::from_parts(width, counts, overflow, total, sum, max))
+    }
+
+    /// Consumes the end marker and requires exhaustion — a valid prefix
+    /// with trailing garbage is still a corrupt entry.
+    fn finish(mut self) -> Option<()> {
+        (self.tok()? == ".").then_some(())?;
+        self.tok().is_none().then_some(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structure layer: field-by-field, in declaration order
+// ---------------------------------------------------------------------
+
+fn write_sim_result(w: &mut Writer, r: &SimResult) {
+    write_run_stats(w, &r.stats);
+    write_dur_map(w, &r.per_app_mem_time);
+    write_dur_map(w, &r.per_app_compute_time);
+    w.vec_f64(&r.prediction.compute_rel_errors);
+    w.vec_f64(&r.prediction.dm_rel_errors);
+    w.vec_f64(&r.prediction.bw_rel_errors);
+    w.u64(r.trace.spans.len() as u64);
+    for s in &r.trace.spans {
+        w.u64(s.inst as u64);
+        w.time(s.start);
+        w.time(s.end);
+        w.u64(u64::from(s.key.instance));
+        w.u64(u64::from(s.key.node));
+        w.string(&s.label);
+        w.u64(u64::from(s.forwarded_inputs));
+        w.u64(u64::from(s.colocated_inputs));
+    }
+    w.u64(r.events_dispatched);
+}
+
+fn read_sim_result(r: &mut Reader) -> Option<SimResult> {
+    let stats = read_run_stats(r)?;
+    let per_app_mem_time = read_dur_map(r)?;
+    let per_app_compute_time = read_dur_map(r)?;
+    let prediction = PredictionStats {
+        compute_rel_errors: r.vec_f64()?,
+        dm_rel_errors: r.vec_f64()?,
+        bw_rel_errors: r.vec_f64()?,
+    };
+    let n = r.len()?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push(Span {
+            inst: r.u64()? as usize,
+            start: r.time()?,
+            end: r.time()?,
+            key: TaskKey::new(r.u32()?, r.u32()?),
+            label: r.string()?,
+            forwarded_inputs: r.u32()?,
+            colocated_inputs: r.u32()?,
+        });
+    }
+    Some(SimResult {
+        stats,
+        per_app_mem_time,
+        per_app_compute_time,
+        prediction,
+        trace: Trace { spans },
+        events_dispatched: r.u64()?,
+    })
+}
+
+fn write_dur_map(w: &mut Writer, m: &BTreeMap<String, Dur>) {
+    w.u64(m.len() as u64);
+    for (k, &v) in m {
+        w.string(k);
+        w.dur(v);
+    }
+}
+
+fn read_dur_map(r: &mut Reader) -> Option<BTreeMap<String, Dur>> {
+    let n = r.len()?;
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let k = r.string()?;
+        m.insert(k, r.dur()?);
+    }
+    Some(m)
+}
+
+fn write_run_stats(w: &mut Writer, s: &RunStats) {
+    w.string(&s.policy);
+    w.dur(s.exec_time);
+    for v in [
+        s.traffic.dram_read_bytes,
+        s.traffic.dram_write_bytes,
+        s.traffic.spad_to_spad_bytes,
+        s.traffic.colocated_bytes,
+        s.traffic.spad_access_bytes,
+        s.traffic.all_dram_bytes,
+    ] {
+        w.u64(v);
+    }
+    w.u64(s.apps.len() as u64);
+    for (k, a) in &s.apps {
+        w.string(k);
+        w.string(&a.name);
+        w.u64(a.dags_completed);
+        w.u64(a.dag_deadlines_met);
+        w.u64(a.nodes_completed);
+        w.u64(a.node_deadlines_met);
+        w.u64(a.dag_runtimes.len() as u64);
+        for &d in &a.dag_runtimes {
+            w.dur(d);
+        }
+        w.dur(a.deadline);
+        w.u64(a.edges_consumed);
+        w.u64(a.forwards);
+        w.u64(a.colocations);
+        w.boolean(a.starved);
+    }
+    w.dur(s.accel_busy);
+    w.dur(s.interconnect_busy);
+    w.dur(s.dram_busy);
+    w.u64(s.scheduler_ops);
+    w.dur(s.scheduler_time);
+    w.u64(s.edges_total);
+    for v in [
+        s.faults.task_faults,
+        s.faults.dma_faults,
+        s.faults.task_retries,
+        s.faults.tasks_aborted,
+        s.faults.recovered,
+        s.faults.unit_quarantines,
+        s.faults.fault_attributed_misses,
+    ] {
+        w.u64(v);
+    }
+    w.u64(s.service.warmup_ps);
+    w.u64(s.service.duration_ps);
+    for c in &s.service.classes {
+        for v in [
+            c.arrivals,
+            c.admitted,
+            c.shed_bucket,
+            c.shed_capacity,
+            c.completed,
+            c.dag_deadlines_met,
+            c.nodes_measured,
+            c.node_deadlines_met,
+        ] {
+            w.u64(v);
+        }
+        w.hist(&c.sojourn);
+        w.hist(&c.node_latency);
+    }
+}
+
+fn read_run_stats(r: &mut Reader) -> Option<RunStats> {
+    let policy = r.string()?;
+    let exec_time = r.dur()?;
+    let traffic = TrafficStats {
+        dram_read_bytes: r.u64()?,
+        dram_write_bytes: r.u64()?,
+        spad_to_spad_bytes: r.u64()?,
+        colocated_bytes: r.u64()?,
+        spad_access_bytes: r.u64()?,
+        all_dram_bytes: r.u64()?,
+    };
+    let n = r.len()?;
+    let mut apps = BTreeMap::new();
+    for _ in 0..n {
+        let k = r.string()?;
+        let name = r.string()?;
+        let dags_completed = r.u64()?;
+        let dag_deadlines_met = r.u64()?;
+        let nodes_completed = r.u64()?;
+        let node_deadlines_met = r.u64()?;
+        let runtimes = r.len()?;
+        let dag_runtimes = (0..runtimes).map(|_| r.dur()).collect::<Option<Vec<_>>>()?;
+        apps.insert(
+            k,
+            AppStats {
+                name,
+                dags_completed,
+                dag_deadlines_met,
+                nodes_completed,
+                node_deadlines_met,
+                dag_runtimes,
+                deadline: r.dur()?,
+                edges_consumed: r.u64()?,
+                forwards: r.u64()?,
+                colocations: r.u64()?,
+                starved: r.boolean()?,
+            },
+        );
+    }
+    let accel_busy = r.dur()?;
+    let interconnect_busy = r.dur()?;
+    let dram_busy = r.dur()?;
+    let scheduler_ops = r.u64()?;
+    let scheduler_time = r.dur()?;
+    let edges_total = r.u64()?;
+    let faults = FaultStats {
+        task_faults: r.u64()?,
+        dma_faults: r.u64()?,
+        task_retries: r.u64()?,
+        tasks_aborted: r.u64()?,
+        recovered: r.u64()?,
+        unit_quarantines: r.u64()?,
+        fault_attributed_misses: r.u64()?,
+    };
+    let mut service = ServiceStats {
+        warmup_ps: r.u64()?,
+        duration_ps: r.u64()?,
+        ..ServiceStats::default()
+    };
+    for c in &mut service.classes {
+        *c = ClassServiceStats {
+            arrivals: r.u64()?,
+            admitted: r.u64()?,
+            shed_bucket: r.u64()?,
+            shed_capacity: r.u64()?,
+            completed: r.u64()?,
+            dag_deadlines_met: r.u64()?,
+            nodes_measured: r.u64()?,
+            node_deadlines_met: r.u64()?,
+            sojourn: r.hist()?,
+            node_latency: r.hist()?,
+        };
+    }
+    Some(RunStats {
+        policy,
+        exec_time,
+        traffic,
+        apps,
+        accel_busy,
+        interconnect_busy,
+        dram_busy,
+        scheduler_ops,
+        scheduler_time,
+        edges_total,
+        faults,
+        service,
+    })
+}
+
+/// `EventCounters` fields, in declaration order — the serialized layout.
+fn counter_fields(c: &EventCounters) -> [u64; 30] {
+    [
+        c.events_dispatched,
+        c.tasks_completed,
+        c.dags_arrived,
+        c.dags_done,
+        c.dags_met,
+        c.dram_read_bytes,
+        c.dram_write_bytes,
+        c.spad_to_spad_bytes,
+        c.forwards,
+        c.colocations,
+        c.dram_inputs,
+        c.escalations_granted,
+        c.escalations_denied,
+        c.feasibility_pass,
+        c.feasibility_fail,
+        c.queue_bypasses,
+        c.writebacks,
+        c.writeback_bytes,
+        c.task_faults,
+        c.task_retries,
+        c.tasks_aborted,
+        c.dma_faults,
+        c.unit_quarantines,
+        c.unit_restores,
+        c.fault_attributed_misses,
+        c.stream_arrivals,
+        c.requests_admitted,
+        c.requests_shed_bucket,
+        c.requests_shed_capacity,
+        c.requests_completed,
+    ]
+}
+
+fn write_counters(w: &mut Writer, c: &EventCounters) {
+    for v in counter_fields(c) {
+        w.u64(v);
+    }
+}
+
+fn read_counters(r: &mut Reader) -> Option<EventCounters> {
+    let mut c = EventCounters::default();
+    let slots: [&mut u64; 30] = [
+        &mut c.events_dispatched,
+        &mut c.tasks_completed,
+        &mut c.dags_arrived,
+        &mut c.dags_done,
+        &mut c.dags_met,
+        &mut c.dram_read_bytes,
+        &mut c.dram_write_bytes,
+        &mut c.spad_to_spad_bytes,
+        &mut c.forwards,
+        &mut c.colocations,
+        &mut c.dram_inputs,
+        &mut c.escalations_granted,
+        &mut c.escalations_denied,
+        &mut c.feasibility_pass,
+        &mut c.feasibility_fail,
+        &mut c.queue_bypasses,
+        &mut c.writebacks,
+        &mut c.writeback_bytes,
+        &mut c.task_faults,
+        &mut c.task_retries,
+        &mut c.tasks_aborted,
+        &mut c.dma_faults,
+        &mut c.unit_quarantines,
+        &mut c.unit_restores,
+        &mut c.fault_attributed_misses,
+        &mut c.stream_arrivals,
+        &mut c.requests_admitted,
+        &mut c.requests_shed_bucket,
+        &mut c.requests_shed_capacity,
+        &mut c.requests_completed,
+    ];
+    for slot in slots {
+        *slot = r.u64()?;
+    }
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_round_trip_through_percent_encoding() {
+        for s in ["", "plain", "with space", "100%|r0/low µs\n\ttab", "s%25"] {
+            let mut w = Writer::new("salt", "label");
+            w.string(s);
+            let out = w.finish();
+            let mut r = Reader::new(&out);
+            r.expect_header("salt", "label").unwrap();
+            assert_eq!(r.string().as_deref(), Some(s), "round-trip of {s:?}");
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, -3.7e-300] {
+            let mut w = Writer::new("x", "y");
+            w.f64(v);
+            let out = w.finish();
+            let mut r = Reader::new(&out);
+            r.expect_header("x", "y").unwrap();
+            let back = r.f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "bits of {v}");
+        }
+    }
+
+    #[test]
+    fn truncated_or_doctored_streams_read_as_none() {
+        let mut w = Writer::new("salt", "label");
+        w.u64(7);
+        let good = w.finish();
+        // Whole-stream parse succeeds...
+        let mut r = Reader::new(&good);
+        r.expect_header("salt", "label").unwrap();
+        assert_eq!(r.u64(), Some(7));
+        r.finish().unwrap();
+        // ...but truncation, trailing garbage, and bad tokens all fail.
+        let truncated = &good[..good.len() - 2];
+        let mut r = Reader::new(truncated);
+        r.expect_header("salt", "label").unwrap();
+        assert_eq!(r.u64(), Some(7));
+        assert!(r.finish().is_none(), "missing end marker must fail");
+        let trailing = format!("{good} junk");
+        let mut r = Reader::new(&trailing);
+        r.expect_header("salt", "label").unwrap();
+        r.u64().unwrap();
+        assert!(r.finish().is_none(), "trailing garbage must fail");
+        let mut r = Reader::new("not-the-schema ssalt slabel 7 .");
+        assert!(r.expect_header("salt", "label").is_none());
+    }
+
+    #[test]
+    fn disabled_cache_never_touches_disk() {
+        let cache = CacheConfig::disabled();
+        cache.store_artifact("t", "body");
+        assert_eq!(cache.lookup_artifact("t"), None);
+        assert!(cache.stale_entries().is_empty());
+    }
+}

@@ -356,12 +356,24 @@ pub struct ExecOptions {
     /// Worker threads (clamped to ≥ 1).
     pub jobs: usize,
     /// Run labels whose canonical text trace should be captured.
+    /// Captured runs always simulate — the persistent cache neither
+    /// serves nor stores them (the text trace is not persisted).
     pub trace_labels: BTreeSet<String>,
+    /// Persistent content-addressed result store (`crate::cache`). The
+    /// default is disabled, so library callers and tests never touch the
+    /// filesystem; the campaign binaries opt in via
+    /// [`CacheConfig::standard`](crate::cache::CacheConfig::standard)
+    /// unless `--no-cache` is given.
+    pub cache: crate::cache::CacheConfig,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { jobs: default_jobs(), trace_labels: BTreeSet::new() }
+        ExecOptions {
+            jobs: default_jobs(),
+            trace_labels: BTreeSet::new(),
+            cache: crate::cache::CacheConfig::disabled(),
+        }
     }
 }
 
@@ -392,6 +404,10 @@ pub fn parse_jobs(args: impl IntoIterator<Item = String>) -> Result<usize, Strin
 pub struct CampaignResults {
     /// Per-run outcomes, index-aligned with the input specs.
     pub outcomes: Vec<RunOutcome>,
+    /// Runs answered by the persistent campaign cache.
+    pub cache_hits: usize,
+    /// Runs actually simulated (cache disabled, missed, or bypassed).
+    pub simulated: usize,
 }
 
 impl CampaignResults {
@@ -482,6 +498,7 @@ pub fn execute(specs: Vec<RunSpec>, opts: &ExecOptions) -> CampaignResults {
     let n = specs.len();
     let jobs = opts.jobs.clamp(1, n.max(1));
     let cursor = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -492,8 +509,19 @@ pub fn execute(specs: Vec<RunSpec>, opts: &ExecOptions) -> CampaignResults {
                 }
                 let spec = &specs[i];
                 let capture = opts.trace_labels.contains(&spec.label());
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| spec.execute_instrumented(capture)))
+                // Trace captures bypass the persistent cache entirely:
+                // cached records carry no text trace, and storing one
+                // would leak a layout the reader doesn't model.
+                let cached = if capture { None } else { opts.cache.lookup(spec) };
+                let outcome = match cached {
+                    Some(rec) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        Ok(rec)
+                    }
+                    None => {
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            spec.execute_instrumented(capture)
+                        }))
                         .map_err(|payload| {
                             payload
                                 .downcast_ref::<&str>()
@@ -501,6 +529,12 @@ pub fn execute(specs: Vec<RunSpec>, opts: &ExecOptions) -> CampaignResults {
                                 .or_else(|| payload.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "non-string panic payload".to_string())
                         });
+                        if let Ok(rec) = &run {
+                            opts.cache.store(spec, rec);
+                        }
+                        run
+                    }
+                };
                 *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                     Some(RunOutcome {
                         label: spec.label(),
@@ -512,7 +546,7 @@ pub fn execute(specs: Vec<RunSpec>, opts: &ExecOptions) -> CampaignResults {
     });
     // The cursor visits every index exactly once, so each slot is filled.
     #[allow(clippy::expect_used)]
-    let outcomes = slots
+    let outcomes: Vec<RunOutcome> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
@@ -520,7 +554,16 @@ pub fn execute(specs: Vec<RunSpec>, opts: &ExecOptions) -> CampaignResults {
                 .expect("every spec executed")
         })
         .collect();
-    CampaignResults { outcomes }
+    let cache_hits = hits.load(Ordering::Relaxed);
+    let simulated = n - cache_hits;
+    if opts.cache.enabled {
+        // Stderr only: stdout is the byte-identical campaign report.
+        eprintln!(
+            "[campaign-cache] {cache_hits} cached, {simulated} simulated ({})",
+            opts.cache.dir.display()
+        );
+    }
+    CampaignResults { outcomes, cache_hits, simulated }
 }
 
 /// A cache-backed execution context for artifact functions.

@@ -130,6 +130,7 @@ mod tests {
         assert!(rendered.contains("FCFS"));
     }
 }
+pub mod cache;
 pub mod campaign;
 pub mod experiments;
 pub mod microbench;

@@ -11,7 +11,7 @@
 //! Rate 0 is always a valid axis value: it is the fault-free baseline
 //! and produces exactly the numbers an unfaulted run would.
 
-use crate::campaign::{CampaignResults, CampaignSpec, PlatformSpec, WorkloadSpec};
+use crate::campaign::{CampaignResults, CampaignSpec, ExecOptions, PlatformSpec, WorkloadSpec};
 use relief_accel::SocConfig;
 use relief_core::PolicyKind;
 use relief_fault::FaultConfig;
@@ -177,10 +177,11 @@ impl ResilienceSpec {
     }
 }
 
-/// Parses a resilience binary's CLI into a sweep plus a `--jobs` count.
+/// Parses a resilience binary's CLI into a sweep plus execution options.
 ///
 /// Recognised flags: `--fault-seed <N>` (decimal or `0x` hex),
-/// `--fault-rate <R[,R…]>`, `--mttf-us <N>`, `--jobs <N>`.
+/// `--fault-rate <R[,R…]>`, `--mttf-us <N>`, `--jobs <N>`,
+/// `--no-cache` (disable the persistent campaign cache, on by default).
 ///
 /// # Errors
 ///
@@ -188,9 +189,10 @@ impl ResilienceSpec {
 /// or malformed values, and axis values a [`ResilienceSpec`] rejects.
 pub fn parse_cli(
     args: impl IntoIterator<Item = String>,
-) -> Result<(ResilienceSpec, usize), String> {
+) -> Result<(ResilienceSpec, ExecOptions), String> {
     let mut spec = ResilienceSpec::default();
-    let mut jobs = crate::campaign::default_jobs();
+    let mut opts =
+        ExecOptions { cache: crate::cache::CacheConfig::standard(), ..Default::default() };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -216,16 +218,17 @@ pub fn parse_cli(
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = v.parse().map_err(|_| format!("bad --jobs '{v}'"))?;
-                if jobs == 0 {
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs '{v}'"))?;
+                if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--no-cache" => opts.cache = crate::cache::CacheConfig::disabled(),
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     spec.validate()?;
-    Ok((spec, jobs))
+    Ok((spec, opts))
 }
 
 /// Parses a seed as decimal or `0x`-prefixed hex.
@@ -248,7 +251,7 @@ mod tests {
 
     #[test]
     fn cli_round_trips_and_rejects() {
-        let (spec, jobs) = parse_cli(args(&[
+        let (spec, opts) = parse_cli(args(&[
             "--fault-seed",
             "0xBEEF",
             "--fault-rate",
@@ -257,12 +260,16 @@ mod tests {
             "500",
             "--jobs",
             "3",
+            "--no-cache",
         ]))
         .unwrap();
         assert_eq!(spec.seed, 0xBEEF);
         assert_eq!(spec.rates, vec![0.0, 0.01]);
         assert_eq!(spec.mttf_ps, 500_000_000);
-        assert_eq!(jobs, 3);
+        assert_eq!(opts.jobs, 3);
+        assert!(!opts.cache.enabled, "--no-cache must disable the store");
+        let (_, opts) = parse_cli(args(&[])).unwrap();
+        assert!(opts.cache.enabled, "the persistent cache defaults on");
 
         assert!(parse_cli(args(&["--fault-rate", "1.5"])).is_err());
         assert!(parse_cli(args(&["--fault-rate", "nan"])).is_err());

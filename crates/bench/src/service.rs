@@ -14,7 +14,7 @@
 //! drains, so the event/stats reconciliation stays active for every
 //! cell.
 
-use crate::campaign::{CampaignResults, CampaignSpec, PlatformSpec, WorkloadSpec};
+use crate::campaign::{CampaignResults, CampaignSpec, ExecOptions, PlatformSpec, WorkloadSpec};
 use relief_accel::{AppSpec, SocConfig};
 use relief_core::PolicyKind;
 use relief_metrics::report::Table;
@@ -276,12 +276,13 @@ fn goodput_row(policy: String, rate: String, s: &RunStats) -> Vec<String> {
     ]
 }
 
-/// Parses a service binary's CLI into a sweep plus a `--jobs` count.
+/// Parses a service binary's CLI into a sweep plus execution options.
 ///
 /// Recognised flags: `--stream-seed <N>` (decimal or `0x` hex),
 /// `--rate <R[,R…]>` (per-tenant requests/s), `--arrival
 /// <det|poisson|mmpp|diurnal>`, `--duration-us <N>`, `--warmup-us <N>`,
-/// `--max-in-flight <N>` (`0` = admission off), `--jobs <N>`.
+/// `--max-in-flight <N>` (`0` = admission off), `--jobs <N>`,
+/// `--no-cache` (disable the persistent campaign cache, on by default).
 ///
 /// # Errors
 ///
@@ -289,9 +290,10 @@ fn goodput_row(policy: String, rate: String, s: &RunStats) -> Vec<String> {
 /// or malformed values, and axis values a [`ServiceSpec`] rejects.
 pub fn parse_cli(
     args: impl IntoIterator<Item = String>,
-) -> Result<(ServiceSpec, usize), String> {
+) -> Result<(ServiceSpec, ExecOptions), String> {
     let mut spec = ServiceSpec::default();
-    let mut jobs = crate::campaign::default_jobs();
+    let mut opts =
+        ExecOptions { cache: crate::cache::CacheConfig::standard(), ..Default::default() };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -332,16 +334,17 @@ pub fn parse_cli(
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
-                jobs = v.parse().map_err(|_| format!("bad --jobs '{v}'"))?;
-                if jobs == 0 {
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs '{v}'"))?;
+                if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--no-cache" => opts.cache = crate::cache::CacheConfig::disabled(),
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     spec.validate()?;
-    Ok((spec, jobs))
+    Ok((spec, opts))
 }
 
 /// Parses a seed as decimal or `0x`-prefixed hex.
@@ -364,7 +367,7 @@ mod tests {
 
     #[test]
     fn cli_round_trips_and_rejects() {
-        let (spec, jobs) = parse_cli(args(&[
+        let (spec, opts) = parse_cli(args(&[
             "--stream-seed",
             "0xBEEF",
             "--rate",
@@ -379,6 +382,7 @@ mod tests {
             "8",
             "--jobs",
             "3",
+            "--no-cache",
         ]))
         .unwrap();
         assert_eq!(spec.seed, 0xBEEF);
@@ -387,7 +391,10 @@ mod tests {
         assert_eq!(spec.duration_ps, 5_000_000_000);
         assert_eq!(spec.warmup_ps, 500_000_000);
         assert_eq!(spec.max_in_flight, 8);
-        assert_eq!(jobs, 3);
+        assert_eq!(opts.jobs, 3);
+        assert!(!opts.cache.enabled, "--no-cache must disable the store");
+        let (_, opts) = parse_cli(args(&[])).unwrap();
+        assert!(opts.cache.enabled, "the persistent cache defaults on");
 
         assert!(parse_cli(args(&["--rate", "0"])).is_err());
         assert!(parse_cli(args(&["--rate", "nan"])).is_err());

@@ -54,7 +54,7 @@ fn captured_traces_are_identical_across_thread_counts() {
     let spec = relief_bench::experiments::grid::fig2_run(PolicyKind::Relief);
     let label = spec.label();
     let run = |jobs| {
-        let opts = ExecOptions { jobs, trace_labels: BTreeSet::from([label.clone()]) };
+        let opts = ExecOptions { jobs, trace_labels: BTreeSet::from([label.clone()]), ..Default::default() };
         let specs: Vec<RunSpec> = [PolicyKind::Lax, PolicyKind::Relief]
             .iter()
             .map(|&p| relief_bench::experiments::grid::fig2_run(p))

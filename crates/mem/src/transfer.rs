@@ -1,18 +1,11 @@
 //! Chunked DMA transfers through the memory system.
 
-// The transfer engine `expect`s on its id-table invariants by design: a
-// missing or double-completed transfer means the event loop is corrupt,
-// and continuing would silently misattribute bytes.
-#![allow(clippy::expect_used)]
 use crate::config::MemConfig;
 use crate::interconnect::Interconnect;
 use relief_sim::timeline::reserve_joint;
-use relief_sim::{Dur, IdHashMap, Time, Timeline};
+use relief_sim::{Dur, SlotAlloc, Time, Timeline};
 use relief_trace::{Endpoint, EventKind, ResourceId, Tracer};
 use std::fmt;
-
-#[cfg(test)]
-use std::collections::HashMap;
 
 /// A transfer endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,13 +55,32 @@ impl Route {
     }
 }
 
-/// Handle for an in-flight transfer.
+/// Handle for an in-flight transfer: a dense arena slot plus the
+/// generation under which it was allocated. Slots are reused after
+/// completion (free-list), so the generation is what distinguishes a
+/// live handle from a stale one — debug builds assert on every
+/// [`TransferEngine::on_chunk_done`] that the handle's generation still
+/// matches the slot's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TransferId(u64);
+pub struct TransferId {
+    slot: u32,
+    generation: u32,
+}
+
+impl TransferId {
+    /// Dense arena slot index, `< TransferEngine::slots()` for a live
+    /// handle. Callers may keep their own per-transfer side data in
+    /// slot-indexed columns (the accelerator simulator keys transfer
+    /// purposes this way) instead of a map.
+    #[must_use]
+    pub fn slot(self) -> usize {
+        self.slot as usize
+    }
+}
 
 impl fmt::Display for TransferId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xfer{}", self.0)
+        write!(f, "xfer{}g{}", self.slot, self.generation)
     }
 }
 
@@ -88,16 +100,50 @@ pub enum Progress {
     },
 }
 
-#[derive(Debug)]
-struct Active {
-    route: Route,
-    dma: usize,
-    remaining: u64,
-    bytes: u64,
-    first_start: Option<Time>,
+/// Everything the per-chunk path reads and writes for one in-flight
+/// transfer, packed into a single 48-byte row so a chunk event touches
+/// one cache line of transfer state. Endpoints are stored compactly
+/// (`-1` = DRAM, else the scratchpad index) — cheaper to test than the
+/// `usize`-payload [`Port`] enum and a third the size.
+#[derive(Debug, Clone, Copy)]
+struct HotXfer {
+    /// Source endpoint: `-1` for DRAM, else the scratchpad index.
+    src: i32,
+    /// Destination endpoint, same encoding as `src`.
+    dst: i32,
+    /// Driving DMA engine index.
+    dma: u32,
+    /// When the first chunk began service; `Time::MAX` until then.
+    first_start: Time,
+    /// Completion time of the latest chunk issued so far.
     last_end: Time,
     /// Accumulated time chunks waited before service began.
     queued: Dur,
+    /// Bytes not yet issued as chunks.
+    remaining: u64,
+}
+
+impl HotXfer {
+    fn route(&self) -> Route {
+        Route { src: port_from_compact(self.src), dst: port_from_compact(self.dst) }
+    }
+}
+
+fn port_to_compact(p: Port) -> i32 {
+    match p {
+        Port::Dram => -1,
+        Port::Spad(i) => i as i32,
+    }
+}
+
+fn port_from_compact(x: i32) -> Port {
+    if x < 0 { Port::Dram } else { Port::Spad(x as usize) }
+}
+
+/// `Some(spad index)` for a scratchpad endpoint, `None` for DRAM —
+/// compact-encoding analogue of [`Port::spad_index`].
+fn spad_of(x: i32) -> Option<usize> {
+    if x < 0 { None } else { Some(x as usize) }
 }
 
 /// Moves bytes along routes through the DRAM channel, the interconnect, and
@@ -108,6 +154,15 @@ struct Active {
 /// [`on_chunk_done`](TransferEngine::on_chunk_done) issues the next chunk or
 /// reports completion. Chunk-granularity issue is what lets concurrent
 /// transfers share a resource fairly instead of serializing whole buffers.
+///
+/// In-flight transfer state lives in a slab arena indexed by the dense
+/// slot of each [`TransferId`], split hot/cold: everything the per-chunk
+/// path touches is packed into one [`HotXfer`] row (a single cache line
+/// per transfer instead of one per field), while the begin/completion
+/// metadata (`bytes`/`serial`) stays in parallel cold columns. Slots are
+/// free-listed, so a steady-state run allocates nothing per transfer
+/// once the arena reaches the concurrency high-water mark, and the
+/// per-chunk lookup is a bounds check instead of a hash probe.
 #[derive(Debug)]
 pub struct TransferEngine {
     config: MemConfig,
@@ -117,10 +172,17 @@ pub struct TransferEngine {
     /// Scratchpad read ports: concurrent forwards out of one producer's
     /// scratchpad serialize here (one read port per SPAD).
     spad_ports: Vec<Timeline>,
-    /// In-flight transfers, keyed by sequential id (identity-hashed:
-    /// chunk advancement looks this up on every chunk event).
-    active: IdHashMap<u64, Active>,
-    next_id: u64,
+    /// Slot allocator for the transfer arena below.
+    slots: SlotAlloc,
+    /// Hot rows (read and written on every chunk event), slot-indexed.
+    hot: Vec<HotXfer>,
+    // Cold columns (touched only at begin and completion):
+    bytes: Vec<u64>,
+    serial: Vec<u64>,
+    /// Monotonic transfer number emitted in `DmaStart`/`DmaEnd` trace
+    /// records — the pre-arena sequential numbering, kept so traces stay
+    /// byte-identical across slot reuse.
+    next_serial: u64,
     /// Service durations of a full `chunk_bytes` chunk on the
     /// interconnect, a DMA engine, and the DRAM channel. Almost every
     /// chunk is full-sized, so precomputing these keeps the 128-bit
@@ -151,8 +213,11 @@ impl TransferEngine {
             dmas: vec![Timeline::new(); num_accs],
             spad_ports: vec![Timeline::new(); num_accs],
             dram: Timeline::new(),
-            active: IdHashMap::default(),
-            next_id: 0,
+            slots: SlotAlloc::new(),
+            hot: Vec::new(),
+            bytes: Vec::new(),
+            serial: Vec::new(),
+            next_serial: 0,
             chunk_icn_dur: Dur::for_bytes(config.chunk_bytes, config.interconnect_bandwidth),
             chunk_dma_dur: Dur::for_bytes(config.chunk_bytes, config.dma_bandwidth),
             chunk_dram_dur: Dur::for_bytes(config.chunk_bytes, config.dram_bandwidth),
@@ -206,22 +271,32 @@ impl TransferEngine {
             route.src != Port::Dram || route.dst != Port::Dram,
             "DRAM-to-DRAM transfers are not modeled"
         );
-        let id = self.next_id;
-        self.next_id += 1;
-        self.active.insert(
-            id,
-            Active {
-                route,
-                dma,
-                remaining: bytes,
-                bytes,
-                first_start: None,
-                last_end: now,
-                queued: Dur::ZERO,
-            },
-        );
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let (slot, generation) = self.slots.alloc();
+        let s = slot as usize;
+        let row = HotXfer {
+            src: port_to_compact(route.src),
+            dst: port_to_compact(route.dst),
+            dma: dma as u32,
+            first_start: Time::MAX,
+            last_end: now,
+            queued: Dur::ZERO,
+            remaining: bytes,
+        };
+        if s == self.hot.len() {
+            // First time this slot exists: grow the arena by one.
+            self.hot.push(row);
+            self.bytes.push(bytes);
+            self.serial.push(serial);
+        } else {
+            // Free-list reuse: overwrite in place, no allocation.
+            self.hot[s] = row;
+            self.bytes[s] = bytes;
+            self.serial[s] = serial;
+        }
         self.tracer.emit(now.as_ps(), || EventKind::DmaStart {
-            xfer: id,
+            xfer: serial,
             dma: dma as u32,
             src: route.src.endpoint(),
             dst: route.dst.endpoint(),
@@ -232,63 +307,70 @@ impl TransferEngine {
             Route { dst: Port::Dram, .. } => self.dram_write_bytes += bytes,
             _ => self.spad_to_spad_bytes += bytes,
         }
-        let first = self.issue_chunk(id, now);
-        (TransferId(id), first)
+        let first = self.issue_chunk(s, now);
+        (TransferId { slot, generation }, first)
     }
 
     /// Advances a transfer after its previous chunk completed at `now`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is unknown (already completed).
+    /// Debug builds panic when `id` is stale (already completed — its
+    /// slot was released, or released and reused at a newer generation).
     pub fn on_chunk_done(&mut self, id: TransferId, now: Time) -> Progress {
-        let st = self.active.get(&id.0).expect("unknown or completed transfer");
-        if st.remaining == 0 {
-            let st = self.active.remove(&id.0).expect("checked above");
-            let start = st.first_start.unwrap_or(st.last_end);
-            self.tracer.emit(st.last_end.as_ps(), || EventKind::DmaEnd {
-                xfer: id.0,
-                dma: st.dma as u32,
-                src: st.route.src.endpoint(),
-                dst: st.route.dst.endpoint(),
-                bytes: st.bytes,
+        self.slots.check(id.slot, id.generation);
+        let s = id.slot as usize;
+        let h = self.hot[s];
+        if h.remaining == 0 {
+            let start = if h.first_start == Time::MAX { h.last_end } else { h.first_start };
+            let end = h.last_end;
+            let bytes = self.bytes[s];
+            let (route, serial) = (h.route(), self.serial[s]);
+            self.tracer.emit(end.as_ps(), || EventKind::DmaEnd {
+                xfer: serial,
+                dma: h.dma,
+                src: route.src.endpoint(),
+                dst: route.dst.endpoint(),
+                bytes,
                 start_ps: start.as_ps(),
-                queued_ps: st.queued.as_ps(),
+                queued_ps: h.queued.as_ps(),
             });
-            return Progress::Done { start, end: st.last_end, bytes: st.bytes };
+            self.slots.release(id.slot, id.generation);
+            return Progress::Done { start, end, bytes };
         }
-        Progress::Chunk(self.issue_chunk(id.0, now))
+        Progress::Chunk(self.issue_chunk(s, now))
     }
 
-    /// Issues the next chunk of transfer `id`; returns its completion time.
+    /// Issues the next chunk of the transfer in slot `s`; returns its
+    /// completion time.
     ///
     /// The correlated reservation mirrors [`reserve_joint`]: every
     /// involved resource starts at the latest availability across the set
     /// and is held for its own duration — but the resources are reserved
     /// through direct field borrows, so the per-chunk path allocates
-    /// nothing.
-    fn issue_chunk(&mut self, id: u64, now: Time) -> Time {
+    /// nothing, and the transfer state is read straight out of the hot
+    /// arena columns.
+    fn issue_chunk(&mut self, s: usize, now: Time) -> Time {
         if self.reference_alloc_path {
-            return self.issue_chunk_reference(id, now);
+            return self.issue_chunk_reference(s, now);
         }
-        let st = self.active.get_mut(&id).expect("active transfer");
-        let chunk = st.remaining.min(self.config.chunk_bytes);
+        let h = &mut self.hot[s];
+        let chunk = h.remaining.min(self.config.chunk_bytes);
         if chunk == 0 {
             // Zero-byte transfer: complete immediately at `now`.
-            st.last_end = now;
-            if st.first_start.is_none() {
-                st.first_start = Some(now);
+            h.last_end = now;
+            if h.first_start == Time::MAX {
+                h.first_start = now;
             }
             return now;
         }
-        st.remaining -= chunk;
-        let route = st.route;
-        let dma = st.dma;
+        h.remaining -= chunk;
+        let dma = h.dma as usize;
+        let uses_dram = h.src < 0 || h.dst < 0;
+        let src = spad_of(h.src);
+        let dst = spad_of(h.dst);
 
         let (icn_dur, dma_dur, dram_dur) = self.chunk_durs(chunk);
-        let uses_dram = route.uses_dram();
-        let src = route.src.spad_index();
-        let dst = route.dst.spad_index();
 
         let mut start = now;
         if uses_dram {
@@ -314,12 +396,12 @@ impl TransferEngine {
 
         self.icn.note_busy(start, start + icn_dur);
 
-        let st = self.active.get_mut(&id).expect("active transfer");
-        if st.first_start.is_none() {
-            st.first_start = Some(start);
+        let h = &mut self.hot[s];
+        if h.first_start == Time::MAX {
+            h.first_start = start;
         }
-        st.queued += start.saturating_since(now);
-        st.last_end = st.last_end.max(end);
+        h.queued += start.saturating_since(now);
+        h.last_end = h.last_end.max(end);
         end
     }
 
@@ -328,17 +410,18 @@ impl TransferEngine {
     /// recomputes bandwidth divisions per chunk, and reserves through
     /// [`reserve_joint`]. Reservation-for-reservation identical to
     /// [`issue_chunk`](Self::issue_chunk).
-    fn issue_chunk_reference(&mut self, id: u64, now: Time) -> Time {
-        let st = self.active.get_mut(&id).expect("active transfer");
-        let chunk = st.remaining.min(self.config.chunk_bytes);
+    fn issue_chunk_reference(&mut self, s: usize, now: Time) -> Time {
+        let chunk = self.hot[s].remaining.min(self.config.chunk_bytes);
         if chunk == 0 {
-            st.last_end = now;
-            if st.first_start.is_none() {
-                st.first_start = Some(now);
+            let h = &mut self.hot[s];
+            h.last_end = now;
+            if h.first_start == Time::MAX {
+                h.first_start = now;
             }
             return now;
         }
-        st.remaining -= chunk;
+        self.hot[s].remaining -= chunk;
+        let route = self.hot[s].route();
 
         let icn_dur = Dur::for_bytes(chunk, self.config.interconnect_bandwidth);
         let dma_dur = Dur::for_bytes(chunk, self.config.dma_bandwidth);
@@ -346,12 +429,12 @@ impl TransferEngine {
 
         let mut resources: Vec<&mut Timeline> = Vec::with_capacity(5);
         let mut durs: Vec<Dur> = Vec::with_capacity(5);
-        if st.route.uses_dram() {
+        if route.uses_dram() {
             resources.push(&mut self.dram);
             durs.push(dram_dur);
         }
-        let src = st.route.src.spad_index();
-        let dst = st.route.dst.spad_index();
+        let src = route.src.spad_index();
+        let dst = route.dst.spad_index();
         if let Some(si) = src {
             resources.push(&mut self.spad_ports[si]);
             durs.push(icn_dur);
@@ -361,23 +444,31 @@ impl TransferEngine {
             resources.push(lane);
             durs.push(icn_dur);
         }
-        resources.push(&mut self.dmas[st.dma]);
+        resources.push(&mut self.dmas[self.hot[s].dma as usize]);
         durs.push(dma_dur);
 
         let (start, end) = reserve_joint(&mut resources, &durs, now);
         self.icn.note_busy(start, start + icn_dur);
 
-        if st.first_start.is_none() {
-            st.first_start = Some(start);
+        let h = &mut self.hot[s];
+        if h.first_start == Time::MAX {
+            h.first_start = start;
         }
-        st.queued += start.saturating_since(now);
-        st.last_end = st.last_end.max(end);
+        h.queued += start.saturating_since(now);
+        h.last_end = h.last_end.max(end);
         end
     }
 
     /// Number of transfers still in flight.
     pub fn in_flight(&self) -> usize {
-        self.active.len()
+        self.slots.live()
+    }
+
+    /// Number of arena slots ever allocated — the upper bound (exclusive)
+    /// of [`TransferId::slot`] across live handles, i.e. the length a
+    /// slot-indexed side table must have.
+    pub fn slots(&self) -> usize {
+        self.slots.slots()
     }
 
     /// Total DRAM busy time so far.
@@ -452,22 +543,21 @@ mod tests {
     }
 
     /// Drives several transfers concurrently with a mini event loop,
-    /// returning each transfer's end time.
+    /// returning each transfer's end time, positionally aligned with
+    /// `starts` — indexed slots instead of a per-call map allocation.
     fn drive_concurrent(engine: &mut TransferEngine, starts: Vec<(TransferId, Time)>) -> Vec<Time> {
         let mut queue = relief_sim::EventQueue::new();
-        for (id, t) in &starts {
-            queue.push(*t, *id);
+        for (i, (id, t)) in starts.iter().enumerate() {
+            queue.push(*t, (i, *id));
         }
-        let mut ends: HashMap<TransferId, Time> = HashMap::new();
-        while let Some((now, id)) = queue.pop() {
+        let mut ends: Vec<Option<Time>> = vec![None; starts.len()];
+        while let Some((now, (i, id))) = queue.pop() {
             match engine.on_chunk_done(id, now) {
-                Progress::Chunk(next) => queue.push(next, id),
-                Progress::Done { end, .. } => {
-                    ends.insert(id, end);
-                }
+                Progress::Chunk(next) => queue.push(next, (i, id)),
+                Progress::Done { end, .. } => ends[i] = Some(end),
             }
         }
-        starts.iter().map(|(id, _)| ends[id]).collect()
+        ends.into_iter().map(|e| e.expect("every transfer completed")).collect()
     }
 
     #[test]
@@ -628,6 +718,42 @@ mod tests {
             assert_eq!(fast.dram_write_bytes(), reference.dram_write_bytes());
             assert_eq!(fast.spad_to_spad_bytes(), reference.spad_to_spad_bytes());
         }
+    }
+
+    #[test]
+    fn completed_slots_are_reused_without_growth() {
+        // Sequential begin/complete cycles must keep hitting the same
+        // arena slot: the high-water mark stays at the peak concurrency
+        // (1 here), so steady state allocates nothing per transfer.
+        let mut e = TransferEngine::new(MemConfig::default(), 1);
+        let mut t = Time::ZERO;
+        let mut ids = Vec::new();
+        for _ in 0..16 {
+            let (id, first) = e.begin(Route { src: Port::Dram, dst: Port::Spad(0) }, 8192, 0, t);
+            ids.push(id);
+            let (_, end, _) = drive(&mut e, id, first);
+            t = end;
+        }
+        assert_eq!(e.slots(), 1, "one-at-a-time transfers must reuse one slot");
+        assert_eq!(e.in_flight(), 0);
+        // Same slot, distinct generations: every retired handle is unique.
+        assert_eq!(ids.iter().map(|id| id.slot()).max(), Some(0));
+        let mut seen = ids.clone();
+        seen.dedup();
+        assert_eq!(seen.len(), ids.len(), "generations must distinguish reused slots");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale slab handle")]
+    fn stale_transfer_handle_fires_debug_assertion() {
+        let mut e = TransferEngine::new(MemConfig::default(), 1);
+        let (id, first) = e.begin(Route { src: Port::Dram, dst: Port::Spad(0) }, 4096, 0, Time::ZERO);
+        drive(&mut e, id, first);
+        // The transfer completed and its slot was released (and possibly
+        // reused); driving the old handle again must be caught.
+        let _ = e.begin(Route { src: Port::Dram, dst: Port::Spad(0) }, 4096, 0, Time::ZERO);
+        e.on_chunk_done(id, Time::from_us(99));
     }
 
     #[test]

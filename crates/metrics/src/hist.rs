@@ -168,6 +168,31 @@ impl Histogram {
         self.sum_ps = self.sum_ps.saturating_add(other.sum_ps);
         self.max_ps = self.max_ps.max(other.max_ps);
     }
+
+    /// Decomposes the histogram into its raw fields, in declaration
+    /// order: `(bin_width_ps, counts, overflow, total, sum_ps, max_ps)`.
+    /// Paired with [`from_parts`](Histogram::from_parts) so external
+    /// serializers (the persistent campaign cache) can round-trip a
+    /// histogram exactly without the fields being public.
+    #[must_use]
+    pub fn to_parts(&self) -> (u64, &[u64], u64, u64, u64, u64) {
+        (self.bin_width_ps, &self.counts, self.overflow, self.total, self.sum_ps, self.max_ps)
+    }
+
+    /// Reassembles a histogram from [`to_parts`](Histogram::to_parts)
+    /// output. The parts are adopted verbatim — round-tripping is exact,
+    /// including the unconfigured (zero-width) layout.
+    #[must_use]
+    pub fn from_parts(
+        bin_width_ps: u64,
+        counts: Vec<u64>,
+        overflow: u64,
+        total: u64,
+        sum_ps: u64,
+        max_ps: u64,
+    ) -> Self {
+        Histogram { bin_width_ps, counts, overflow, total, sum_ps, max_ps }
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +355,21 @@ mod tests {
     fn mismatched_layouts_refuse_to_merge() {
         let mut a = Histogram::new(100, 10);
         a.merge(&Histogram::new(50, 10));
+    }
+
+    #[test]
+    fn parts_round_trip_exactly() {
+        let h = filled(&[10, 150, 150, 950, 2_000, u64::MAX]);
+        let (w, counts, overflow, total, sum, max) = h.to_parts();
+        let back = Histogram::from_parts(w, counts.to_vec(), overflow, total, sum, max);
+        assert_eq!(back, h);
+        assert_eq!(back.quantile_ps(0.999), h.quantile_ps(0.999));
+        // The unconfigured layout round-trips too.
+        let mut d = Histogram::default();
+        d.record(7);
+        let (w, counts, overflow, total, sum, max) = d.to_parts();
+        assert_eq!(w, 0);
+        assert_eq!(Histogram::from_parts(w, counts.to_vec(), overflow, total, sum, max), d);
     }
 
     #[test]

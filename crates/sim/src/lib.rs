@@ -39,6 +39,7 @@ pub mod idmap;
 pub mod intern;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod time;
 pub mod timeline;
 
@@ -46,6 +47,7 @@ pub use idmap::{IdHashMap, IdHasher};
 pub use intern::{AppId, Intern, InternId, KindId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
+pub use slab::SlotAlloc;
 pub use time::{Dur, Time};
 pub use timeline::{BusyStats, Timeline};
 

@@ -6,8 +6,9 @@
 //! Pending events live in exactly one of three rungs, ordered by how far
 //! in the future they fire:
 //!
-//! 1. **`near`** — a small binary min-heap ordered by the full
-//!    `(time, seq)` key. It holds every event that maps to the bucket
+//! 1. **`near`** — a small vector kept sorted descending on the full
+//!    `(time, seq)` key, so the global minimum sits at the back and a pop
+//!    is a plain `Vec::pop`. It holds every event that maps to the bucket
 //!    currently being drained (or earlier). Pops come only from here.
 //! 2. **`buckets`** — a calendar of [`NUM_BUCKETS`] unsorted bins of
 //!    width `2^width_shift` picoseconds covering the window
@@ -18,18 +19,20 @@
 //!
 //! # Adaptive engagement
 //!
-//! A binary heap of a few dozen entries fits in two cache lines and pops
-//! in a handful of comparisons — no bucket scheme beats it there, and the
-//! SoC model's queues usually idle at that size. The calendar therefore
+//! A sorted vector of a few dozen entries fits in a handful of cache
+//! lines, pops for free off the back, and inserts with one binary search
+//! plus a short `memmove` — no bucket scheme beats it there, and the SoC
+//! model's queues usually idle at that size. The calendar therefore
 //! **engages only under load**: below [`ENGAGE_THRESHOLD`] pending events
-//! everything lives in `near` and the queue *is* the plain heap (one
+//! everything lives in `near` and the queue *is* the sorted vector (one
 //! predictable branch per operation of overhead). When a push grows the
-//! population past the threshold, the heap's contents are redistributed
+//! population past the threshold, the rung's contents are redistributed
 //! into the calendar in one O(n) pass and subsequent scheduling is
-//! O(1)-amortized regardless of population. When the queue fully drains
-//! it falls back to heap mode. Pop order is identical in both regimes
-//! (the ordering argument below does not depend on when engagement
-//! happens), so the switch is invisible to the simulation.
+//! O(1)-amortized regardless of population — insertion shifts stay
+//! bounded by a single bin's occupancy. When the queue fully drains it
+//! falls back to sorted-vector mode. Pop order is identical in both
+//! regimes (the ordering argument below does not depend on when
+//! engagement happens), so the switch is invisible to the simulation.
 //!
 //! When `near` and every bucket are exhausted the window is **rebuilt**
 //! from the overflow: the new `base` is the overflow's minimum fire time
@@ -41,11 +44,10 @@
 //! extend roughly `NUM_BUCKETS` expected events into the future, which
 //! keeps subsequent pushes landing in O(1) bins instead of the overflow
 //! and makes rebuilds rare. Each event is therefore touched a constant
-//! number of times — one bucket insert, one heapify share when its
-//! bucket is promoted to `near`, one heap pop — which is the classic
-//! calendar-queue amortized O(1) argument (heap operations are
-//! logarithmic only in the *bucket* population, not the queue
-//! population).
+//! number of times — one bucket insert, one sort share when its bucket
+//! is promoted to `near`, one back-of-vector pop — which is the classic
+//! calendar-queue amortized O(1) argument (the sort is logarithmic only
+//! in the *bucket* population, not the queue population).
 //!
 //! # Ordering proof sketch
 //!
@@ -134,8 +136,16 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Time::from_ns(1), 'a')));
 /// ```
 pub struct EventQueue<E> {
-    /// Rung 1: min-heap on `(at, seq)` holding the bucket being drained.
-    near: BinaryHeap<Entry<E>>,
+    /// Rung 1: the bucket being drained, sorted *descending* by
+    /// `(at, seq)` so the global minimum sits at the back and pops are a
+    /// branch-free `Vec::pop`. Kept sorted by binary-search insertion;
+    /// bucket promotions bulk-sort instead (one cache-friendly
+    /// `sort_unstable` beats heapify-then-N-sift-downs, and the drain
+    /// side becomes O(1) per event).
+    near: Vec<Entry<E>>,
+    /// Reference-mode storage: the pre-calendar binary heap, exercised
+    /// only by [`EventQueue::reference`] queues.
+    heap: BinaryHeap<Entry<E>>,
     /// Rung 2: the calendar window (unsorted bins).
     buckets: Vec<Vec<Entry<E>>>,
     /// Rung 3: events at or beyond the window end (unsorted).
@@ -170,7 +180,8 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            near: BinaryHeap::new(),
+            near: Vec::new(),
+            heap: BinaryHeap::new(),
             buckets: Vec::new(), // allocated lazily on the first window rebuild
             overflow: Vec::new(),
             spill: Vec::new(),
@@ -211,31 +222,44 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         let entry = Entry { at, seq, event };
         self.len += 1;
+        if self.reference_heap {
+            self.heap.push(entry);
+            return;
+        }
         if !self.engaged {
-            // Heap mode (including the reference queue, which never
-            // engages): everything lives in `near`.
-            self.near.push(entry);
-            if self.len >= ENGAGE_THRESHOLD && !self.reference_heap {
+            // Heap mode: everything lives in `near`.
+            self.insert_near(entry);
+            if self.len >= ENGAGE_THRESHOLD {
                 self.engage();
             }
             return;
         }
         let t = at.as_ps();
         if t < self.base_ps {
-            self.near.push(entry);
+            self.insert_near(entry);
             return;
         }
         let idx = ((t - self.base_ps) >> self.width_shift) as usize;
         if idx <= self.cur_bucket {
             // The bin is already (being) drained — including same-instant
-            // requeues; keep it in the heap so ordering is exact.
-            self.near.push(entry);
+            // requeues; keep it in `near` so ordering is exact.
+            self.insert_near(entry);
         } else if idx < NUM_BUCKETS {
             self.buckets[idx].push(entry);
             self.in_buckets += 1;
         } else {
             self.overflow.push(entry);
         }
+    }
+
+    /// Inserts into the sorted `near` rung at the position its
+    /// `(at, seq)` key demands. The shift cost is bounded by the rung's
+    /// population — one calendar bin once engaged — and a same-instant
+    /// requeue (the common in-dispatch push) lands next to the back.
+    fn insert_near(&mut self, entry: Entry<E>) {
+        let key = (entry.at, entry.seq);
+        let pos = self.near.partition_point(|e| (e.at, e.seq) > key);
+        self.near.insert(pos, entry);
     }
 
     /// Switches from heap mode to calendar mode: redistributes the heap's
@@ -245,7 +269,7 @@ impl<E> EventQueue<E> {
     fn engage(&mut self) {
         debug_assert!(!self.engaged && self.in_buckets == 0 && self.overflow.is_empty());
         self.engaged = true;
-        let mut drained = std::mem::take(&mut self.near).into_vec();
+        let mut drained = std::mem::take(&mut self.near);
         self.overflow.append(&mut drained);
         // Keep the drained buffer's capacity for the rebuild scratch if
         // it beats what is already there.
@@ -262,17 +286,19 @@ impl<E> EventQueue<E> {
     #[inline(never)]
     fn replenish_near(&mut self) {
         while self.near.is_empty() {
-            // Promote the next non-empty bucket, keeping both the heap's
-            // and the bin's allocations alive across the swap.
+            // Promote the next non-empty bucket, keeping both the rung's
+            // and the bin's allocations alive across the swap. One bulk
+            // sort (descending, so pops come off the back) replaces the
+            // old heapify + per-pop sift-downs.
             if self.in_buckets > 0 {
                 let i = (self.cur_bucket + 1..self.buckets.len())
                     .find(|&i| !self.buckets[i].is_empty())
                     .unwrap_or_else(|| unreachable!("in_buckets > 0 with empty calendar"));
                 self.cur_bucket = i;
-                let bin = std::mem::take(&mut self.buckets[i]);
+                let mut bin = std::mem::take(&mut self.buckets[i]);
                 self.in_buckets -= bin.len();
-                let heap = std::mem::replace(&mut self.near, BinaryHeap::from(bin));
-                self.buckets[i] = heap.into_vec();
+                bin.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+                self.buckets[i] = std::mem::replace(&mut self.near, bin);
                 return;
             }
             if self.overflow.is_empty() {
@@ -323,7 +349,9 @@ impl<E> EventQueue<E> {
             let idx = ((e.at.as_ps() - self.base_ps) >> self.width_shift) as usize;
             if idx == 0 {
                 // Bucket 0 is promoted immediately below; route through
-                // the heap so `cur_bucket` never points at a live bin.
+                // `near` so `cur_bucket` never points at a live bin.
+                // (Appended unsorted here, bulk-sorted once after the
+                // distribution pass.)
                 self.near.push(e);
             } else if idx < NUM_BUCKETS {
                 self.buckets[idx].push(e);
@@ -332,6 +360,7 @@ impl<E> EventQueue<E> {
                 spill.push(e);
             }
         }
+        self.near.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
         // The drained overflow's storage becomes the next rebuild's
         // scratch; the spill (if any) becomes the new overflow.
         self.spill = std::mem::replace(&mut self.overflow, spill);
@@ -341,16 +370,87 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        if self.engaged && self.near.is_empty() {
-            self.replenish_near();
+        // The sorted rung keeps the minimum at the back, so the common
+        // case is a branch-free `Vec::pop`; the miss path is the cold
+        // replenish (or, for reference queues, the heap).
+        let e = match self.near.pop() {
+            Some(e) => e,
+            None => self.pop_refill()?,
+        };
+        self.len -= 1;
+        let index = self.popped;
+        self.popped += 1;
+        self.tracer.emit(e.at.as_ps(), || EventKind::EventDispatched { index });
+        Some((e.at, e.event))
+    }
+
+    /// The `near`-empty slow path of [`EventQueue::pop`] /
+    /// [`EventQueue::pop_cohort`]: reference queues pop their heap,
+    /// engaged calendars promote the next bin.
+    #[cold]
+    fn pop_refill(&mut self) -> Option<Entry<E>> {
+        if self.reference_heap {
+            return self.heap.pop();
         }
-        self.near.pop().map(|e| {
-            self.len -= 1;
-            let index = self.popped;
-            self.popped += 1;
-            self.tracer.emit(e.at.as_ps(), || EventKind::EventDispatched { index });
-            (e.at, e.event)
-        })
+        if !self.engaged {
+            return None;
+        }
+        self.replenish_near();
+        self.near.pop()
+    }
+
+    /// Drains the earliest event *cohort* — every pending event scheduled
+    /// for the earliest fire time — into `out` (cleared first), in exact
+    /// `(time, seq)` pop order, and returns that fire time.
+    ///
+    /// Equivalent to calling [`EventQueue::pop`] while the head time is
+    /// unchanged, except that dispatch accounting is deferred: drained
+    /// events are *not* counted or traced here. The caller must invoke
+    /// [`EventQueue::mark_dispatched`] once per drained event immediately
+    /// before handling it, so `EventDispatched` trace records interleave
+    /// with handler-emitted events exactly as on the one-at-a-time path.
+    ///
+    /// Correctness rests on the strict time-separation invariant (module
+    /// docs): once the head of `near` fires at `t`, every pending event
+    /// at `t` is already in `near` — calendar bins beyond `cur_bucket`
+    /// and the overflow hold strictly later times — so draining `near`
+    /// while its head fires at `t` yields the complete cohort in global
+    /// order. Events pushed at `t` while the caller dispatches the cohort
+    /// get larger sequence numbers and form a later cohort, exactly as
+    /// they would pop on the per-event path.
+    pub fn pop_cohort(&mut self, out: &mut Vec<E>) -> Option<Time> {
+        out.clear();
+        let first = match self.near.pop() {
+            Some(e) => e,
+            None => self.pop_refill()?,
+        };
+        let at = first.at;
+        out.push(first.event);
+        // The rest of the cohort is the rung's equal-time tail: descending
+        // (at, seq) order puts same-time entries back-to-front in ascending
+        // sequence order, so popping while times match yields exact pop
+        // order — and costs one comparison in the common size-1 case.
+        while let Some(e) = self.near.last() {
+            if e.at != at {
+                break;
+            }
+            // Pop cannot fail: `last()` just observed the entry.
+            if let Some(e) = self.near.pop() {
+                out.push(e.event);
+            }
+        }
+        self.len -= out.len();
+        Some(at)
+    }
+
+    /// Accounts one cohort-drained event as dispatched: bumps the
+    /// dispatch counter and emits the `EventDispatched` trace record at
+    /// `at`. Call exactly once per event returned by
+    /// [`EventQueue::pop_cohort`], immediately before handling it.
+    pub fn mark_dispatched(&mut self, at: Time) {
+        let index = self.popped;
+        self.popped += 1;
+        self.tracer.emit(at.as_ps(), || EventKind::EventDispatched { index });
     }
 
     /// Fire time of the earliest pending event.
@@ -359,7 +459,10 @@ impl<E> EventQueue<E> {
     /// calendar bins and the overflow (still cheap, and `pop` is the only
     /// hot-path consumer).
     pub fn peek_time(&self) -> Option<Time> {
-        if let Some(e) = self.near.peek() {
+        if let Some(e) = self.near.last() {
+            return Some(e.at);
+        }
+        if let Some(e) = self.heap.peek() {
             return Some(e.at);
         }
         for bin in self.buckets.iter().skip(self.cur_bucket + 1) {
@@ -601,6 +704,65 @@ mod tests {
             assert_eq!(cal.dispatched(), oracle.dispatched());
             assert_eq!(cal.scheduled(), oracle.scheduled());
         }
+    }
+
+    #[test]
+    fn cohort_pop_matches_per_event_pop() {
+        // The cohort drain must yield exactly the per-event pop sequence,
+        // chunked by fire time, across both regimes (heap + calendar) and
+        // with same-instant requeues pushed mid-cohort.
+        for seed in 0..20u64 {
+            let mut rng = SplitMix64::new(0x0C0_0147 ^ seed);
+            let mut a = EventQueue::new();
+            let mut b = EventQueue::new();
+            let mut t = 0u64;
+            for step in 0..600u32 {
+                t += rng.next_u64() % 4; // dense ties, occasional gaps
+                a.push(Time::from_ps(t), step);
+                b.push(Time::from_ps(t), step);
+            }
+            let mut scratch = Vec::new();
+            while let Some(at) = a.pop_cohort(&mut scratch) {
+                for &e in &scratch {
+                    a.mark_dispatched(at);
+                    let (bt, be) = b.pop().expect("oracle has events left");
+                    assert_eq!((at, e), (bt, be), "seed {seed}");
+                    if e % 7 == 0 {
+                        // Same-instant requeue while the cohort is being
+                        // dispatched: must land in a *later* cohort on
+                        // both paths.
+                        a.push(at, e + 10_000);
+                        b.push(at, e + 10_000);
+                    }
+                }
+            }
+            assert!(b.pop().is_none());
+            assert_eq!(a.len(), 0);
+            assert_eq!(a.dispatched(), b.dispatched());
+            assert_eq!(a.scheduled(), b.scheduled());
+        }
+    }
+
+    #[test]
+    fn cohort_pop_counts_dispatches_via_mark() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(1), 'a');
+        q.push(Time::from_ns(1), 'b');
+        q.push(Time::from_ns(2), 'c');
+        let mut out = Vec::new();
+        let at = q.pop_cohort(&mut out).unwrap();
+        assert_eq!(at, Time::from_ns(1));
+        assert_eq!(out, vec!['a', 'b']);
+        assert_eq!(q.len(), 1);
+        // Dispatch accounting is the caller's job.
+        assert_eq!(q.dispatched(), 0);
+        q.mark_dispatched(at);
+        q.mark_dispatched(at);
+        assert_eq!(q.dispatched(), 2);
+        assert_eq!(q.pop_cohort(&mut out), Some(Time::from_ns(2)));
+        assert_eq!(out, vec!['c']);
+        assert_eq!(q.pop_cohort(&mut out), None);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -16,17 +16,25 @@
 //! 3. `campaign_smoke` (release) — the deterministic campaign engine
 //!    executes a small grid serially and with two workers and proves the
 //!    reports byte-identical.
-//! 4. The determinism, conformance, and property test suites:
-//!    `campaign_engine`, `golden_experiments`, `scheduler_conformance`,
-//!    `metamorphic_properties`, `fault_injection`, `service_mode`
-//!    (the open-loop streaming frontend: byte-identical reports at any
-//!    `--jobs`, bit-inert when disabled, admission accounting),
-//!    `queue_equivalence` (the optimised hot path against its own
-//!    reference implementation, bit for bit, under all eight policies),
-//!    and `oracle_conformance` (the ahead-of-time scheduling bound:
-//!    oracle ≤ every online policy, prediction = replay bit-exactly,
-//!    beam-width monotonicity, recorded-run replay differentials).
-//! 5. `xtask bench --check` — a short run of the hot-path benchmark that
+//! 4. `cache-hygiene` — the standard campaign-cache directory holds no
+//!    entries written under a stale schema version or code-version salt
+//!    (they can never hit again; `cache_hygiene --purge` deletes them).
+//! 5. The determinism, conformance, and property test suites:
+//!    `campaign_engine`, `campaign_cache` (the content-addressed
+//!    incremental-campaign store: warm reruns simulate zero cells with
+//!    byte-identical reports, corrupt entries fall back to simulation,
+//!    salt bumps invalidate), `golden_experiments`,
+//!    `scheduler_conformance`, `metamorphic_properties`,
+//!    `fault_injection`, `service_mode` (the open-loop streaming
+//!    frontend: byte-identical reports at any `--jobs`, bit-inert when
+//!    disabled, admission accounting), `queue_equivalence` and
+//!    `soa_equivalence` (the optimised hot path against its own
+//!    reference implementation, bit for bit, under all eleven policies,
+//!    twenty seeds, faults, and service mode), and `oracle_conformance`
+//!    (the ahead-of-time scheduling bound: oracle ≤ every online
+//!    policy, prediction = replay bit-exactly, beam-width monotonicity,
+//!    recorded-run replay differentials).
+//! 6. `xtask bench --check` — a short run of the hot-path benchmark that
 //!    validates the `BENCH_simcore.json` schema and then gates on the
 //!    committed baseline: the fresh run's fastest pass must stay within
 //!    10 % of the committed optimised median ns/event (skipped with a
@@ -41,9 +49,11 @@
 //! writes `BENCH_simcore.json` at the repo root, and appends the run's
 //! medians to the `BENCH_trajectory.json` history (see README.md).
 //! Extra arguments (`--iters N`, `--out PATH`, `--check`,
-//! `--tolerance PCT`, `--service`) are forwarded to the
+//! `--tolerance PCT`, `--service`, `--events`) are forwarded to the
 //! `simcore_bench` binary; `bench --service` times the open-loop
-//! service subset and appends a `+service` trajectory entry instead.
+//! service subset and appends a `+service` trajectory entry instead,
+//! and `bench --events` times the calendar-queue cohort-pop microbench
+//! alone, appending a `+events` entry.
 //!
 //! Exit code is nonzero if any executed step fails.
 
@@ -72,20 +82,23 @@ fn have_clippy() -> bool {
         .unwrap_or(false)
 }
 
-/// The integration-test suites step 4 runs, as `(package, test target)`.
-const TEST_SUITES: [(&str, &str); 8] = [
+/// The integration-test suites step 5 runs, as `(package, test target)`.
+const TEST_SUITES: [(&str, &str); 10] = [
     ("relief-bench", "campaign_engine"),
+    ("relief-bench", "campaign_cache"),
     ("relief", "golden_experiments"),
     ("relief", "scheduler_conformance"),
     ("relief", "metamorphic_properties"),
     ("relief", "fault_injection"),
     ("relief", "service_mode"),
     ("relief", "queue_equivalence"),
+    ("relief", "soa_equivalence"),
     ("relief", "oracle_conformance"),
 ];
 
 /// Names accepted by `check --suite` that are not test targets.
-const META_SUITES: [&str; 4] = ["build", "lint", "campaign-smoke", "bench-check"];
+const META_SUITES: [&str; 5] =
+    ["build", "lint", "campaign-smoke", "cache-hygiene", "bench-check"];
 
 fn print_suites() {
     println!("check suites (for --suite <name>[,<name>...]):");
@@ -193,6 +206,19 @@ fn check(args: &[String]) -> ExitCode {
             ]),
         );
     }
+    if wants("cache-hygiene") {
+        ok &= run(
+            "campaign-cache hygiene (no stale schema/salt entries)",
+            Command::new("cargo").args([
+                "run",
+                "--offline",
+                "-p",
+                "relief-bench",
+                "--bin",
+                "cache_hygiene",
+            ]),
+        );
+    }
     for (package, suite) in TEST_SUITES {
         if !wants(suite) {
             continue;
@@ -248,7 +274,7 @@ fn main() -> ExitCode {
         Some("bench") => bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <check [--suite NAMES] [--list-suites] | bench [--iters N] [--out PATH] [--check] [--tolerance PCT]>"
+                "usage: cargo run -p xtask -- <check [--suite NAMES] [--list-suites] | bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events]>"
             );
             ExitCode::from(2)
         }

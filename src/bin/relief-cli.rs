@@ -600,9 +600,9 @@ fn compare_policies(args: &Args, mix_apps: &[App]) -> ExitCode {
         };
         let apps = build_apps(args, mix_apps);
         let opts = relief::bench::oracle::campaign_options();
-        match relief::oracle::solve(&mk_cfg, &apps, &opts) {
+        match relief::oracle::solve(mk_cfg, &apps, &opts) {
             Ok(res) => {
-                let replayed = res.replay(&mk_cfg, &apps);
+                let replayed = res.replay(mk_cfg, &apps);
                 if replayed.stats.exec_time.as_ps() != res.makespan_ps {
                     eprintln!(
                         "warning: oracle replay diverged from its prediction \

@@ -41,10 +41,9 @@ fn synthetic_scenario(seed: u64) -> (Vec<usize>, Vec<AppSpec>) {
         compute_us: (5, 40),
         output_bytes: (4 * 1024, 64 * 1024),
         deadline: Dur::from_ms(5),
-        ..SyntheticParams::default()
     };
     let mut apps = vec![AppSpec::once("S0", random_dag(&params, seed))];
-    if seed % 2 == 0 {
+    if seed.is_multiple_of(2) {
         apps.push(AppSpec::once("S1", random_dag(&params, seed.wrapping_add(0x9e37))));
     }
     (vec![1, 2], apps)
@@ -272,7 +271,7 @@ fn adaptive_square_wave_load_does_not_thrash() {
     }
 
     let params = AdaptiveParams { epoch: Dur::from_us(20), ..AdaptiveParams::default() };
-    let policy = Adaptive::with_params(params.clone());
+    let policy = Adaptive::with_params(params);
     let cfg = SocConfig::generic(vec![1], PolicyKind::Adaptive);
     let result = SocSim::new(cfg.clone(), apps.clone())
         .with_policy_object(Box::new(Adaptive::with_params(params)))

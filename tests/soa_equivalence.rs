@@ -1,0 +1,142 @@
+//! Data-oriented-core property suite: the arena/SoA task state, packed
+//! transfer rows, and cohort batch dispatch behind the default hot path
+//! must be *observationally invisible*. `SocConfig::reference_hot_path`
+//! swaps back the pre-optimisation structures, and this suite pins the
+//! two paths bit-exact across a randomized sweep:
+//!
+//! 1. **Seed × policy rotation** — twenty distinct simulation seeds
+//!    rotated through all eleven policies (the eight fairness-study
+//!    policies plus the three extensions), with deterministic fault
+//!    injection folded into every fourth seed.
+//! 2. **Service mode** — open-loop Poisson arrivals with admission
+//!    control, where mid-stream task insertion stresses the calendar
+//!    queue's near rung and the arena's slot reuse (generation bumps).
+//!
+//! Every comparison covers the full `RunStats` Debug rendering (floats
+//! render through their full shortest-round-trip form, so bit drift is
+//! caught), per-app accounting, prediction samples, executed-task
+//! traces, and the dispatched-event count.
+
+use relief::bench::config_for;
+use relief::bench::service::ServiceSpec;
+use relief::prelude::*;
+use relief_accel::SimResult;
+
+/// All eleven schedulable policies: the fairness-study eight plus the
+/// heterogeneity/throttling/adaptive extensions.
+fn eleven_policies() -> Vec<PolicyKind> {
+    let all: Vec<PolicyKind> =
+        PolicyKind::ALL.iter().chain(PolicyKind::EXTENSIONS.iter()).copied().collect();
+    assert_eq!(all.len(), 11);
+    all
+}
+
+/// Runs `cfg` over `workload` on the optimised and the reference hot
+/// path and asserts the two `SimResult`s are observationally identical.
+fn assert_paths_agree(mut cfg: SocConfig, workload: &[AppSpec], what: &str) {
+    cfg.record_trace = true;
+    let run = |reference: bool| -> SimResult {
+        let mut cfg = cfg.clone();
+        cfg.reference_hot_path = reference;
+        SocSim::new(cfg, workload.to_vec()).run()
+    };
+    let fast = run(false);
+    let reference = run(true);
+
+    assert_eq!(
+        format!("{:?}", fast.stats),
+        format!("{:?}", reference.stats),
+        "{what}: RunStats diverged between hot paths"
+    );
+    assert_eq!(
+        fast.per_app_mem_time, reference.per_app_mem_time,
+        "{what}: per-app DMA accounting diverged"
+    );
+    assert_eq!(
+        fast.per_app_compute_time, reference.per_app_compute_time,
+        "{what}: per-app compute accounting diverged"
+    );
+    assert_eq!(
+        fast.prediction.compute_rel_errors, reference.prediction.compute_rel_errors,
+        "{what}: compute-prediction samples diverged"
+    );
+    assert_eq!(
+        fast.prediction.dm_rel_errors, reference.prediction.dm_rel_errors,
+        "{what}: data-movement-prediction samples diverged"
+    );
+    assert_eq!(
+        fast.prediction.bw_rel_errors, reference.prediction.bw_rel_errors,
+        "{what}: bandwidth-prediction samples diverged"
+    );
+    assert_eq!(fast.trace, reference.trace, "{what}: executed-task traces diverged");
+    assert_eq!(
+        fast.events_dispatched, reference.events_dispatched,
+        "{what}: event counts diverged"
+    );
+}
+
+/// Twenty seeds rotated across all eleven policies on a low-contention
+/// mix, with deterministic task/DMA faults folded into every fourth
+/// seed. Each policy is exercised at least once, under at least one
+/// never-before-seen seed — a summation-order or slot-reuse bug in the
+/// SoA path that only shows under a particular arrival interleaving has
+/// twenty chances to surface.
+#[test]
+fn twenty_seeds_rotate_all_eleven_policies() {
+    let eleven = eleven_policies();
+    let mixes = Contention::Low.mixes();
+    let mix = mixes.first().expect("low contention has mixes");
+    let workload = mix.workload();
+    for seed in 0..20u64 {
+        let policy = eleven[(seed as usize) % eleven.len()];
+        let mut cfg = config_for(policy, Contention::Low);
+        // Distinct, aperiodic seeds — not just 0..20 — so the RNG
+        // streams the two paths consume start far apart.
+        cfg.seed = 0xD0C5_0000 ^ seed.wrapping_mul(0x9E37_79B9);
+        let mut what = format!("seed {seed} {policy:?}");
+        if seed % 4 == 3 {
+            let fault_seed = cfg.seed ^ 0xFA17;
+            cfg = cfg.with_fault(FaultConfig {
+                seed: fault_seed,
+                task_fault_rate: 0.02,
+                dma_fault_rate: 0.02,
+                ..FaultConfig::default()
+            });
+            what.push_str(" +faults");
+        }
+        assert_paths_agree(cfg, &workload, &what);
+    }
+}
+
+/// Open-loop service mode on both paths: Poisson arrivals, admission
+/// control, and three QoS tenants. Mid-stream DAG instantiation reuses
+/// arena slots (generation bumps) and lands events on the calendar
+/// queue's near rung while it is draining — the hardest traffic for the
+/// batched dispatcher.
+#[test]
+fn service_mode_agrees_across_seeds_and_policies() {
+    for (i, &(seed, policy)) in [
+        (0x5E11, PolicyKind::Relief),
+        (0x5E12, PolicyKind::Fcfs),
+        (0x5E13, PolicyKind::Adaptive),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let spec = ServiceSpec {
+            seed,
+            rates: vec![150.0 + 50.0 * i as f64],
+            duration_ps: 5_000_000_000, // 5 ms of arrivals
+            warmup_ps: 1_000_000_000,
+            policies: vec![policy],
+            ..Default::default()
+        };
+        for run in spec.campaign().expand() {
+            assert_paths_agree(
+                run.config(),
+                &run.apps(),
+                &format!("service seed {seed:#x} {policy:?}"),
+            );
+        }
+    }
+}
