@@ -100,6 +100,13 @@ pub struct SocConfig {
     /// the workload's app spec at index `t` and the closed-loop t=0
     /// releases are replaced by the arrival plan.
     pub stream: StreamConfig,
+    /// Watchdog no-progress window: the maximum events dispatched without
+    /// simulated time advancing before the run is declared livelocked and
+    /// converted into a [`relief_sim::StallError`]. The default is far
+    /// above any legitimate same-timestamp cohort; `0` disables the
+    /// watchdog. Detection only — a run that never trips it is
+    /// byte-identical at any setting.
+    pub watchdog_window: u64,
 }
 
 impl SocConfig {
@@ -149,6 +156,7 @@ impl SocConfig {
             reference_hot_path: false,
             fault: FaultConfig::default(),
             stream: StreamConfig::default(),
+            watchdog_window: 2_000_000,
         }
     }
 

@@ -37,8 +37,11 @@ use relief_dag::{Dag, DagTiming, DeadlineAssignment, NodeId};
 use relief_fault::{FaultPlan, Outage, OutageSchedule};
 use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
 use relief_metrics::{AppStats, FaultStats, Histogram, RunStats, ServiceStats, TrafficStats};
-use relief_service::{AdmissionState, QosClass, ShedReason, StreamPlan};
-use relief_sim::{AppId, Dur, EventQueue, Intern, InternId, KindId, SplitMix64, Time, Timeline};
+use relief_service::{AdmissionState, QosClass, SelfHealConfig, ShedReason, StreamPlan};
+use relief_sim::{
+    AppId, Dur, EventQueue, Intern, InternId, KindId, SplitMix64, StallError, StallKind, Time,
+    Timeline,
+};
 use relief_trace::{EventKind, InputSource, ResourceId, ServiceClass, ShedCause, TaskRef, Tracer};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -65,6 +68,12 @@ const SOJOURN_BINS: usize = 600;
 /// Steady-state node-latency histogram layout: 20 µs bins spanning 10 ms.
 const NODE_LATENCY_BIN_PS: u64 = 20_000_000;
 const NODE_LATENCY_BINS: usize = 500;
+/// Breaker time-in-open histogram layout: 250 µs bins spanning 30 ms.
+const OPEN_BIN_PS: u64 = 250_000_000;
+const OPEN_BINS: usize = 120;
+/// Retry-count histogram layout: unit bins, attempts 0..15 (overflow above).
+const RETRY_BIN: u64 = 1;
+const RETRY_BINS: usize = 16;
 
 /// Where a completed node's output currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,11 +172,55 @@ struct DagInst {
     deadlines: Arc<DeadlineAssignment>,
     nodes: Vec<NodeRt>,
     remaining: usize,
-    /// Faults (task + DMA) this instance has absorbed; a deadline miss on
-    /// an instance with `faults > 0` is attributed to fault recovery.
+    /// Faults (task + DMA + ECC) this instance has absorbed; a deadline
+    /// miss on an instance with `faults > 0` is attributed to fault
+    /// recovery.
     faults: u64,
     /// A node exhausted its retry budget; the instance never completes.
     aborted: bool,
+    /// Cancelled by a request timeout: queued entries are dropped at
+    /// launch, running compute drains without publishing, and the
+    /// instance never completes.
+    cancelled: bool,
+    /// Stream request index this instance serves (hedges inherit the
+    /// original's, so the hedge draw chain stays per-request).
+    req_index: u64,
+    /// 0-based delivery attempt: 0 for the original admission, +1 per
+    /// hedged relaunch.
+    attempt: u32,
+    /// The serviced request's first arrival (== `arrival` except for
+    /// hedges, whose end-to-end sojourn spans every attempt).
+    first_arrival: Time,
+}
+
+/// Circuit-breaker phase (closed → open → half-open → closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerPhase {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// One tenant's circuit breaker (`relief-service` self-healing). Every
+/// transition happens lazily at an arrival or request-outcome event, so
+/// the breaker schedules no events of its own and stays bit-inert when
+/// its knobs are off.
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    phase: BreakerPhase,
+    /// Consecutive request failures while closed.
+    failures: u32,
+    /// Consecutive probe successes while half-open.
+    successes: u32,
+    /// When the breaker last entered `Open`; carried through half-open so
+    /// the close event reports the full open duration.
+    opened_at: Time,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker { phase: BreakerPhase::Closed, failures: 0, successes: 0, opened_at: Time::ZERO }
+    }
 }
 
 /// One output scratchpad partition (Table IV's `acc_state` entries).
@@ -258,6 +311,28 @@ enum Ev {
     UnitUp(usize),
     /// An open-loop tenant's next request arrives (`relief-service`).
     StreamArrival(usize),
+    /// An ECC-invalidated forwarded edge's backoff expired; re-fetch the
+    /// parent's checkpointed DRAM copy into the waiting consumer. The
+    /// payload indexes [`SocSim::refetches`] — parked out of line so `Ev`
+    /// stays two words (the near rung is a memmove-heavy sorted vec; a
+    /// fat variant would tax every event, and re-fetches are rare).
+    EccRefetch(u32),
+    /// A streamed request's deadline-derived timeout expired.
+    Timeout(u32),
+}
+
+/// Every queued event pays `Ev`'s size in near-rung memmove traffic, so
+/// fat payloads must be parked out of line (see [`Ev::EccRefetch`]).
+const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
+
+/// One parked ECC re-fetch request (see [`Ev::EccRefetch`]); slots are
+/// reused through [`SocSim::free_refetches`].
+#[derive(Debug, Clone, Copy)]
+struct Refetch {
+    child: TaskKey,
+    parent: TaskKey,
+    attempt: u32,
+    dst: u32,
 }
 
 /// The simulated SoC.
@@ -306,6 +381,13 @@ pub struct SocSim {
     /// every chunk event, with slot reuse keeping the column at the
     /// high-water mark of concurrent transfers.
     transfers: Vec<Option<Purpose>>,
+    /// In-flight transfer ids by slot, so the chaos paths (ECC
+    /// invalidation, timeout cancellation) can address transfers the
+    /// purpose column tracks.
+    transfer_ids: Vec<Option<TransferId>>,
+    /// Per-slot count of delivered chunks, the ECC verdict's chunk
+    /// identity; reset whenever a slot is re-tracked.
+    chunk_seq: Vec<u32>,
     manager: Timeline,
     mem_pred: MemTimePredictor,
     profile: ComputeProfile,
@@ -336,6 +418,18 @@ pub struct SocSim {
     stream_next_index: Vec<u64>,
     /// Cached per-tenant QoS class.
     tenant_class: Vec<QosClass>,
+    /// Cached self-healing knobs (`cfg.stream.self_heal`).
+    heal: SelfHealConfig,
+    /// Per-tenant circuit breakers; empty when the breaker is off.
+    breakers: Vec<Breaker>,
+    /// Whether anything in this run can cancel an in-flight transfer
+    /// (ECC invalidation or request timeouts); gates the per-chunk
+    /// liveness check off the fault-free hot path.
+    cancels_on: bool,
+    /// Parked [`Ev::EccRefetch`] payloads, indexed by the event's `u32`.
+    refetches: Vec<Refetch>,
+    /// Free slots in `refetches`.
+    free_refetches: Vec<u32>,
     // --- per-app caches (pure functions of the immutable app specs) ---
     /// Deadline assignment computed on each app's first arrival.
     app_deadlines: Vec<Option<Arc<DeadlineAssignment>>>,
@@ -447,6 +541,7 @@ impl SocSim {
             }
         }
         let mut service_stats = ServiceStats::default();
+        let heal = cfg.stream.self_heal.clone();
         if stream_on {
             service_stats.warmup_ps = cfg.stream.warmup_ps;
             service_stats.duration_ps = cfg.stream.duration_ps;
@@ -454,13 +549,25 @@ impl SocSim {
                 c.sojourn = Histogram::new(SOJOURN_BIN_PS, SOJOURN_BINS);
                 c.node_latency = Histogram::new(NODE_LATENCY_BIN_PS, NODE_LATENCY_BINS);
             }
+            // The self-heal histograms exist only when the knobs are on,
+            // so a knobs-off run's stats stay `Default`-equal bit for bit.
+            if heal.enabled() {
+                service_stats.retry_hist = Histogram::new(RETRY_BIN, RETRY_BINS);
+                service_stats.open_hist = Histogram::new(OPEN_BIN_PS, OPEN_BINS);
+            }
         }
+        let breakers = if stream_on && heal.breaker_enabled() {
+            vec![Breaker::new(); apps.len()]
+        } else {
+            Vec::new()
+        };
         let admission = AdmissionState::new(&cfg.stream);
         let tenant_class: Vec<QosClass> = cfg.stream.tenants.iter().map(|t| t.qos).collect();
         let mut app_syms: Intern<AppId> = Intern::new();
         let app_ids: Vec<AppId> = apps.iter().map(|a| app_syms.intern(&a.symbol)).collect();
         // Arm the first deterministic outage window of every instance.
         let fault = FaultPlan::new(cfg.fault.clone());
+        let fault_on = fault.enabled();
         let mut outage_iters: Vec<OutageSchedule> =
             (0..total_insts).map(|i| fault.outages(i as u32)).collect();
         let mut next_outage: Vec<Option<Outage>> = vec![None; total_insts];
@@ -495,6 +602,8 @@ impl SocSim {
             now: Time::ZERO,
             seq: 0,
             transfers: Vec::new(),
+            transfer_ids: Vec::new(),
+            chunk_seq: Vec::new(),
             manager: Timeline::new(),
             mem_pred,
             profile: ComputeProfile::new(),
@@ -510,6 +619,11 @@ impl SocSim {
             service_stats,
             stream_next_index: vec![0; n_apps],
             tenant_class,
+            cancels_on: fault_on || (stream_on && heal.enabled()),
+            heal,
+            breakers,
+            refetches: Vec::new(),
+            free_refetches: Vec::new(),
             app_deadlines: vec![None; n_apps],
             app_profiled: vec![false; n_apps],
             app_kind_ids: vec![Vec::new(); n_apps],
@@ -538,6 +652,13 @@ impl SocSim {
         if sim.cfg.reference_hot_path {
             sim.queues.set_reference_linear_scans(true);
             sim.engine.set_reference_alloc_path(true);
+        }
+        if sim.cfg.fault.dram_mttf_ps > 0 {
+            // Deterministic DRAM-channel blackout windows: installed before
+            // any transfer begins, so the engine's gate sees the schedule
+            // from picosecond zero.
+            let windows = sim.fault.channel_outages().map(|w| (w.down_ps, w.up_ps));
+            sim.engine.set_dram_outages(Box::new(windows));
         }
         if sim.cfg.record_trace {
             let sink = Rc::new(RefCell::new(SpanCollector::new()));
@@ -590,7 +711,28 @@ impl SocSim {
     /// cohort at the same time, which is exactly the order the per-event
     /// loop would pop them in (they get later sequence numbers). Reference
     /// mode keeps the pre-optimisation per-event loop.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        match self.try_run() {
+            Ok(result) => result,
+            Err(stall) => panic!("{stall}"),
+        }
+    }
+
+    /// Like [`run`](Self::run), but converts a detected stall — the event
+    /// queue draining with live work left, or the watchdog's no-progress
+    /// window elapsing without simulated time advancing — into a typed
+    /// [`StallError`] carrying a diagnostic dump, instead of panicking.
+    /// Campaign drivers use this to fail one cell loudly rather than
+    /// wedging the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StallError`] when the simulation deadlocks or livelocks
+    /// (both are model bugs, never a legitimate outcome of valid input).
+    pub fn try_run(mut self) -> Result<SimResult, StallError> {
+        let window = self.cfg.watchdog_window;
+        let mut last_time = Time::ZERO;
+        let mut last_advance = 0u64;
         if self.cfg.reference_hot_path {
             while let Some((at, ev)) = self.events.pop() {
                 if let Some(limit) = self.cfg.time_limit {
@@ -600,9 +742,16 @@ impl SocSim {
                     }
                 }
                 self.now = at;
+                if at > last_time {
+                    last_time = at;
+                    last_advance = self.events.dispatched();
+                }
                 self.dispatch(ev);
+                if window > 0 && self.events.dispatched() - last_advance > window {
+                    return Err(self.stall(StallKind::NoProgressWindow));
+                }
             }
-            return self.finalize();
+            return self.finish();
         }
         let mut cohort: Vec<Ev> = Vec::new();
         while let Some(at) = self.events.pop_cohort(&mut cohort) {
@@ -617,12 +766,72 @@ impl SocSim {
                 }
             }
             self.now = at;
+            if at > last_time {
+                last_time = at;
+                last_advance = self.events.dispatched();
+            }
             for &ev in &cohort {
                 self.events.mark_dispatched(at);
                 self.dispatch(ev);
             }
+            if window > 0 && self.events.dispatched() - last_advance > window {
+                return Err(self.stall(StallKind::NoProgressWindow));
+            }
         }
-        self.finalize()
+        self.finish()
+    }
+
+    /// Post-drain gate: a non-truncated run whose queue emptied while a
+    /// live (neither aborted nor cancelled) instance still has work is
+    /// deadlocked — a dependency or bookkeeping bug, not a result.
+    fn finish(self) -> Result<SimResult, StallError> {
+        if self.cfg.watchdog_window > 0
+            && !self.truncated
+            && self.dags.iter().any(|d| d.remaining > 0 && !d.aborted && !d.cancelled)
+        {
+            return Err(self.stall(StallKind::DrainedWithWorkLeft));
+        }
+        Ok(self.finalize())
+    }
+
+    /// Assembles the stall diagnostic: queue depths, per-unit occupancy,
+    /// in-flight transfers, the quarantine set, and the stuck instances.
+    fn stall(&self, kind: StallKind) -> StallError {
+        use std::fmt::Write as _;
+        let mut dump = String::new();
+        let _ = writeln!(dump, "ready-queue depth: {}", self.queues.len());
+        let _ = writeln!(dump, "pending arrivals: {}", self.pending_arrivals);
+        let in_flight = self.transfers.iter().filter(|t| t.is_some()).count();
+        let _ = writeln!(dump, "in-flight transfers: {in_flight}");
+        let quarantined: Vec<usize> =
+            (0..self.insts.len()).filter(|&i| self.insts[i].quarantined).collect();
+        let _ = writeln!(dump, "quarantined units: {quarantined:?}");
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(r) = &inst.running {
+                let _ = writeln!(
+                    dump,
+                    "unit {i}: running {}:{} in {:?}",
+                    r.key.instance, r.key.node, r.phase
+                );
+            }
+        }
+        for (i, d) in self.dags.iter().enumerate() {
+            if d.remaining > 0 && !d.aborted && !d.cancelled {
+                let _ = writeln!(
+                    dump,
+                    "instance {i} ({}): {} of {} nodes left",
+                    self.apps[d.app_idx].symbol,
+                    d.remaining,
+                    d.dag.len()
+                );
+            }
+        }
+        StallError {
+            kind,
+            at_ps: self.now.as_ps(),
+            events_dispatched: self.events.dispatched(),
+            dump,
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -635,6 +844,8 @@ impl SocSim {
             Ev::UnitDown(inst) => self.on_unit_down(inst),
             Ev::UnitUp(inst) => self.on_unit_up(inst),
             Ev::StreamArrival(tenant) => self.on_stream_arrival(tenant),
+            Ev::EccRefetch(idx) => self.on_ecc_refetch(idx),
+            Ev::Timeout(instance) => self.on_timeout(instance),
         }
     }
 
@@ -672,10 +883,45 @@ impl SocSim {
                 self.events.push(Time::from_ps(at), Ev::StreamArrival(tenant));
             }
         }
+        // Circuit breaker (self-healing): a tenant whose requests keep
+        // failing is cut off before the token bucket ever sees it. Open
+        // sheds outright; past the open window the breaker half-opens and
+        // admits a seeded fraction of arrivals as probes.
+        if !self.breakers.is_empty() {
+            let mut b = self.breakers[tenant];
+            let through = match b.phase {
+                BreakerPhase::Closed => true,
+                BreakerPhase::Open
+                    if self.now.saturating_since(b.opened_at)
+                        >= Dur::from_ps(self.heal.breaker_open_ps) =>
+                {
+                    b.phase = BreakerPhase::HalfOpen;
+                    b.successes = 0;
+                    self.tracer.emit(self.now.as_ps(), || EventKind::BreakerHalfOpen {
+                        tenant: tenant as u32,
+                    });
+                    self.stream.probe_admit(tenant as u32, index)
+                }
+                BreakerPhase::Open => false,
+                BreakerPhase::HalfOpen => self.stream.probe_admit(tenant as u32, index),
+            };
+            self.breakers[tenant] = b;
+            if !through {
+                self.service_stats.classes[class.index()].shed_breaker += 1;
+                self.tracer.emit(self.now.as_ps(), || EventKind::RequestShed {
+                    tenant: tenant as u32,
+                    index,
+                    class: sclass(class),
+                    cause: ShedCause::Breaker,
+                });
+                return;
+            }
+        }
         match self.admission.try_admit(self.now.as_ps(), tenant, class) {
             Ok(()) => {
                 self.service_stats.classes[class.index()].admitted += 1;
                 let instance = self.admit_dag(tenant);
+                self.arm_request(instance, index, 0, self.now);
                 self.tracer.emit(self.now.as_ps(), || EventKind::RequestAdmitted {
                     tenant: tenant as u32,
                     index,
@@ -763,6 +1009,10 @@ impl SocSim {
             remaining,
             faults: 0,
             aborted: false,
+            cancelled: false,
+            req_index: 0,
+            attempt: 0,
+            first_arrival: self.now,
         });
         self.tracer.emit(self.now.as_ps(), || EventKind::DagArrived {
             instance,
@@ -778,6 +1028,171 @@ impl SocSim {
         }
         self.enqueue_batch(batch);
         instance
+    }
+
+    // ------------------------------------------------------------------
+    // Request self-healing (relief-service)
+    // ------------------------------------------------------------------
+
+    /// Stamps a freshly admitted streamed instance with its request
+    /// identity and arms its deadline-derived timeout when the
+    /// self-healing timeouts are on.
+    fn arm_request(&mut self, instance: u32, index: u64, attempt: u32, first_arrival: Time) {
+        let rel = {
+            let d = &mut self.dags[instance as usize];
+            d.req_index = index;
+            d.attempt = attempt;
+            d.first_arrival = first_arrival;
+            d.dag.relative_deadline()
+        };
+        if self.heal.timeouts_enabled() {
+            let timeout = Dur::from_ps((rel.as_ps() as f64 * self.heal.timeout_factor) as u64);
+            self.events.push(self.now + timeout, Ev::Timeout(instance));
+        }
+    }
+
+    /// A streamed request's timeout expired. If the instance is still in
+    /// flight it is past the point of meeting its budget: cancel it,
+    /// reclaim queue slots and units, and — within the class hedge budget
+    /// and a seeded draw — relaunch the request as a fresh instance.
+    fn on_timeout(&mut self, instance: u32) {
+        let (tenant, req_index, attempt, first_arrival) = {
+            let d = &self.dags[instance as usize];
+            if d.remaining == 0 || d.aborted || d.cancelled {
+                return; // resolved before the timeout fired
+            }
+            (d.app_idx, d.req_index, d.attempt, d.first_arrival)
+        };
+        let class = self.tenant_class[tenant];
+        self.cancel_instance(instance);
+        self.service_stats.classes[class.index()].timed_out += 1;
+        self.tracer.emit(self.now.as_ps(), || EventKind::RequestTimedOut {
+            tenant: tenant as u32,
+            instance,
+            class: sclass(class),
+            attempt,
+        });
+        self.admission.release();
+        self.breaker_outcome(tenant, false);
+        // The hedge bypasses the token bucket — the original admission
+        // paid the token — but still respects the class capacity share,
+        // and its deadline restarts at the relaunch while its sojourn
+        // stays anchored to the first arrival.
+        let next = attempt + 1;
+        if next <= self.heal.hedge_budget[class.index()]
+            && self.stream.hedge_launch(tenant as u32, req_index, attempt)
+            && self.admission.try_occupy(class)
+        {
+            self.service_stats.classes[class.index()].hedged += 1;
+            let hedge = self.admit_dag(tenant);
+            self.arm_request(hedge, req_index, next, first_arrival);
+            self.tracer.emit(self.now.as_ps(), || EventKind::HedgeLaunched {
+                tenant: tenant as u32,
+                instance: hedge,
+                attempt: next,
+            });
+        }
+        // Freed queue slots, partitions, and units may unblock live work.
+        self.retry_stalled();
+        self.try_launch_all();
+    }
+
+    /// Tombstones a DAG instance: cancels its in-flight input transfers,
+    /// releases accelerators holding its unstarted work, and marks it so
+    /// queued entries are dropped at launch and running compute drains
+    /// without publishing.
+    fn cancel_instance(&mut self, instance: u32) {
+        self.dags[instance as usize].cancelled = true;
+        // Write-backs are left to finish: they are the checkpointing path,
+        // and an abandoned `WbInFlight` would wedge its partition forever.
+        for slot in 0..self.transfers.len() {
+            let Some(purpose) = self.transfers[slot] else { continue };
+            let (child, src_spad) = match purpose {
+                Purpose::InputEdge { child, src_spad, .. } => (child, src_spad),
+                Purpose::DramInput { child, .. } => (child, None),
+                Purpose::WriteBack { .. } => continue,
+            };
+            if child.instance != instance {
+                continue;
+            }
+            let id = self.transfer_ids[slot].expect("tracked transfer has an id");
+            self.engine.cancel(id, self.now);
+            self.service_stats.timeout_cancelled_xfers += 1;
+            self.transfers[slot] = None;
+            if let Some((si, sp)) = src_spad {
+                let p = &mut self.insts[si].parts[sp];
+                p.ongoing_reads = p.ongoing_reads.saturating_sub(1);
+            }
+        }
+        // Release units whose resident task belongs to the instance and
+        // has not started computing (compute is non-preemptive; it drains
+        // and is discarded at completion).
+        for i in 0..self.insts.len() {
+            let held = self.insts[i]
+                .running
+                .as_ref()
+                .is_some_and(|r| r.key.instance == instance && r.phase != RunPhase::Compute);
+            if !held {
+                continue;
+            }
+            let r = self.insts[i].running.take().expect("checked above");
+            if r.out_part != usize::MAX {
+                let part = &mut self.insts[i].parts[r.out_part];
+                debug_assert_eq!(part.holder, Some(r.key));
+                part.holder = None;
+            }
+        }
+    }
+
+    /// Feeds one request outcome of `tenant` into its circuit breaker.
+    /// Outcomes of requests admitted before an open neither close nor
+    /// re-open it; the half-open transition happens lazily at arrivals.
+    fn breaker_outcome(&mut self, tenant: usize, success: bool) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        let mut b = self.breakers[tenant];
+        match (b.phase, success) {
+            (BreakerPhase::Closed, true) => b.failures = 0,
+            (BreakerPhase::Closed, false) => {
+                b.failures += 1;
+                if b.failures >= self.heal.breaker_failures {
+                    b.phase = BreakerPhase::Open;
+                    b.opened_at = self.now;
+                    let failures = b.failures;
+                    self.tracer.emit(self.now.as_ps(), || EventKind::BreakerOpened {
+                        tenant: tenant as u32,
+                        failures,
+                    });
+                }
+            }
+            (BreakerPhase::HalfOpen, true) => {
+                b.successes += 1;
+                if b.successes >= self.heal.probes_to_close {
+                    b.phase = BreakerPhase::Closed;
+                    b.failures = 0;
+                    let open_ps = self.now.saturating_since(b.opened_at).as_ps();
+                    self.service_stats.open_hist.record(open_ps);
+                    self.tracer.emit(self.now.as_ps(), || EventKind::BreakerClosed {
+                        tenant: tenant as u32,
+                        open_ps,
+                    });
+                }
+            }
+            (BreakerPhase::HalfOpen, false) => {
+                // A failed probe re-opens immediately: the failure count
+                // reported is the probe itself.
+                b.phase = BreakerPhase::Open;
+                b.opened_at = self.now;
+                b.failures = 0;
+                self.tracer.emit(self.now.as_ps(), || EventKind::BreakerOpened {
+                    tenant: tenant as u32,
+                    failures: 1,
+                });
+            }
+            (BreakerPhase::Open, _) => {}
+        }
+        self.breakers[tenant] = b;
     }
 
     // ------------------------------------------------------------------
@@ -982,6 +1397,11 @@ impl SocSim {
                 ) else {
                     break;
                 };
+                if self.cancels_on && self.dags[entry.key.instance as usize].cancelled {
+                    // Reclaimed queue slot: a timed-out request's entry is
+                    // dropped on pop, leaving the unit to live work.
+                    continue;
+                }
                 let chosen = match pin {
                     // A placement-aware policy (schedule replay) pins the
                     // instance; it only releases a task whose pin is idle.
@@ -1308,6 +1728,19 @@ impl SocSim {
         let r = self.insts[inst_idx].running.take().expect("compute was running");
         debug_assert_eq!(r.phase, RunPhase::Compute);
         let key = r.key;
+        // A timed-out (cancelled) request's node drains without
+        // publishing: the output is discarded, the partition freed, and
+        // the unit picks up live work. No `ComputeEnd` is emitted and no
+        // fault verdict is drawn — the request's outcome is already
+        // settled.
+        if self.cancels_on && self.dags[key.instance as usize].cancelled {
+            let part = &mut self.insts[inst_idx].parts[r.out_part];
+            debug_assert_eq!(part.holder, Some(key));
+            part.holder = None;
+            self.retry_stalled();
+            self.try_launch_all();
+            return;
+        }
         // Transient task fault (relief-fault): the attempt consumed its
         // resources, but the output is corrupt — discard and recover
         // instead of publishing. No `ComputeEnd` is emitted, so every
@@ -1501,8 +1934,13 @@ impl SocSim {
         stats.dag_runtimes.push(runtime);
         if self.stream_on {
             // The request's in-flight slot frees; its end-to-end sojourn
-            // feeds the steady-state (post-warm-up) histogram.
+            // feeds the steady-state (post-warm-up) histogram. The sojourn
+            // is anchored to the request's *first* arrival, so a hedged
+            // completion reports the time the client actually waited
+            // (identical to `runtime` when hedging is off).
             self.admission.release();
+            let sojourn =
+                self.now.saturating_since(self.dags[instance as usize].first_arrival);
             let class = self.tenant_class[app_idx];
             let c = &mut self.service_stats.classes[class.index()];
             c.completed += 1;
@@ -1510,13 +1948,18 @@ impl SocSim {
                 c.dag_deadlines_met += 1;
             }
             if self.now.as_ps() >= self.service_stats.warmup_ps {
-                self.service_stats.classes[class.index()].sojourn.record(runtime.as_ps());
+                self.service_stats.classes[class.index()].sojourn.record(sojourn.as_ps());
+            }
+            if self.heal.enabled() {
+                let attempt = self.dags[instance as usize].attempt;
+                self.service_stats.retry_hist.record(u64::from(attempt));
+                self.breaker_outcome(app_idx, true);
             }
             self.tracer.emit(self.now.as_ps(), || EventKind::RequestCompleted {
                 tenant: app_idx as u32,
                 instance,
                 class: sclass(class),
-                sojourn_ps: runtime.as_ps(),
+                sojourn_ps: sojourn.as_ps(),
                 met,
             });
         }
@@ -1578,8 +2021,11 @@ impl SocSim {
             if self.stream_on && !was_aborted {
                 // The instance will never complete; free its in-flight
                 // slot exactly once (later sibling aborts must not
-                // double-release).
+                // double-release). An aborted request is a failure the
+                // tenant's circuit breaker must see.
                 self.admission.release();
+                let tenant = self.dags[key.instance as usize].app_idx;
+                self.breaker_outcome(tenant, false);
             }
             self.tracer.emit(self.now.as_ps(), || EventKind::TaskAborted {
                 task: tref(key),
@@ -1596,6 +2042,9 @@ impl SocSim {
     /// is *not* a forwarding candidate, so RELIEF's feasibility check sees
     /// it without escalating it) and re-insert it.
     fn on_requeue(&mut self, key: TaskKey) {
+        if self.dags[key.instance as usize].cancelled {
+            return; // the request timed out while the retry backed off
+        }
         debug_assert_eq!(self.node_rt(key).phase, NodePhase::Waiting);
         let attempt = self.node_rt(key).attempts;
         let acc = {
@@ -1637,8 +2086,10 @@ impl SocSim {
         self.tracer
             .emit(self.now.as_ps(), || EventKind::UnitRestored { inst: inst_idx as u32 });
         self.events.push(self.now, Ev::Launch);
+        // Cancelled instances never finish their remaining nodes, so they
+        // must not keep the outage stream (and thus the run) alive.
         let outstanding = self.pending_arrivals > 0
-            || self.dags.iter().any(|d| !d.aborted && d.remaining > 0);
+            || self.dags.iter().any(|d| !d.aborted && !d.cancelled && d.remaining > 0);
         self.next_outage[inst_idx] = if outstanding {
             let next = self.outage_iters[inst_idx].next();
             if let Some(w) = next {
@@ -1691,12 +2142,37 @@ impl SocSim {
         let slot = id.slot();
         if slot >= self.transfers.len() {
             self.transfers.resize(slot + 1, None);
+            self.transfer_ids.resize(slot + 1, None);
+            self.chunk_seq.resize(slot + 1, 0);
         }
         debug_assert!(self.transfers[slot].is_none(), "slot reused while purpose still tracked");
         self.transfers[slot] = Some(purpose);
+        self.transfer_ids[slot] = Some(id);
+        self.chunk_seq[slot] = 0;
     }
 
     fn on_chunk(&mut self, id: TransferId) {
+        if self.cancels_on && !self.engine.is_live(id) {
+            // The transfer was cancelled (ECC invalidation or request
+            // timeout) after this chunk event was scheduled.
+            return;
+        }
+        // Per-chunk ECC verdict on forwarded edges (relief-fault): each
+        // chunk event marks one chunk's arrival, so the chunk that just
+        // landed is checked before the engine advances the transfer.
+        if self.fault.enabled() {
+            if let Some(Purpose::InputEdge { child, parent, src_spad: Some(src), attempt, dst }) =
+                self.transfers[id.slot()]
+            {
+                let chunk = self.chunk_seq[id.slot()];
+                self.chunk_seq[id.slot()] = chunk + 1;
+                if self.fault.ecc_chunk_faults(child.instance, child.node, parent.node, chunk, attempt)
+                {
+                    self.on_ecc_fault(id, child, parent, src, attempt, dst);
+                    return;
+                }
+            }
+        }
         match self.engine.on_chunk_done(id, self.now) {
             Progress::Chunk(next) => self.events.push(next, Ev::Chunk(id)),
             Progress::Done { start, end, bytes } => {
@@ -1803,6 +2279,79 @@ impl SocSim {
         self.retry_stalled();
     }
 
+    /// A forwarded chunk failed its ECC check: the forwarding window is
+    /// invalidated. The whole transfer is cancelled (chunks that already
+    /// moved keep their attribution — the bytes crossed the wire before
+    /// failing verification), the producer partition's reader count
+    /// drops, and after a bounded backoff the edge re-fetches the
+    /// parent's checkpointed DRAM copy — which exists by construction,
+    /// since fault injection forces write-backs.
+    fn on_ecc_fault(
+        &mut self,
+        id: TransferId,
+        child: TaskKey,
+        parent: TaskKey,
+        src: (usize, usize),
+        attempt: u32,
+        dst: usize,
+    ) {
+        self.fault_stats.ecc_faults += 1;
+        self.fault_stats.forward_invalidations += 1;
+        self.dags[child.instance as usize].faults += 1;
+        let moved = self.engine.cancel(id, self.now);
+        self.transfers[id.slot()] = None;
+        self.account_mem_time(child, moved, true);
+        let (si, sp) = src;
+        {
+            let p = &mut self.insts[si].parts[sp];
+            p.ongoing_reads = p.ongoing_reads.saturating_sub(1);
+        }
+        self.tracer.emit(self.now.as_ps(), || EventKind::EccCorrupted {
+            task: tref(child),
+            parent: tref(parent),
+            attempt,
+        });
+        let backoff = Dur::from_ps(self.fault.backoff_ps(attempt));
+        let req = Refetch { child, parent, attempt: attempt + 1, dst: dst as u32 };
+        let idx = match self.free_refetches.pop() {
+            Some(i) => {
+                self.refetches[i as usize] = req;
+                i
+            }
+            None => {
+                self.refetches.push(req);
+                self.refetches.len() as u32 - 1
+            }
+        };
+        self.events.push(self.now + backoff, Ev::EccRefetch(idx));
+        // The released reader may unblock a partition claim.
+        self.retry_stalled();
+    }
+
+    /// An ECC invalidation's backoff expired: re-read the corrupted edge
+    /// from DRAM. The consumer cannot have moved (tasks are
+    /// non-preemptive and it is still in its input phase); if its request
+    /// was cancelled in the meantime the re-fetch is dropped — the unit
+    /// was already released.
+    fn on_ecc_refetch(&mut self, idx: u32) {
+        let Refetch { child, parent, attempt, dst } = self.refetches[idx as usize];
+        self.free_refetches.push(idx);
+        let dst = dst as usize;
+        if self.dags[child.instance as usize].cancelled {
+            return;
+        }
+        let bytes = {
+            let d = &self.dags[child.instance as usize];
+            d.dag.node(NodeId(parent.node)).output_bytes
+        };
+        self.spad_access_bytes += bytes; // the retry rewrites the local SPAD
+        self.node_rt_mut(child).actual_bytes += bytes;
+        let route = Route { src: Port::Dram, dst: Port::Spad(dst) };
+        let (id, first) = self.engine.begin(route, bytes, dst, self.now);
+        self.track(id, Purpose::InputEdge { child, parent, src_spad: None, attempt, dst });
+        self.events.push(first, Ev::Chunk(id));
+    }
+
     /// Charges a transfer's *service* time (volume over the path's peak
     /// bandwidth) to its application. Table II's "Memory" columns are sum
     /// totals that do not account for overlap, so queuing delay — which
@@ -1869,6 +2418,35 @@ impl SocSim {
         }
     }
 
+    /// Conservation invariants, checked at the end of every run in debug
+    /// builds and under the `invariants` feature:
+    ///
+    /// * bytes begun == bytes completed + bytes cancelled (once no
+    ///   transfer is in flight — a truncated run legitimately leaves
+    ///   in-flight remainders);
+    /// * each instance's `remaining` counter equals its count of
+    ///   not-completed nodes, so no task is ever both completed and
+    ///   cancelled/aborted.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn check_invariants(&self) {
+        let (begun, completed, cancelled) = self.engine.byte_ledger();
+        if !self.truncated && self.transfers.iter().all(Option::is_none) {
+            assert_eq!(
+                begun,
+                completed + cancelled,
+                "byte conservation violated: begun {begun} != completed {completed} \
+                 + cancelled {cancelled}"
+            );
+        }
+        for (i, d) in self.dags.iter().enumerate() {
+            let not_done = d.nodes.iter().filter(|n| n.phase != NodePhase::Done).count();
+            assert_eq!(
+                d.remaining, not_done,
+                "instance {i}: remaining counter disagrees with node phases"
+            );
+        }
+    }
+
     /// Retries every task stalled in `WaitPartition`.
     fn retry_stalled(&mut self) {
         for i in 0..self.insts.len() {
@@ -1887,6 +2465,9 @@ impl SocSim {
     // ------------------------------------------------------------------
 
     fn finalize(mut self) -> SimResult {
+        self.fault_stats.channel_outages = self.engine.channel_outages_applied();
+        #[cfg(any(debug_assertions, feature = "invariants"))]
+        self.check_invariants();
         // Data-movement prediction errors (Table VIII): compare per
         // completed node once all movement is settled.
         for d in &self.dags {

@@ -1,0 +1,56 @@
+//! Chaos campaign: degradation curves under combined fault and overload
+//! pressure with the self-healing service stack on, per policy, on the
+//! deterministic campaign engine.
+//!
+//! ```sh
+//! cargo run --release -p relief-bench --bin chaos
+//! cargo run --release -p relief-bench --bin chaos -- \
+//!     --fault-rate 0,0.005,0.02 --rate 150,400 --jobs 4
+//! ```
+//!
+//! The report is byte-identical at any `--jobs`: every cell's fault and
+//! arrival plans are pure functions of its platform label (see
+//! `relief_bench::chaos`).
+
+use relief_bench::campaign::execute;
+use relief_bench::chaos::parse_cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (spec, opts) = match parse_cli(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: chaos [--fault-seed N] [--stream-seed N] \
+                 [--fault-rate R[,R...]] [--rate R[,R...]] [--dram-mttf-us N] \
+                 [--duration-us N] [--warmup-us N] [--max-in-flight N] \
+                 [--jobs N] [--no-cache]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let campaign = spec.campaign();
+    eprintln!(
+        "campaign 'chaos' (hash {:016x}): {} runs on {} worker(s)",
+        campaign.hash(),
+        campaign.expand().len(),
+        opts.jobs,
+    );
+    let results = execute(campaign.expand(), &opts);
+    let mut failed = false;
+    for (label, msg) in results.failures() {
+        eprintln!("run {label} panicked: {msg}");
+        failed = true;
+    }
+    for (label, mismatches) in results.mismatched() {
+        eprintln!("run {label} failed event/stats reconciliation: {mismatches:?}");
+        failed = true;
+    }
+    print!("{}", spec.render(&results));
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

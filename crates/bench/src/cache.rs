@@ -48,14 +48,14 @@ use std::path::{Path, PathBuf};
 /// On-disk schema identifier; the first token of every entry. Bump the
 /// version suffix whenever the serialized layout changes shape — old
 /// entries then parse as misses instead of garbage.
-pub const SCHEMA: &str = "relief-campaign-cache/v1";
+pub const SCHEMA: &str = "relief-campaign-cache/v2";
 
 /// Code-version salt folded into every content address. Bump whenever
 /// simulator *semantics* change (anything that can alter a `SimResult`
 /// byte), so every stale entry misses at once. The `xtask check`
 /// cache-hygiene step asserts the on-disk cache contains no entries
 /// written under another salt.
-pub const CODE_SALT: &str = "relief-sim/2026-08-09.data-oriented-core";
+pub const CODE_SALT: &str = "relief-sim/2026-08-09.chaos-hardened-serving";
 
 /// Default cache location, relative to the working directory.
 pub const DEFAULT_DIR: &str = "target/campaign-cache";
@@ -523,6 +523,9 @@ fn write_run_stats(w: &mut Writer, s: &RunStats) {
         s.faults.recovered,
         s.faults.unit_quarantines,
         s.faults.fault_attributed_misses,
+        s.faults.ecc_faults,
+        s.faults.forward_invalidations,
+        s.faults.channel_outages,
     ] {
         w.u64(v);
     }
@@ -534,6 +537,9 @@ fn write_run_stats(w: &mut Writer, s: &RunStats) {
             c.admitted,
             c.shed_bucket,
             c.shed_capacity,
+            c.shed_breaker,
+            c.timed_out,
+            c.hedged,
             c.completed,
             c.dag_deadlines_met,
             c.nodes_measured,
@@ -544,6 +550,9 @@ fn write_run_stats(w: &mut Writer, s: &RunStats) {
         w.hist(&c.sojourn);
         w.hist(&c.node_latency);
     }
+    w.u64(s.service.timeout_cancelled_xfers);
+    w.hist(&s.service.retry_hist);
+    w.hist(&s.service.open_hist);
 }
 
 fn read_run_stats(r: &mut Reader) -> Option<RunStats> {
@@ -599,6 +608,9 @@ fn read_run_stats(r: &mut Reader) -> Option<RunStats> {
         recovered: r.u64()?,
         unit_quarantines: r.u64()?,
         fault_attributed_misses: r.u64()?,
+        ecc_faults: r.u64()?,
+        forward_invalidations: r.u64()?,
+        channel_outages: r.u64()?,
     };
     let mut service = ServiceStats {
         warmup_ps: r.u64()?,
@@ -611,6 +623,9 @@ fn read_run_stats(r: &mut Reader) -> Option<RunStats> {
             admitted: r.u64()?,
             shed_bucket: r.u64()?,
             shed_capacity: r.u64()?,
+            shed_breaker: r.u64()?,
+            timed_out: r.u64()?,
+            hedged: r.u64()?,
             completed: r.u64()?,
             dag_deadlines_met: r.u64()?,
             nodes_measured: r.u64()?,
@@ -619,6 +634,9 @@ fn read_run_stats(r: &mut Reader) -> Option<RunStats> {
             node_latency: r.hist()?,
         };
     }
+    service.timeout_cancelled_xfers = r.u64()?;
+    service.retry_hist = r.hist()?;
+    service.open_hist = r.hist()?;
     Some(RunStats {
         policy,
         exec_time,
@@ -636,7 +654,7 @@ fn read_run_stats(r: &mut Reader) -> Option<RunStats> {
 }
 
 /// `EventCounters` fields, in declaration order — the serialized layout.
-fn counter_fields(c: &EventCounters) -> [u64; 30] {
+fn counter_fields(c: &EventCounters) -> [u64; 39] {
     [
         c.events_dispatched,
         c.tasks_completed,
@@ -668,6 +686,15 @@ fn counter_fields(c: &EventCounters) -> [u64; 30] {
         c.requests_shed_bucket,
         c.requests_shed_capacity,
         c.requests_completed,
+        c.ecc_faults,
+        c.dma_cancels,
+        c.channel_outages,
+        c.requests_shed_breaker,
+        c.requests_timed_out,
+        c.hedges_launched,
+        c.breaker_opens,
+        c.breaker_half_opens,
+        c.breaker_closes,
     ]
 }
 
@@ -679,7 +706,7 @@ fn write_counters(w: &mut Writer, c: &EventCounters) {
 
 fn read_counters(r: &mut Reader) -> Option<EventCounters> {
     let mut c = EventCounters::default();
-    let slots: [&mut u64; 30] = [
+    let slots: [&mut u64; 39] = [
         &mut c.events_dispatched,
         &mut c.tasks_completed,
         &mut c.dags_arrived,
@@ -710,6 +737,15 @@ fn read_counters(r: &mut Reader) -> Option<EventCounters> {
         &mut c.requests_shed_bucket,
         &mut c.requests_shed_capacity,
         &mut c.requests_completed,
+        &mut c.ecc_faults,
+        &mut c.dma_cancels,
+        &mut c.channel_outages,
+        &mut c.requests_shed_breaker,
+        &mut c.requests_timed_out,
+        &mut c.hedges_launched,
+        &mut c.breaker_opens,
+        &mut c.breaker_half_opens,
+        &mut c.breaker_closes,
     ];
     for slot in slots {
         *slot = r.u64()?;

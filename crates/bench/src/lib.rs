@@ -132,6 +132,7 @@ mod tests {
 }
 pub mod cache;
 pub mod campaign;
+pub mod chaos;
 pub mod experiments;
 pub mod microbench;
 pub mod oracle;

@@ -19,13 +19,15 @@ use relief_accel::{AppSpec, SocConfig};
 use relief_core::PolicyKind;
 use relief_metrics::report::Table;
 use relief_metrics::{Histogram, RunStats, SERVICE_CLASSES};
-use relief_service::{AdmissionConfig, ArrivalProcess, QosClass, StreamConfig, TenantCfg};
+use relief_service::{
+    AdmissionConfig, ArrivalProcess, QosClass, SelfHealConfig, StreamConfig, TenantCfg,
+};
 use relief_workloads::App;
 use std::fmt::Write as _;
 
 /// The fixed tenant trio every service cell streams: one app per QoS
 /// class, covering a vision pipeline, a small RNN, and a large RNN.
-const TENANT_APPS: [(App, QosClass); 3] = [
+pub(crate) const TENANT_APPS: [(App, QosClass); 3] = [
     (App::Canny, QosClass::Latency),
     (App::Gru, QosClass::Standard),
     (App::Lstm, QosClass::BestEffort),
@@ -115,6 +117,7 @@ impl ServiceSpec {
             } else {
                 AdmissionConfig::default()
             },
+            self_heal: SelfHealConfig::default(),
         }
     }
 

@@ -28,6 +28,17 @@
 //!   MTTF-derived schedule. It finishes its current task (quarantine is
 //!   non-preemptive), is removed from the dispatch candidate set and from
 //!   the forwarding source set, and rejoins when its restore fires.
+//! * **DRAM-channel outage** — the main-memory channel blacks out on its
+//!   own MTTF-derived schedule (same stateless seeding as unit outages,
+//!   separate hash domain). No new chunk may begin service inside a
+//!   blackout window; chunks already in flight complete.
+//! * **Per-chunk ECC corruption** — one chunk of a *forwarded*
+//!   (scratchpad-to-scratchpad) input transfer fails its ECC check. The
+//!   whole transfer is cancelled, the forwarding window is considered
+//!   invalidated, and the edge re-fetches from DRAM after the same
+//!   bounded exponential backoff task retries use. Chunks of DRAM reads
+//!   never fault (the modeled DRAM path is ECC-verified end to end), so
+//!   every edge delivery terminates.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
@@ -73,6 +84,15 @@ pub struct FaultConfig {
     pub unit_mttf_ps: u64,
     /// Repair (quarantine) duration of a failed unit, in picoseconds.
     pub unit_repair_ps: u64,
+    /// Probability that one chunk of a forwarded (SPAD-to-SPAD) input
+    /// transfer fails its ECC check, in `[0, 1)`. A corrupt chunk cancels
+    /// the transfer and forces a backed-off re-fetch from DRAM.
+    pub ecc_chunk_rate: f64,
+    /// Mean time to failure of the DRAM channel, in picoseconds.
+    /// `0` disables channel outages.
+    pub dram_mttf_ps: u64,
+    /// Blackout duration of a failed DRAM channel, in picoseconds.
+    pub dram_repair_ps: u64,
 }
 
 impl Default for FaultConfig {
@@ -85,6 +105,9 @@ impl Default for FaultConfig {
             retry_backoff_ps: 2_000_000, // 2 us
             unit_mttf_ps: 0,
             unit_repair_ps: 400_000_000, // 400 us
+            ecc_chunk_rate: 0.0,
+            dram_mttf_ps: 0,
+            dram_repair_ps: 50_000_000, // 50 us
         }
     }
 }
@@ -106,7 +129,11 @@ impl FaultConfig {
     /// When false, the simulator takes no fault-layer branches at all.
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.task_fault_rate > 0.0 || self.dma_fault_rate > 0.0 || self.unit_mttf_ps > 0
+        self.task_fault_rate > 0.0
+            || self.dma_fault_rate > 0.0
+            || self.unit_mttf_ps > 0
+            || self.ecc_chunk_rate > 0.0
+            || self.dram_mttf_ps > 0
     }
 
     /// Validates the configuration.
@@ -117,9 +144,11 @@ impl FaultConfig {
     /// rate is outside `[0, 1)` or non-finite, or an enabled outage model
     /// has a zero repair time.
     pub fn validate(&self) -> Result<(), FaultConfigError> {
-        for (name, rate) in
-            [("task_fault_rate", self.task_fault_rate), ("dma_fault_rate", self.dma_fault_rate)]
-        {
+        for (name, rate) in [
+            ("task_fault_rate", self.task_fault_rate),
+            ("dma_fault_rate", self.dma_fault_rate),
+            ("ecc_chunk_rate", self.ecc_chunk_rate),
+        ] {
             if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
                 return Err(FaultConfigError(format!("{name} must be in [0, 1), got {rate}")));
             }
@@ -127,6 +156,11 @@ impl FaultConfig {
         if self.unit_mttf_ps > 0 && self.unit_repair_ps == 0 {
             return Err(FaultConfigError(
                 "unit_repair_ps must be nonzero when unit_mttf_ps is set".into(),
+            ));
+        }
+        if self.dram_mttf_ps > 0 && self.dram_repair_ps == 0 {
+            return Err(FaultConfigError(
+                "dram_repair_ps must be nonzero when dram_mttf_ps is set".into(),
             ));
         }
         Ok(())
@@ -138,6 +172,8 @@ impl FaultConfig {
 const DOMAIN_TASK: u8 = 1;
 const DOMAIN_DMA: u8 = 2;
 const DOMAIN_UNIT: u8 = 3;
+const DOMAIN_CHANNEL: u8 = 4;
+const DOMAIN_ECC: u8 = 5;
 
 /// One scheduled unit outage window, in picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,6 +296,36 @@ impl FaultPlan {
         )
     }
 
+    /// Whether chunk `chunk` of delivery attempt `attempt` of the
+    /// forwarded input transfer into task `(instance, node)` from `parent`
+    /// fails its ECC check. Attempts at or beyond
+    /// [`FaultConfig::max_retries`] never fault (the fallback DRAM read is
+    /// ECC-verified), so edge deliveries stay bounded. The chunk index is
+    /// folded in at 24 bits and the attempt at 8, which covers every
+    /// transfer the simulator models (chunks are 4 KiB, payloads well
+    /// under 64 GiB, retry budgets single-digit).
+    #[must_use]
+    pub fn ecc_chunk_faults(
+        &self,
+        instance: u32,
+        node: u32,
+        parent: u32,
+        chunk: u32,
+        attempt: u32,
+    ) -> bool {
+        if attempt >= self.cfg.max_retries {
+            return false;
+        }
+        self.decide(
+            DOMAIN_ECC,
+            (u64::from(instance) << 32) | u64::from(node),
+            (u64::from(parent) << 32)
+                | (u64::from(chunk & 0x00FF_FFFF) << 8)
+                | u64::from(attempt & 0xFF),
+            self.cfg.ecc_chunk_rate,
+        )
+    }
+
     /// Re-dispatch delay after fault number `attempt` of a task, in
     /// picoseconds: exponential backoff with a shift cap so the delay
     /// saturates instead of overflowing.
@@ -286,6 +352,25 @@ impl FaultPlan {
         }
     }
 
+    /// The blackout schedule of the DRAM channel: an infinite iterator of
+    /// non-overlapping windows, seeded exactly like unit outages but in
+    /// its own hash domain. Empty when channel outages are disabled.
+    #[must_use]
+    pub fn channel_outages(&self) -> OutageSchedule {
+        OutageSchedule {
+            rng: SplitMix64::new(fnv1a(&{
+                let mut bytes = [0u8; 17];
+                bytes[..8].copy_from_slice(&self.cfg.seed.to_le_bytes());
+                bytes[8] = DOMAIN_CHANNEL;
+                bytes[9..17].copy_from_slice(&0u64.to_le_bytes());
+                bytes
+            })),
+            at_ps: 0,
+            mttf_ps: self.cfg.dram_mttf_ps,
+            repair_ps: self.cfg.dram_repair_ps,
+        }
+    }
+
     /// A canonical, byte-comparable rendering of the fault schedule over
     /// `insts` accelerator units and task/DMA identities up to
     /// `(instances, nodes)`: the determinism tests compare two plans'
@@ -300,6 +385,13 @@ impl FaultPlan {
             }
             out.push('\n');
         }
+        if self.cfg.dram_mttf_ps > 0 {
+            out.push_str("channel:");
+            for w in self.channel_outages().take(8) {
+                out.push_str(&format!(" {}..{}", w.down_ps, w.up_ps));
+            }
+            out.push('\n');
+        }
         for d in 0..instances {
             for n in 0..nodes {
                 for attempt in 0..=self.cfg.max_retries {
@@ -308,6 +400,10 @@ impl FaultPlan {
                     }
                     if self.dma_faults(d, n, u32::MAX, attempt) {
                         out.push_str(&format!("dma d{d}:n{n} dram a{attempt}\n"));
+                    }
+                    if self.cfg.ecc_chunk_rate > 0.0 && self.ecc_chunk_faults(d, n, 0, 0, attempt)
+                    {
+                        out.push_str(&format!("ecc d{d}:n{n} c0 a{attempt}\n"));
                     }
                 }
             }
@@ -417,6 +513,65 @@ mod tests {
         // Different units get different schedules.
         let c: Vec<Outage> = plan.outages(4).take(16).collect();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn memory_side_knobs_enable_and_validate() {
+        let cfg = FaultConfig { ecc_chunk_rate: 0.01, ..FaultConfig::default() };
+        assert!(cfg.enabled());
+        cfg.validate().unwrap();
+        let cfg = FaultConfig { dram_mttf_ps: 1_000_000, ..FaultConfig::default() };
+        assert!(cfg.enabled());
+        cfg.validate().unwrap();
+        let bad = FaultConfig { ecc_chunk_rate: 1.0, ..FaultConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = FaultConfig { dram_mttf_ps: 10, dram_repair_ps: 0, ..FaultConfig::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn ecc_verdicts_are_pure_bounded_and_chunk_sensitive() {
+        let cfg = FaultConfig { ecc_chunk_rate: 0.5, max_retries: 2, ..FaultConfig::default() };
+        let a = FaultPlan::new(cfg.clone());
+        let b = FaultPlan::new(cfg);
+        let fwd: Vec<bool> = (0..256).map(|c| a.ecc_chunk_faults(1, 2, 0, c, 0)).collect();
+        let again: Vec<bool> = (0..256).map(|c| b.ecc_chunk_faults(1, 2, 0, c, 0)).collect();
+        assert_eq!(fwd, again, "ECC verdicts must be pure functions of identity");
+        assert!(fwd.iter().any(|&v| v), "rate 0.5 over 256 chunks must corrupt something");
+        assert!(!fwd.iter().all(|&v| v));
+        // The fallback attempt never faults, so re-fetches terminate.
+        for c in 0..256 {
+            assert!(!a.ecc_chunk_faults(1, 2, 0, c, 2));
+        }
+        // Distinct chunks of one transfer get independent verdicts.
+        let other_attempt: Vec<bool> =
+            (0..256).map(|c| a.ecc_chunk_faults(1, 2, 0, c, 1)).collect();
+        assert_ne!(fwd, other_attempt, "attempts must not alias");
+    }
+
+    #[test]
+    fn channel_outages_are_deterministic_and_distinct_from_units() {
+        let cfg = FaultConfig {
+            unit_mttf_ps: 10_000_000,
+            dram_mttf_ps: 10_000_000,
+            dram_repair_ps: 1_000_000,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(cfg.clone());
+        let a: Vec<Outage> = plan.channel_outages().take(16).collect();
+        let b: Vec<Outage> = FaultPlan::new(cfg).channel_outages().take(16).collect();
+        assert_eq!(a, b);
+        let mut last = 0;
+        for w in &a {
+            assert!(w.down_ps > last && w.up_ps > w.down_ps);
+            last = w.up_ps;
+        }
+        // The channel schedule must not alias accelerator unit 0's.
+        let unit0: Vec<u64> = plan.outages(0).take(16).map(|w| w.down_ps).collect();
+        let chan: Vec<u64> = a.iter().map(|w| w.down_ps).collect();
+        assert_ne!(unit0, chan, "channel and unit outage domains must differ");
+        // Disabled channel outages yield nothing.
+        assert_eq!(FaultPlan::new(FaultConfig::default()).channel_outages().next(), None);
     }
 
     #[test]

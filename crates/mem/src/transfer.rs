@@ -146,6 +146,53 @@ fn spad_of(x: i32) -> Option<usize> {
     if x < 0 { None } else { Some(x as usize) }
 }
 
+/// DRAM-channel blackout schedule: a lazily drawn stream of
+/// `(down_ps, up_ps)` windows during which no new chunk may start on a
+/// DRAM route. The feed is typically infinite (MTTF-derived, stateless
+/// seeded — see `relief-fault`), so only the frontier window is held;
+/// DRAM-route chunk starts are non-decreasing (each chunk reserves the
+/// channel from its gated start), which is what lets the cursor advance
+/// monotonically through the stream.
+struct DramOutages {
+    feed: Box<dyn Iterator<Item = (u64, u64)>>,
+    /// The frontier window: every earlier window has already been passed.
+    next: (u64, u64),
+    /// Windows that actually delayed a chunk start.
+    applied: u64,
+}
+
+impl fmt::Debug for DramOutages {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DramOutages")
+            .field("next", &self.next)
+            .field("applied", &self.applied)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Pushes a chunk's start time past any DRAM blackout window covering it
+/// and advances the window cursor. Free function over disjoint fields so
+/// both chunk paths can call it while other engine fields are borrowed.
+/// Emits one `ChannelOutage` trace record per window that delays a start.
+fn gate_dram_start(outages: &mut Option<DramOutages>, tracer: &Tracer, mut start: Time) -> Time {
+    let Some(o) = outages.as_mut() else { return start };
+    loop {
+        let (down, up) = o.next;
+        if start.as_ps() < down {
+            return start;
+        }
+        if start.as_ps() < up {
+            o.applied += 1;
+            tracer.emit(start.as_ps(), || EventKind::ChannelOutage { start_ps: down, end_ps: up });
+            start = Time::from_ps(up);
+        }
+        // The window is behind the (possibly pushed) start; fetch the
+        // next one and re-check — consecutive windows never overlap but
+        // a long stall can skip several.
+        o.next = o.feed.next().unwrap_or((u64::MAX, u64::MAX));
+    }
+}
+
 /// Moves bytes along routes through the DRAM channel, the interconnect, and
 /// per-accelerator DMA engines, one chunk at a time.
 ///
@@ -197,6 +244,15 @@ pub struct TransferEngine {
     dram_read_bytes: u64,
     dram_write_bytes: u64,
     spad_to_spad_bytes: u64,
+    /// Conservation ledger: bytes accepted by `begin`, bytes of transfers
+    /// that ran to completion, and bytes of transfers cancelled mid-flight
+    /// (full payloads in all three). At drain,
+    /// `begun == completed + cancelled`.
+    begun_bytes: u64,
+    completed_bytes: u64,
+    cancelled_bytes: u64,
+    /// DRAM-channel blackout windows; `None` when the channel is perfect.
+    dram_outages: Option<DramOutages>,
     tracer: Tracer,
 }
 
@@ -226,8 +282,26 @@ impl TransferEngine {
             dram_read_bytes: 0,
             dram_write_bytes: 0,
             spad_to_spad_bytes: 0,
+            begun_bytes: 0,
+            completed_bytes: 0,
+            cancelled_bytes: 0,
+            dram_outages: None,
             tracer: Tracer::off(),
         }
+    }
+
+    /// Installs a DRAM-channel blackout schedule: no new chunk may start
+    /// on a DRAM route inside any `(down_ps, up_ps)` window. Windows must
+    /// be non-overlapping and sorted; the feed may be infinite (only the
+    /// frontier window is held).
+    pub fn set_dram_outages(&mut self, mut windows: Box<dyn Iterator<Item = (u64, u64)>>) {
+        let next = windows.next().unwrap_or((u64::MAX, u64::MAX));
+        self.dram_outages = Some(DramOutages { feed: windows, next, applied: 0 });
+    }
+
+    /// How many blackout windows have actually delayed a chunk start.
+    pub fn channel_outages_applied(&self) -> u64 {
+        self.dram_outages.as_ref().map_or(0, |o| o.applied)
     }
 
     /// Switches chunk issue to the pre-optimisation cost path (see
@@ -307,6 +381,7 @@ impl TransferEngine {
             Route { dst: Port::Dram, .. } => self.dram_write_bytes += bytes,
             _ => self.spad_to_spad_bytes += bytes,
         }
+        self.begun_bytes += bytes;
         let first = self.issue_chunk(s, now);
         (TransferId { slot, generation }, first)
     }
@@ -336,9 +411,51 @@ impl TransferEngine {
                 queued_ps: h.queued.as_ps(),
             });
             self.slots.release(id.slot, id.generation);
+            self.completed_bytes += bytes;
             return Progress::Done { start, end, bytes };
         }
         Progress::Chunk(self.issue_chunk(s, now))
+    }
+
+    /// Cancels an in-flight transfer: already-issued chunks keep their
+    /// reservations (the bytes moved over the wire), the not-yet-issued
+    /// remainder is rolled back from the route byte attribution, and the
+    /// slot is released — no `DmaEnd` will be emitted. Returns the bytes
+    /// actually moved (issued chunks). Used by ECC forwarding
+    /// invalidation and request-timeout cancellation.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when `id` is stale (already completed or
+    /// cancelled).
+    pub fn cancel(&mut self, id: TransferId, now: Time) -> u64 {
+        self.slots.check(id.slot, id.generation);
+        let s = id.slot as usize;
+        let h = self.hot[s];
+        let total = self.bytes[s];
+        let moved = total - h.remaining;
+        let (route, serial) = (h.route(), self.serial[s]);
+        match route {
+            Route { src: Port::Dram, .. } => self.dram_read_bytes -= h.remaining,
+            Route { dst: Port::Dram, .. } => self.dram_write_bytes -= h.remaining,
+            _ => self.spad_to_spad_bytes -= h.remaining,
+        }
+        self.cancelled_bytes += total;
+        self.tracer.emit(now.as_ps(), || EventKind::DmaCancelled {
+            xfer: serial,
+            dma: h.dma,
+            src: route.src.endpoint(),
+            dst: route.dst.endpoint(),
+            bytes: moved,
+        });
+        self.slots.release(id.slot, id.generation);
+        moved
+    }
+
+    /// True when `id` refers to a still-in-flight transfer — lets callers
+    /// drop stale chunk events for transfers cancelled in the meantime.
+    pub fn is_live(&self, id: TransferId) -> bool {
+        self.slots.is_live(id.slot, id.generation)
     }
 
     /// Issues the next chunk of the transfer in slot `s`; returns its
@@ -382,6 +499,9 @@ impl TransferEngine {
         }
         start = start.max(self.icn.earliest_start(src, dst, now));
         start = start.max(self.dmas[dma].earliest_start(now));
+        if uses_dram {
+            start = gate_dram_start(&mut self.dram_outages, &self.tracer, start);
+        }
 
         let mut end = start;
         if uses_dram {
@@ -447,7 +567,21 @@ impl TransferEngine {
         resources.push(&mut self.dmas[self.hot[s].dma as usize]);
         durs.push(dma_dur);
 
-        let (start, end) = reserve_joint(&mut resources, &durs, now);
+        let (start, end) = if self.dram_outages.is_some() && route.uses_dram() {
+            // The blackout gate sits between the joint earliest-start fold
+            // and the reservations, so `reserve_joint` is inlined here —
+            // identical except for the gate, which both paths apply after
+            // maxing over every involved resource.
+            let mut start = resources.iter().fold(now, |acc, r| acc.max(r.earliest_start(now)));
+            start = gate_dram_start(&mut self.dram_outages, &self.tracer, start);
+            let mut end = start;
+            for (r, &d) in resources.iter_mut().zip(&durs) {
+                end = end.max(r.reserve_from(now, start, d).1);
+            }
+            (start, end)
+        } else {
+            reserve_joint(&mut resources, &durs, now)
+        };
         self.icn.note_busy(start, start + icn_dur);
 
         let h = &mut self.hot[s];
@@ -494,6 +628,14 @@ impl TransferEngine {
     /// Bytes forwarded scratchpad-to-scratchpad so far.
     pub fn spad_to_spad_bytes(&self) -> u64 {
         self.spad_to_spad_bytes
+    }
+
+    /// Conservation ledger `(begun, completed, cancelled)` — full
+    /// payloads accepted by [`begin`](Self::begin), completed, and
+    /// cancelled. With no transfer in flight,
+    /// `begun == completed + cancelled`.
+    pub fn byte_ledger(&self) -> (u64, u64, u64) {
+        (self.begun_bytes, self.completed_bytes, self.cancelled_bytes)
     }
 
     /// The configuration the engine was built with.
@@ -718,6 +860,63 @@ mod tests {
             assert_eq!(fast.dram_write_bytes(), reference.dram_write_bytes());
             assert_eq!(fast.spad_to_spad_bytes(), reference.spad_to_spad_bytes());
         }
+    }
+
+    #[test]
+    fn dram_outage_gate_delays_chunk_starts_identically_on_both_paths() {
+        let windows = vec![(0u64, 1_000_000u64), (3_000_000, 3_500_000)];
+        let run = |reference: bool| {
+            let mut e = TransferEngine::new(MemConfig::default(), 2);
+            e.set_reference_alloc_path(reference);
+            e.set_dram_outages(Box::new(windows.clone().into_iter()));
+            let (a, fa) =
+                e.begin(Route { src: Port::Dram, dst: Port::Spad(0) }, 20_000, 0, Time::ZERO);
+            let (b, fb) =
+                e.begin(Route { src: Port::Spad(0), dst: Port::Spad(1) }, 8_192, 1, Time::ZERO);
+            let ends = drive_concurrent(&mut e, vec![(a, fa), (b, fb)]);
+            (ends, e.channel_outages_applied(), e.dram_busy())
+        };
+        let (fast_ends, fast_applied, fast_busy) = run(false);
+        let (ref_ends, ref_applied, ref_busy) = run(true);
+        assert_eq!(fast_ends, ref_ends);
+        assert_eq!(fast_applied, ref_applied);
+        assert_eq!(fast_busy, ref_busy);
+        // The first window covers t=0, so the DRAM read cannot start
+        // before 1us; the SPAD forward is not gated.
+        assert!(fast_applied >= 1, "window at t=0 must delay the DRAM read");
+        assert!(fast_ends[0] > Time::from_ps(1_000_000));
+        // Without outages the read finishes well before 1us + transfer time.
+        let mut clean = TransferEngine::new(MemConfig::default(), 2);
+        let (id, first) =
+            clean.begin(Route { src: Port::Dram, dst: Port::Spad(0) }, 20_000, 0, Time::ZERO);
+        let (_, clean_end, _) = drive(&mut clean, id, first);
+        assert!(fast_ends[0] >= clean_end + Dur::from_ps(1_000_000));
+    }
+
+    #[test]
+    fn cancel_rolls_back_unissued_bytes_and_keeps_ledger_conserved() {
+        let mut e = TransferEngine::new(MemConfig::default(), 2);
+        let bytes = 65_536;
+        // Complete one transfer fully, then cancel a second after one chunk.
+        let (done_id, f0) =
+            e.begin(Route { src: Port::Dram, dst: Port::Spad(0) }, bytes, 0, Time::ZERO);
+        let (_, end0, _) = drive(&mut e, done_id, f0);
+        let (cancel_id, first) =
+            e.begin(Route { src: Port::Spad(0), dst: Port::Spad(1) }, bytes, 1, end0);
+        assert!(e.is_live(cancel_id));
+        // One chunk has been issued by `begin`; cancel at its completion.
+        let moved = e.cancel(cancel_id, first);
+        assert_eq!(moved, MemConfig::default().chunk_bytes);
+        assert!(!e.is_live(cancel_id));
+        assert_eq!(e.in_flight(), 0);
+        // Attribution keeps only the issued chunk of the cancelled forward.
+        assert_eq!(e.dram_read_bytes(), bytes);
+        assert_eq!(e.spad_to_spad_bytes(), moved);
+        let (begun, completed, cancelled) = e.byte_ledger();
+        assert_eq!(begun, 2 * bytes);
+        assert_eq!(completed, bytes);
+        assert_eq!(cancelled, bytes);
+        assert_eq!(begun, completed + cancelled);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
     let nodes: u64 = stats.apps.values().map(|a| a.nodes_completed).sum();
     let dags: u64 = stats.apps.values().map(|a| a.dags_completed).sum();
     let dags_met: u64 = stats.apps.values().map(|a| a.dag_deadlines_met).sum();
-    let checks: [(&'static str, u64, u64); 19] = [
+    let checks: [(&'static str, u64, u64); 26] = [
         ("tasks_completed", counters.tasks_completed, nodes),
         ("dags_done", counters.dags_done, dags),
         ("dags_met", counters.dags_met, dags_met),
@@ -82,6 +82,17 @@ pub fn reconcile(counters: &EventCounters, stats: &RunStats) -> Vec<Mismatch> {
             stats.service.shed_capacity(),
         ),
         ("requests_completed", counters.requests_completed, stats.service.completed()),
+        ("ecc_faults", counters.ecc_faults, stats.faults.ecc_faults),
+        (
+            "dma_cancels",
+            counters.dma_cancels,
+            stats.faults.forward_invalidations + stats.service.timeout_cancelled_xfers,
+        ),
+        ("channel_outages", counters.channel_outages, stats.faults.channel_outages),
+        ("requests_shed_breaker", counters.requests_shed_breaker, stats.service.shed_breaker()),
+        ("requests_timed_out", counters.requests_timed_out, stats.service.timed_out()),
+        ("hedges_launched", counters.hedges_launched, stats.service.hedged()),
+        ("breaker_closes", counters.breaker_closes, stats.service.open_hist.count()),
     ];
     checks
         .into_iter()
@@ -180,6 +191,32 @@ mod tests {
         let mismatches = reconcile(&counters, &stats);
         assert_eq!(mismatches.len(), 1);
         assert_eq!(mismatches[0].field, "requests_completed");
+    }
+
+    #[test]
+    fn chaos_counters_reconcile() {
+        let (mut counters, mut stats) = consistent_pair();
+        counters.ecc_faults = 2;
+        counters.dma_cancels = 3;
+        counters.channel_outages = 4;
+        counters.requests_shed_breaker = 5;
+        counters.requests_timed_out = 2;
+        counters.hedges_launched = 1;
+        counters.breaker_closes = 1;
+        stats.faults.ecc_faults = 2;
+        stats.faults.forward_invalidations = 2;
+        stats.faults.channel_outages = 4;
+        stats.service.timeout_cancelled_xfers = 1;
+        stats.service.classes[1].shed_breaker = 5;
+        stats.service.classes[1].timed_out = 2;
+        stats.service.classes[1].hedged = 1;
+        stats.service.open_hist = crate::hist::Histogram::new(1_000, 8);
+        stats.service.open_hist.record(500);
+        assert!(reconcile(&counters, &stats).is_empty());
+        stats.faults.forward_invalidations = 3;
+        let mismatches = reconcile(&counters, &stats);
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].field, "dma_cancels");
     }
 
     #[test]

@@ -166,12 +166,19 @@ pub struct FaultStats {
     pub unit_quarantines: u64,
     /// DAG deadline misses on instances that absorbed at least one fault.
     pub fault_attributed_misses: u64,
+    /// Forwarded chunks that failed their ECC check.
+    pub ecc_faults: u64,
+    /// Forwarding windows invalidated by ECC corruption (the edge fell
+    /// back to a DRAM re-fetch after backoff).
+    pub forward_invalidations: u64,
+    /// DRAM-channel blackout windows that delayed a chunk start.
+    pub channel_outages: u64,
 }
 
 impl FaultStats {
     /// Total injected faults of any kind.
     pub fn injected(&self) -> u64 {
-        self.task_faults + self.dma_faults
+        self.task_faults + self.dma_faults + self.ecc_faults
     }
 }
 
@@ -197,6 +204,15 @@ pub struct ClassServiceStats {
     pub shed_bucket: u64,
     /// Requests shed by the class's share of the in-flight cap.
     pub shed_capacity: u64,
+    /// Requests shed by an open (or probing half-open) circuit breaker.
+    /// Zero unless self-healing is enabled.
+    pub shed_breaker: u64,
+    /// Admitted instances cancelled by their request timeout. Zero unless
+    /// self-healing is enabled.
+    pub timed_out: u64,
+    /// Hedged replacement attempts launched after a timeout. Zero unless
+    /// self-healing is enabled.
+    pub hedged: u64,
     /// Admitted instances that ran to completion.
     pub completed: u64,
     /// Completed instances that met their DAG deadline.
@@ -216,7 +232,7 @@ pub struct ClassServiceStats {
 impl ClassServiceStats {
     /// Total shed requests.
     pub fn shed(&self) -> u64 {
-        self.shed_bucket + self.shed_capacity
+        self.shed_bucket + self.shed_capacity + self.shed_breaker
     }
 
     /// Deadline attainment: instances that met the DAG deadline over
@@ -241,6 +257,16 @@ pub struct ServiceStats {
     pub duration_ps: u64,
     /// Per-class breakdowns, indexed per [`SERVICE_CLASSES`].
     pub classes: [ClassServiceStats; 3],
+    /// In-flight transfers cancelled by request timeouts (each also emits
+    /// a `DmaCancelled` trace record). Zero unless self-healing is
+    /// enabled.
+    pub timeout_cancelled_xfers: u64,
+    /// Attempts consumed per completed request (1 = no hedge), recorded
+    /// at completion. Empty unless self-healing is enabled.
+    pub retry_hist: Histogram,
+    /// Time each circuit breaker spent not-closed, recorded when it
+    /// closes again. Empty unless self-healing is enabled.
+    pub open_hist: Histogram,
 }
 
 impl ServiceStats {
@@ -264,6 +290,21 @@ impl ServiceStats {
         self.classes.iter().map(|c| c.shed_capacity).sum()
     }
 
+    /// Total breaker-shed requests across classes.
+    pub fn shed_breaker(&self) -> u64 {
+        self.classes.iter().map(|c| c.shed_breaker).sum()
+    }
+
+    /// Total timed-out instances across classes.
+    pub fn timed_out(&self) -> u64 {
+        self.classes.iter().map(|c| c.timed_out).sum()
+    }
+
+    /// Total hedged replacement attempts across classes.
+    pub fn hedged(&self) -> u64 {
+        self.classes.iter().map(|c| c.hedged).sum()
+    }
+
     /// Total completed instances across classes.
     pub fn completed(&self) -> u64 {
         self.classes.iter().map(|c| c.completed).sum()
@@ -275,7 +316,8 @@ impl ServiceStats {
         if arrivals == 0 {
             0.0
         } else {
-            (self.shed_bucket() + self.shed_capacity()) as f64 / arrivals as f64
+            (self.shed_bucket() + self.shed_capacity() + self.shed_breaker()) as f64
+                / arrivals as f64
         }
     }
 

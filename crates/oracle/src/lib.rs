@@ -391,7 +391,10 @@ impl<'a, F: Fn(PolicyKind) -> SocConfig> Searcher<'a, F> {
 
     /// Strict replay of a schedule prefix through the full simulator.
     fn evaluate(&self, schedule: &Schedule) -> Eval {
-        let cfg = (self.mk_cfg)(SEARCH_POLICY);
+        let mut cfg = (self.mk_cfg)(SEARCH_POLICY);
+        // Prefix replays stop issuing work mid-DAG on purpose; the
+        // drained-with-work-left watchdog would misread that as a hang.
+        cfg.watchdog_window = 0;
         let probe = ProbeSink::shared();
         let tracer = Tracer::to_sink(probe.clone());
         let replay =

@@ -40,6 +40,7 @@ pub mod intern;
 pub mod queue;
 pub mod rng;
 pub mod slab;
+pub mod stall;
 pub mod time;
 pub mod timeline;
 
@@ -48,6 +49,7 @@ pub use intern::{AppId, Intern, InternId, KindId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use slab::SlotAlloc;
+pub use stall::{StallError, StallKind};
 pub use time::{Dur, Time};
 pub use timeline::{BusyStats, Timeline};
 

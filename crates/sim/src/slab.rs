@@ -68,6 +68,18 @@ impl SlotAlloc {
         let _ = (slot, generation);
     }
 
+    /// True when `(slot, generation)` is the slot's current allocation —
+    /// the non-panicking counterpart of [`SlotAlloc::check`] for callers
+    /// that must tolerate stale handles (e.g. an event arriving for a
+    /// transfer that was cancelled in the meantime). Only meaningful for
+    /// handles previously returned by [`SlotAlloc::alloc`]: a released
+    /// slot's bumped generation has not been handed out yet, so no caller
+    /// can hold it.
+    #[must_use]
+    pub fn is_live(&self, slot: u32, generation: u32) -> bool {
+        self.gens.get(slot as usize).copied() == Some(generation)
+    }
+
     /// Number of slots ever allocated — the column length the caller's
     /// arena must maintain.
     #[must_use]
@@ -115,6 +127,20 @@ mod tests {
         a.release(s1, g1);
         assert_eq!(a.live(), 0);
         assert_eq!(a.slots(), 2, "slots() is the high-water mark, not the live count");
+    }
+
+    #[test]
+    fn is_live_rejects_released_handles() {
+        let mut a = SlotAlloc::new();
+        let (slot, generation) = a.alloc();
+        assert!(a.is_live(slot, generation));
+        a.release(slot, generation);
+        assert!(!a.is_live(slot, generation));
+        let (slot2, gen2) = a.alloc();
+        assert_eq!(slot2, slot);
+        assert!(a.is_live(slot2, gen2));
+        assert!(!a.is_live(slot, generation), "old generation stays dead after reuse");
+        assert!(!a.is_live(99, 0), "unknown slots are not live");
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Typed no-progress failure for simulation watchdogs.
+//!
+//! A discrete-event simulation that deadlocks does not hang — it either
+//! drains its queue with work left behind, or spins dispatching events
+//! that never advance any task. Both are bugs in the model (or the
+//! fault-injection layer driving it), and both used to surface as a
+//! wrong-looking result or an unbounded loop. The watchdog in
+//! `relief-accel` converts them into a [`StallError`] carrying a
+//! diagnostic dump assembled at detection time, so a chaos campaign can
+//! fail one cell loudly instead of wedging the whole run.
+
+use std::fmt;
+
+/// Why the watchdog declared the simulation stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// The event queue drained while unfinished, non-abandoned work
+    /// remained — a dependency or bookkeeping deadlock.
+    DrainedWithWorkLeft,
+    /// More than the configured window of events were dispatched without
+    /// any task, transfer, or arrival making progress — a livelock.
+    NoProgressWindow,
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallKind::DrainedWithWorkLeft => write!(f, "event queue drained with work left"),
+            StallKind::NoProgressWindow => write!(f, "no progress within watchdog window"),
+        }
+    }
+}
+
+/// A detected simulation stall: the kind, when it was detected, how many
+/// events had been dispatched, and a free-form diagnostic dump (queue
+/// depths, in-flight transfers, quarantine set) assembled by the layer
+/// that owns that state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallError {
+    /// What kind of stall was detected.
+    pub kind: StallKind,
+    /// Simulated time at detection, picoseconds.
+    pub at_ps: u64,
+    /// Events dispatched up to detection.
+    pub events_dispatched: u64,
+    /// Multi-line diagnostic dump of the stalled state.
+    pub dump: String,
+}
+
+impl fmt::Display for StallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation stalled at {} ps after {} events: {}\n{}",
+            self.at_ps, self.events_dispatched, self.kind, self.dump
+        )
+    }
+}
+
+impl std::error::Error for StallError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_kind_and_dump() {
+        let e = StallError {
+            kind: StallKind::NoProgressWindow,
+            at_ps: 1234,
+            events_dispatched: 99,
+            dump: "queues: [3, 0]".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("stalled at 1234 ps"));
+        assert!(s.contains("after 99 events"));
+        assert!(s.contains("no progress within watchdog window"));
+        assert!(s.contains("queues: [3, 0]"));
+        assert_eq!(
+            StallKind::DrainedWithWorkLeft.to_string(),
+            "event queue drained with work left"
+        );
+    }
+}

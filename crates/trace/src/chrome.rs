@@ -318,6 +318,44 @@ pub fn to_chrome_json(events: &[TraceEvent], opts: &ChromeOptions) -> String {
                 );
                 w.instant(PID_SCHED, TID_APPS, "request-complete", at, &args);
             }
+            EventKind::DmaCancelled { xfer, dma, src, dst, bytes } => {
+                let args = format!(
+                    "\"xfer\":{xfer},\"bytes\":{bytes},\"route\":\"{src}->{dst}\""
+                );
+                w.instant(PID_MEM, TID_DMA_BASE + dma, "dma-cancel", at, &args);
+            }
+            EventKind::ChannelOutage { start_ps, end_ps } => {
+                w.complete(PID_MEM, TID_DRAM, "channel-outage", *start_ps, *end_ps, "");
+            }
+            EventKind::EccCorrupted { task, parent, attempt } => {
+                let args = format!(
+                    "\"task\":\"{task}\",\"parent\":\"{parent}\",\"attempt\":{attempt}"
+                );
+                w.instant(PID_MEM, TID_DRAM, "ecc-corrupt", at, &args);
+            }
+            EventKind::RequestTimedOut { tenant, instance, class, attempt } => {
+                let args = format!(
+                    "\"tenant\":{tenant},\"instance\":{instance},\"class\":\"{class}\",\"attempt\":{attempt}"
+                );
+                w.instant(PID_SCHED, TID_APPS, "request-timeout", at, &args);
+            }
+            EventKind::HedgeLaunched { tenant, instance, attempt } => {
+                let args =
+                    format!("\"tenant\":{tenant},\"instance\":{instance},\"attempt\":{attempt}");
+                w.instant(PID_SCHED, TID_APPS, "hedge-launch", at, &args);
+            }
+            EventKind::BreakerOpened { tenant, failures } => {
+                let args = format!("\"tenant\":{tenant},\"failures\":{failures}");
+                w.instant(PID_SCHED, TID_APPS, "breaker-open", at, &args);
+            }
+            EventKind::BreakerHalfOpen { tenant } => {
+                let args = format!("\"tenant\":{tenant}");
+                w.instant(PID_SCHED, TID_APPS, "breaker-half-open", at, &args);
+            }
+            EventKind::BreakerClosed { tenant, open_ps } => {
+                let args = format!("\"tenant\":{tenant},\"open_us\":{}", us(*open_ps));
+                w.instant(PID_SCHED, TID_APPS, "breaker-close", at, &args);
+            }
         }
     }
     w.finish()

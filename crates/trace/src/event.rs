@@ -114,6 +114,9 @@ pub enum ShedCause {
     Bucket,
     /// The class's share of the global in-flight cap was full.
     Capacity,
+    /// The tenant's circuit breaker was open (or a half-open probe draw
+    /// failed).
+    Breaker,
 }
 
 impl fmt::Display for ShedCause {
@@ -121,6 +124,7 @@ impl fmt::Display for ShedCause {
         match self {
             ShedCause::Bucket => write!(f, "token-bucket"),
             ShedCause::Capacity => write!(f, "in-flight-cap"),
+            ShedCause::Breaker => write!(f, "circuit-breaker"),
         }
     }
 }
@@ -211,6 +215,26 @@ pub enum EventKind {
         start_ps: u64,
         /// Total time chunks spent waiting for resources, picoseconds.
         queued_ps: u64,
+    },
+    /// A DMA transfer was cancelled mid-flight; no `DmaEnd` follows.
+    DmaCancelled {
+        /// Engine-assigned transfer id (matches the `DmaStart`).
+        xfer: u64,
+        /// DMA engine index that carried the transfer.
+        dma: u32,
+        /// Source endpoint.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Bytes actually moved before the cancel (chunks completed).
+        bytes: u64,
+    },
+    /// A DRAM-channel blackout window delayed a chunk start.
+    ChannelOutage {
+        /// Blackout window start, picoseconds.
+        start_ps: u64,
+        /// Blackout window end (chunk starts resume), picoseconds.
+        end_ps: u64,
     },
 
     // ---- relief-core ----
@@ -398,6 +422,16 @@ pub enum EventKind {
         /// Faults (task + DMA) the instance absorbed.
         faults: u64,
     },
+    /// A forwarded chunk failed its ECC check: the in-flight forward was
+    /// cancelled and the edge re-fetches from DRAM after backoff.
+    EccCorrupted {
+        /// The consuming task.
+        task: TaskRef,
+        /// The producing task whose forwarded output was corrupted.
+        parent: TaskRef,
+        /// 0-based delivery attempt that was invalidated.
+        attempt: u32,
+    },
 
     // ---- relief-service ----
     /// The open-loop frontend generated a request (before admission).
@@ -443,6 +477,47 @@ pub enum EventKind {
         /// Whether the DAG deadline was met.
         met: bool,
     },
+    /// An admitted request overran its timeout; its DAG instance was
+    /// cancelled and the admission slot reclaimed.
+    RequestTimedOut {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// DAG instance index of the cancelled attempt.
+        instance: u32,
+        /// The tenant's QoS class.
+        class: ServiceClass,
+        /// 0-based attempt index that timed out (hedges increment it).
+        attempt: u32,
+    },
+    /// A timed-out request was relaunched as a fresh DAG instance under
+    /// the class's hedge budget.
+    HedgeLaunched {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// DAG instance index of the replacement attempt.
+        instance: u32,
+        /// 1-based attempt index of the hedge.
+        attempt: u32,
+    },
+    /// A tenant's circuit breaker tripped open after consecutive failures.
+    BreakerOpened {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// Consecutive failures that tripped it.
+        failures: u32,
+    },
+    /// A tenant's breaker entered half-open and admits seeded probes.
+    BreakerHalfOpen {
+        /// Tenant (stream) index.
+        tenant: u32,
+    },
+    /// A tenant's breaker closed again after enough probe successes.
+    BreakerClosed {
+        /// Tenant (stream) index.
+        tenant: u32,
+        /// Total time the breaker spent not-closed, picoseconds.
+        open_ps: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -466,6 +541,12 @@ impl fmt::Display for EventKind {
                 f,
                 "dma-end #{xfer} dma{dma} {src}->{dst} {bytes}B start={start_ps} queued={queued_ps}"
             ),
+            DmaCancelled { xfer, dma, src, dst, bytes } => {
+                write!(f, "dma-cancel #{xfer} dma{dma} {src}->{dst} {bytes}B")
+            }
+            ChannelOutage { start_ps, end_ps } => {
+                write!(f, "channel-outage {start_ps}..{end_ps}")
+            }
             EscalationGranted { task, acc, index } => {
                 write!(f, "escalation-granted {task} acc{acc} idx={index}")
             }
@@ -526,6 +607,9 @@ impl fmt::Display for EventKind {
             FaultAttributedMiss { instance, faults } => {
                 write!(f, "fault-miss inst{instance} faults={faults}")
             }
+            EccCorrupted { task, parent, attempt } => {
+                write!(f, "ecc-corrupt {task} from {parent} attempt={attempt}")
+            }
             StreamArrival { tenant, index, class } => {
                 write!(f, "stream-arrival t{tenant}#{index} {class}")
             }
@@ -539,6 +623,20 @@ impl fmt::Display for EventKind {
                 f,
                 "request-complete t{tenant} inst{instance} {class} sojourn={sojourn_ps} met={met}"
             ),
+            RequestTimedOut { tenant, instance, class, attempt } => write!(
+                f,
+                "request-timeout t{tenant} inst{instance} {class} attempt={attempt}"
+            ),
+            HedgeLaunched { tenant, instance, attempt } => {
+                write!(f, "hedge-launch t{tenant} inst{instance} attempt={attempt}")
+            }
+            BreakerOpened { tenant, failures } => {
+                write!(f, "breaker-open t{tenant} failures={failures}")
+            }
+            BreakerHalfOpen { tenant } => write!(f, "breaker-half-open t{tenant}"),
+            BreakerClosed { tenant, open_ps } => {
+                write!(f, "breaker-close t{tenant} open={open_ps}")
+            }
         }
     }
 }
@@ -585,6 +683,48 @@ mod tests {
             met: true,
         };
         assert_eq!(done.to_string(), "request-complete t0 inst7 standard sojourn=1000 met=true");
+    }
+
+    #[test]
+    fn chaos_display_is_stable() {
+        let cancel = EventKind::DmaCancelled {
+            xfer: 9,
+            dma: 1,
+            src: Endpoint::Spad(2),
+            dst: Endpoint::Spad(3),
+            bytes: 2048,
+        };
+        assert_eq!(cancel.to_string(), "dma-cancel #9 dma1 spad2->spad3 2048B");
+        let outage = EventKind::ChannelOutage { start_ps: 100, end_ps: 400 };
+        assert_eq!(outage.to_string(), "channel-outage 100..400");
+        let ecc = EventKind::EccCorrupted {
+            task: TaskRef { instance: 1, node: 2 },
+            parent: TaskRef { instance: 1, node: 0 },
+            attempt: 0,
+        };
+        assert_eq!(ecc.to_string(), "ecc-corrupt d1:n2 from d1:n0 attempt=0");
+        let timeout = EventKind::RequestTimedOut {
+            tenant: 0,
+            instance: 4,
+            class: ServiceClass::Latency,
+            attempt: 0,
+        };
+        assert_eq!(timeout.to_string(), "request-timeout t0 inst4 latency attempt=0");
+        let hedge = EventKind::HedgeLaunched { tenant: 0, instance: 5, attempt: 1 };
+        assert_eq!(hedge.to_string(), "hedge-launch t0 inst5 attempt=1");
+        let opened = EventKind::BreakerOpened { tenant: 2, failures: 3 };
+        assert_eq!(opened.to_string(), "breaker-open t2 failures=3");
+        let half = EventKind::BreakerHalfOpen { tenant: 2 };
+        assert_eq!(half.to_string(), "breaker-half-open t2");
+        let closed = EventKind::BreakerClosed { tenant: 2, open_ps: 777 };
+        assert_eq!(closed.to_string(), "breaker-close t2 open=777");
+        let shed = EventKind::RequestShed {
+            tenant: 2,
+            index: 11,
+            class: ServiceClass::Standard,
+            cause: ShedCause::Breaker,
+        };
+        assert_eq!(shed.to_string(), "request-shed t2#11 standard circuit-breaker");
     }
 
     #[test]

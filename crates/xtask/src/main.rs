@@ -19,6 +19,10 @@
 //! 4. `cache-hygiene` — the standard campaign-cache directory holds no
 //!    entries written under a stale schema version or code-version salt
 //!    (they can never hit again; `cache_hygiene --purge` deletes them).
+//!    `chaos-smoke` (release) — the chaos campaign binary executes a
+//!    small fault × overload grid with the self-healing stack on, and
+//!    `invariants` proves the end-of-run conservation checks also hold
+//!    in a release build via the `invariants` feature.
 //! 5. The determinism, conformance, and property test suites:
 //!    `campaign_engine`, `campaign_cache` (the content-addressed
 //!    incremental-campaign store: warm reruns simulate zero cells with
@@ -27,7 +31,10 @@
 //!    `scheduler_conformance`, `metamorphic_properties`,
 //!    `fault_injection`, `service_mode` (the open-loop streaming
 //!    frontend: byte-identical reports at any `--jobs`, bit-inert when
-//!    disabled, admission accounting), `queue_equivalence` and
+//!    disabled, admission accounting), `chaos_conformance` (memory-side
+//!    fault domains, circuit breakers, timeouts and hedges, the
+//!    simulation watchdog, and the campaign-cache round trip),
+//!    `queue_equivalence` and
 //!    `soa_equivalence` (the optimised hot path against its own
 //!    reference implementation, bit for bit, under all eleven policies,
 //!    twenty seeds, faults, and service mode), and `oracle_conformance`
@@ -83,7 +90,7 @@ fn have_clippy() -> bool {
 }
 
 /// The integration-test suites step 5 runs, as `(package, test target)`.
-const TEST_SUITES: [(&str, &str); 10] = [
+const TEST_SUITES: [(&str, &str); 11] = [
     ("relief-bench", "campaign_engine"),
     ("relief-bench", "campaign_cache"),
     ("relief", "golden_experiments"),
@@ -91,14 +98,22 @@ const TEST_SUITES: [(&str, &str); 10] = [
     ("relief", "metamorphic_properties"),
     ("relief", "fault_injection"),
     ("relief", "service_mode"),
+    ("relief", "chaos_conformance"),
     ("relief", "queue_equivalence"),
     ("relief", "soa_equivalence"),
     ("relief", "oracle_conformance"),
 ];
 
 /// Names accepted by `check --suite` that are not test targets.
-const META_SUITES: [&str; 5] =
-    ["build", "lint", "campaign-smoke", "cache-hygiene", "bench-check"];
+const META_SUITES: [&str; 7] = [
+    "build",
+    "lint",
+    "campaign-smoke",
+    "cache-hygiene",
+    "chaos-smoke",
+    "invariants",
+    "bench-check",
+];
 
 fn print_suites() {
     println!("check suites (for --suite <name>[,<name>...]):");
@@ -216,6 +231,48 @@ fn check(args: &[String]) -> ExitCode {
                 "relief-bench",
                 "--bin",
                 "cache_hygiene",
+            ]),
+        );
+    }
+    if wants("chaos-smoke") {
+        ok &= run(
+            "chaos campaign smoke run (faults + overload, self-healing on)",
+            Command::new("cargo").args([
+                "run",
+                "--offline",
+                "--release",
+                "-p",
+                "relief-bench",
+                "--bin",
+                "chaos",
+                "--",
+                "--fault-rate",
+                "0,0.02",
+                "--rate",
+                "300",
+                "--duration-us",
+                "10000",
+                "--warmup-us",
+                "1000",
+                "--jobs",
+                "2",
+                "--no-cache",
+            ]),
+        );
+    }
+    if wants("invariants") {
+        ok &= run(
+            "release-mode conservation invariants (--features invariants)",
+            Command::new("cargo").args([
+                "test",
+                "--offline",
+                "--release",
+                "--features",
+                "invariants",
+                "-p",
+                "relief",
+                "--test",
+                "chaos_conformance",
             ]),
         );
     }
