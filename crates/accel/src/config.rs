@@ -107,6 +107,14 @@ pub struct SocConfig {
     /// watchdog. Detection only — a run that never trips it is
     /// byte-identical at any setting.
     pub watchdog_window: u64,
+    /// Soak mode: drop every O(total-requests) sample collection
+    /// (per-node prediction-error samples, per-instance DAG runtimes) so
+    /// an arbitrarily long run's memory stays bounded by the in-flight
+    /// set. This *changes the reported statistics* (the affected vectors
+    /// come back empty), so campaigns must leave it off; only the soak
+    /// benchmark sets it. Scheduling decisions, traces, and event counts
+    /// are unaffected.
+    pub bounded_memory: bool,
 }
 
 impl SocConfig {
@@ -157,6 +165,7 @@ impl SocConfig {
             fault: FaultConfig::default(),
             stream: StreamConfig::default(),
             watchdog_window: 2_000_000,
+            bounded_memory: false,
         }
     }
 
@@ -195,6 +204,12 @@ impl SocConfig {
     /// Installs an open-loop streaming plan.
     pub fn with_stream(mut self, stream: StreamConfig) -> Self {
         self.stream = stream;
+        self
+    }
+
+    /// Enables soak mode (see [`SocConfig::bounded_memory`]).
+    pub fn with_bounded_memory(mut self) -> Self {
+        self.bounded_memory = true;
         self
     }
 

@@ -39,8 +39,8 @@ use relief_mem::{Port, Progress, Route, TransferEngine, TransferId};
 use relief_metrics::{AppStats, FaultStats, Histogram, RunStats, ServiceStats, TrafficStats};
 use relief_service::{AdmissionState, QosClass, SelfHealConfig, ShedReason, StreamPlan};
 use relief_sim::{
-    AppId, Dur, EventQueue, Intern, InternId, KindId, SplitMix64, StallError, StallKind, Time,
-    Timeline,
+    AppId, Dur, EventQueue, Intern, InternId, KindId, SlotAlloc, SplitMix64, StallError,
+    StallKind, Time, Timeline,
 };
 use relief_trace::{EventKind, InputSource, ResourceId, ServiceClass, ShedCause, TaskRef, Tracer};
 use std::cell::RefCell;
@@ -191,6 +191,27 @@ struct DagInst {
     /// The serviced request's first arrival (== `arrival` except for
     /// hedges, whose end-to-end sojourn spans every attempt).
     first_arrival: Time,
+    /// Monotonic admission serial — the *public* instance identity.
+    /// Every [`TaskKey`], trace event, fault-plan draw, and statistic
+    /// uses the serial, so recycling the storage slot underneath is
+    /// unobservable. Equal to the slot index when nothing recycles
+    /// (reference mode).
+    serial: u32,
+    /// Generation of this slot's allocation (see [`SlotAlloc`]).
+    gen: u32,
+    /// Live references that index this slot: queued ready entries,
+    /// the running task, tracked transfers, parked retries/re-fetches,
+    /// and scheduled `Requeue` events each hold one pin. A slot is only
+    /// recycled once every pin drains, so a pinned dense index can never
+    /// alias a reused slot.
+    pins: u32,
+    /// Output-scratchpad partitions still holding this instance's data.
+    /// Completed instances keep their last outputs resident until
+    /// evicted, so retirement waits for the holds to drain too.
+    holds: u32,
+    /// Slot released back to the allocator; the struct contents are a
+    /// husk awaiting overwrite by the next admission.
+    retired: bool,
 }
 
 /// Circuit-breaker phase (closed → open → half-open → closed).
@@ -227,6 +248,9 @@ impl Breaker {
 #[derive(Debug, Clone, Copy, Default)]
 struct Partition {
     holder: Option<TaskKey>,
+    /// Storage slot of `holder`'s instance (the holder's hold on the
+    /// partition keeps the slot alive, so the dense index stays valid).
+    holder_slot: u32,
     ongoing_reads: u32,
 }
 
@@ -243,6 +267,8 @@ enum RunPhase {
 #[derive(Debug)]
 struct Running {
     key: TaskKey,
+    /// Storage slot of `key`'s instance (pinned while the task runs).
+    slot: u32,
     phase: RunPhase,
     /// Output partition claimed for this task (valid once past
     /// `WaitPartition`).
@@ -288,13 +314,27 @@ enum Purpose {
         src_spad: Option<(usize, usize)>,
         attempt: u32,
         dst: usize,
+        /// Storage slot of the owning instance (pinned by the transfer).
+        slot: u32,
     },
-    /// A child pulling its always-DRAM input bytes (`dst` as above).
-    DramInput { child: TaskKey, attempt: u32, dst: usize },
+    /// A child pulling its always-DRAM input bytes (`dst`, `slot` as
+    /// above).
+    DramInput { child: TaskKey, attempt: u32, dst: usize, slot: u32 },
     /// A producer writing its output back to DRAM. Write-backs are outside
     /// the fault domain: they are the checkpointing path retries rely on,
     /// so the model treats them as ECC-verified.
-    WriteBack { node: TaskKey },
+    WriteBack { node: TaskKey, slot: u32 },
+}
+
+impl Purpose {
+    /// Storage slot of the instance this transfer pins.
+    fn dag_slot(self) -> u32 {
+        match self {
+            Purpose::InputEdge { slot, .. }
+            | Purpose::DramInput { slot, .. }
+            | Purpose::WriteBack { slot, .. } => slot,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -303,8 +343,10 @@ enum Ev {
     Chunk(TransferId),
     ComputeDone(usize),
     Launch,
-    /// A faulted task's backoff expired; re-insert it into its ready queue.
-    Requeue(TaskKey),
+    /// A faulted task's backoff expired; re-insert it into its ready
+    /// queue. Carries the instance's storage slot (the scheduled requeue
+    /// pins it, so the dense index stays valid until the event fires).
+    Requeue { slot: u32, key: TaskKey },
     /// Accelerator instance goes offline (fault-injected outage).
     UnitDown(usize),
     /// Accelerator instance comes back online.
@@ -317,8 +359,11 @@ enum Ev {
     /// stays two words (the near rung is a memmove-heavy sorted vec; a
     /// fat variant would tax every event, and re-fetches are rare).
     EccRefetch(u32),
-    /// A streamed request's deadline-derived timeout expired.
-    Timeout(u32),
+    /// A streamed request's deadline-derived timeout expired. A timeout
+    /// deliberately outlives resolved requests, so it carries both the
+    /// storage slot and the admission serial: a mismatch (or a retired
+    /// slot) means the slot was recycled and the event is stale.
+    Timeout { slot: u32, serial: u32 },
 }
 
 /// Every queued event pays `Ev`'s size in near-rung memmove traffic, so
@@ -333,6 +378,9 @@ struct Refetch {
     parent: TaskKey,
     attempt: u32,
     dst: u32,
+    /// Storage slot of `child`'s instance; the parked re-fetch inherits
+    /// the cancelled transfer's pin on it.
+    slot: u32,
 }
 
 /// The simulated SoC.
@@ -372,7 +420,33 @@ pub struct SocSim {
     insts: Vec<AccInst>,
     /// Instance ids per accelerator type id.
     type_insts: Vec<Vec<usize>>,
+    /// Live DAG instances, indexed by *storage slot* (not by the public
+    /// serial). With recycling on, retired instances' slots are reused by
+    /// later admissions, so the vector plateaus at the in-flight
+    /// high-water mark instead of growing with every arrival.
     dags: Vec<DagInst>,
+    /// Slot allocator for `dags`; its generation counters invalidate any
+    /// reference that outlives its instance (see [`Ev::Timeout`]).
+    dag_slots: SlotAlloc,
+    /// Next admission serial (the public instance id; see
+    /// [`DagInst::serial`]).
+    next_dag_serial: u32,
+    /// Whether retired instances release their slot for reuse. On for
+    /// every fast-path run; reference mode keeps the pre-optimisation
+    /// ever-growing vector so slot == serial == index throughout.
+    recycle_on: bool,
+    /// Per-app free lists of retired `NodeRt` vectors: a steady-state
+    /// admission reuses a same-shape vector in place of allocating.
+    node_pools: Vec<Vec<Vec<NodeRt>>>,
+    /// Instances admitted but not yet completed, aborted, or cancelled —
+    /// the O(1) replacement for scanning `dags` when deciding whether the
+    /// run still has live work.
+    active_work: usize,
+    /// Data-movement prediction errors folded out of retired instances,
+    /// tagged with the admission serial so
+    /// [`finalize`](Self::finalize) can restore the pre-recycling
+    /// admission-order sample sequence exactly.
+    retired_dm: Vec<(u32, f64)>,
     events: EventQueue<Ev>,
     now: Time,
     seq: u64,
@@ -591,6 +665,7 @@ impl SocSim {
             })
             .collect();
         let n_apps = apps.len();
+        let recycle_on = !cfg.reference_hot_path;
         let mut sim = SocSim {
             policy: cfg.policy.build(),
             queues: ReadyQueues::new(num_types),
@@ -598,6 +673,12 @@ impl SocSim {
             insts,
             type_insts,
             dags: Vec::new(),
+            dag_slots: SlotAlloc::new(),
+            next_dag_serial: 0,
+            recycle_on,
+            node_pools: vec![Vec::new(); n_apps],
+            active_work: 0,
+            retired_dm: Vec::new(),
             events,
             now: Time::ZERO,
             seq: 0,
@@ -785,14 +866,17 @@ impl SocSim {
     /// live (neither aborted nor cancelled) instance still has work is
     /// deadlocked — a dependency or bookkeeping bug, not a result.
     fn finish(self) -> Result<SimResult, StallError> {
-        if self.cfg.watchdog_window > 0
-            && !self.truncated
-            && self.dags.iter().any(|d| d.remaining > 0 && !d.aborted && !d.cancelled)
-        {
+        if self.cfg.watchdog_window > 0 && !self.truncated && self.active_work > 0 {
             return Err(self.stall(StallKind::DrainedWithWorkLeft));
         }
         Ok(self.finalize())
     }
+
+    /// Most stuck instances a stall dump itemises; past the cap the dump
+    /// closes with an aggregate count so a heavily loaded soak's watchdog
+    /// error stays readable (and bounded) instead of listing thousands of
+    /// in-flight requests.
+    const STALL_DUMP_MAX_INSTANCES: usize = 16;
 
     /// Assembles the stall diagnostic: queue depths, per-unit occupancy,
     /// in-flight transfers, the quarantine set, and the stuck instances.
@@ -815,16 +899,26 @@ impl SocSim {
                 );
             }
         }
-        for (i, d) in self.dags.iter().enumerate() {
-            if d.remaining > 0 && !d.aborted && !d.cancelled {
+        let mut stuck = 0usize;
+        for d in &self.dags {
+            if d.retired || d.remaining == 0 || d.aborted || d.cancelled {
+                continue;
+            }
+            stuck += 1;
+            if stuck <= Self::STALL_DUMP_MAX_INSTANCES {
                 let _ = writeln!(
                     dump,
-                    "instance {i} ({}): {} of {} nodes left",
+                    "instance {} ({}): {} of {} nodes left",
+                    d.serial,
                     self.apps[d.app_idx].symbol,
                     d.remaining,
                     d.dag.len()
                 );
             }
+        }
+        if stuck > Self::STALL_DUMP_MAX_INSTANCES {
+            let _ =
+                writeln!(dump, "… and {} more stuck instances", stuck - Self::STALL_DUMP_MAX_INSTANCES);
         }
         StallError {
             kind,
@@ -840,12 +934,12 @@ impl SocSim {
             Ev::Chunk(id) => self.on_chunk(id),
             Ev::ComputeDone(inst) => self.on_compute_done(inst),
             Ev::Launch => self.try_launch_all(),
-            Ev::Requeue(key) => self.on_requeue(key),
+            Ev::Requeue { slot, key } => self.on_requeue(slot, key),
             Ev::UnitDown(inst) => self.on_unit_down(inst),
             Ev::UnitUp(inst) => self.on_unit_up(inst),
             Ev::StreamArrival(tenant) => self.on_stream_arrival(tenant),
             Ev::EccRefetch(idx) => self.on_ecc_refetch(idx),
-            Ev::Timeout(instance) => self.on_timeout(instance),
+            Ev::Timeout { slot, serial } => self.on_timeout(slot, serial),
         }
     }
 
@@ -854,7 +948,13 @@ impl SocSim {
     // ------------------------------------------------------------------
 
     fn on_arrival(&mut self, app_idx: usize) {
-        self.pending_arrivals = self.pending_arrivals.saturating_sub(1);
+        // Every queued Arrival incremented the count; a miscount is a
+        // bookkeeping bug that would silently mis-drive the outage
+        // re-arming and drain decisions, so fail loudly instead of
+        // saturating over it.
+        debug_assert!(self.pending_arrivals > 0, "arrival fired without a pending count");
+        self.pending_arrivals =
+            self.pending_arrivals.checked_sub(1).expect("arrival fired without a pending count");
         self.admit_dag(app_idx);
     }
 
@@ -864,7 +964,9 @@ impl SocSim {
     /// instance exactly like a closed-loop arrival, a shed request leaves
     /// no trace in the simulation proper.
     fn on_stream_arrival(&mut self, tenant: usize) {
-        self.pending_arrivals = self.pending_arrivals.saturating_sub(1);
+        debug_assert!(self.pending_arrivals > 0, "arrival fired without a pending count");
+        self.pending_arrivals =
+            self.pending_arrivals.checked_sub(1).expect("arrival fired without a pending count");
         let index = self.stream_next_index[tenant];
         self.stream_next_index[tenant] = index + 1;
         let class = self.tenant_class[tenant];
@@ -920,8 +1022,8 @@ impl SocSim {
         match self.admission.try_admit(self.now.as_ps(), tenant, class) {
             Ok(()) => {
                 self.service_stats.classes[class.index()].admitted += 1;
-                let instance = self.admit_dag(tenant);
-                self.arm_request(instance, index, 0, self.now);
+                let (instance, slot) = self.admit_dag(tenant);
+                self.arm_request(instance, slot, index, 0, self.now);
                 self.tracer.emit(self.now.as_ps(), || EventKind::RequestAdmitted {
                     tenant: tenant as u32,
                     index,
@@ -952,8 +1054,10 @@ impl SocSim {
 
     /// Releases one instance of app `app_idx` at the current time: the
     /// shared tail of closed-loop arrivals and admitted open-loop
-    /// requests. Returns the new DAG instance index.
-    fn admit_dag(&mut self, app_idx: usize) -> u32 {
+    /// requests. Returns the new instance's `(serial, slot)` pair: the
+    /// serial is the public identity, the slot its (possibly recycled)
+    /// storage index.
+    fn admit_dag(&mut self, app_idx: usize) -> (u32, u32) {
         let dag = Arc::clone(&self.apps[app_idx].dag);
         // Static analysis at arrival: predicted runtimes under the Max
         // predictors drive critical-path deadlines (§III-B). The assignment
@@ -996,11 +1100,24 @@ impl SocSim {
             }
             self.app_profiled[app_idx] = true;
         }
-        let nodes =
-            dag.node_ids().map(|n| NodeRt::new(dag.children(n).len())).collect::<Vec<_>>();
+        // Steady-state zero-allocation path: a retired instance of the
+        // same app donated its `NodeRt` vector (same shape — one slot per
+        // node), so the reset happens in place.
+        let nodes = match self.node_pools[app_idx].pop() {
+            Some(mut pooled) => {
+                debug_assert_eq!(pooled.len(), dag.len());
+                for (rt, n) in pooled.iter_mut().zip(dag.node_ids()) {
+                    *rt = NodeRt::new(dag.children(n).len());
+                }
+                pooled
+            }
+            None => dag.node_ids().map(|n| NodeRt::new(dag.children(n).len())).collect(),
+        };
         let remaining = dag.len();
-        let instance = self.dags.len() as u32;
-        self.dags.push(DagInst {
+        let instance = self.next_dag_serial;
+        self.next_dag_serial += 1;
+        let (slot, gen) = self.dag_slots.alloc();
+        let inst = DagInst {
             app_idx,
             dag,
             arrival: self.now,
@@ -1013,21 +1130,96 @@ impl SocSim {
             req_index: 0,
             attempt: 0,
             first_arrival: self.now,
-        });
+            serial: instance,
+            gen,
+            pins: 0,
+            holds: 0,
+            retired: false,
+        };
+        if slot as usize == self.dags.len() {
+            self.dags.push(inst);
+        } else {
+            self.dags[slot as usize] = inst;
+        }
+        self.active_work += 1;
         self.tracer.emit(self.now.as_ps(), || EventKind::DagArrived {
             instance,
             app: self.apps[app_idx].symbol.clone(),
             nodes: remaining as u32,
         });
 
-        let dag = Arc::clone(&self.dags[instance as usize].dag);
+        let dag = Arc::clone(&self.dags[slot as usize].dag);
         let mut batch = self.take_batch_buf();
         for n in dag.roots() {
-            self.dags[instance as usize].nodes[n.index()].phase = NodePhase::Ready;
-            batch.push(self.make_entry(TaskKey::new(instance, n.0), false, None));
+            self.dags[slot as usize].nodes[n.index()].phase = NodePhase::Ready;
+            batch.push(self.make_entry(TaskKey::new(instance, n.0), slot, false, None));
         }
         self.enqueue_batch(batch);
-        instance
+        (instance, slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Instance recycling
+    // ------------------------------------------------------------------
+
+    /// Releases one pin (queued entry, running task, tracked transfer,
+    /// parked retry) on the instance in `slot`, retiring it if that was
+    /// the last live reference.
+    fn unpin_dag(&mut self, slot: u32) {
+        let d = &mut self.dags[slot as usize];
+        debug_assert!(d.pins > 0, "pin underflow on slot {slot}");
+        d.pins -= 1;
+        self.maybe_retire(slot);
+    }
+
+    /// Retires the instance in `slot` if it is settled (completed,
+    /// aborted, or cancelled) and nothing references it anymore. Pins and
+    /// holds are maintained unconditionally, but only recycling runs act
+    /// on them — reference mode keeps every instance resident so slot ==
+    /// serial == index holds throughout.
+    fn maybe_retire(&mut self, slot: u32) {
+        if !self.recycle_on {
+            return;
+        }
+        let d = &self.dags[slot as usize];
+        if d.retired || d.pins > 0 || d.holds > 0 {
+            return;
+        }
+        if d.remaining == 0 || d.aborted || d.cancelled {
+            self.retire(slot);
+        }
+    }
+
+    /// Folds the instance's remaining per-node statistics into the
+    /// retired accumulators, returns its `NodeRt` storage to the app's
+    /// pool, and releases the slot for reuse.
+    fn retire(&mut self, slot: u32) {
+        let s = slot as usize;
+        debug_assert_eq!(
+            self.dags[s].remaining,
+            self.dags[s].nodes.iter().filter(|n| n.phase != NodePhase::Done).count(),
+            "remaining counter disagrees with node phases at retirement"
+        );
+        let nodes = std::mem::take(&mut self.dags[s].nodes);
+        let serial = self.dags[s].serial;
+        // Data-movement prediction errors (Table VIII) fold out here so
+        // `finalize` stays O(live set); the serial tag restores admission
+        // order there. Soak mode drops the per-node samples entirely.
+        if !self.cfg.bounded_memory {
+            for rt in &nodes {
+                if rt.phase == NodePhase::Done && rt.actual_bytes > 0 && rt.pred_bytes > 0 {
+                    let err =
+                        (rt.actual_bytes as f64 - rt.pred_bytes as f64) / rt.pred_bytes as f64;
+                    self.retired_dm.push((serial, err));
+                }
+            }
+        }
+        let d = &mut self.dags[s];
+        d.retired = true;
+        let gen = d.gen;
+        let app_idx = d.app_idx;
+        self.node_pools[app_idx].push(nodes);
+        self.dag_slots.release(slot, gen);
     }
 
     // ------------------------------------------------------------------
@@ -1037,9 +1229,9 @@ impl SocSim {
     /// Stamps a freshly admitted streamed instance with its request
     /// identity and arms its deadline-derived timeout when the
     /// self-healing timeouts are on.
-    fn arm_request(&mut self, instance: u32, index: u64, attempt: u32, first_arrival: Time) {
+    fn arm_request(&mut self, instance: u32, slot: u32, index: u64, attempt: u32, first_arrival: Time) {
         let rel = {
-            let d = &mut self.dags[instance as usize];
+            let d = &mut self.dags[slot as usize];
             d.req_index = index;
             d.attempt = attempt;
             d.first_arrival = first_arrival;
@@ -1047,7 +1239,7 @@ impl SocSim {
         };
         if self.heal.timeouts_enabled() {
             let timeout = Dur::from_ps((rel.as_ps() as f64 * self.heal.timeout_factor) as u64);
-            self.events.push(self.now + timeout, Ev::Timeout(instance));
+            self.events.push(self.now + timeout, Ev::Timeout { slot, serial: instance });
         }
     }
 
@@ -1055,16 +1247,20 @@ impl SocSim {
     /// flight it is past the point of meeting its budget: cancel it,
     /// reclaim queue slots and units, and — within the class hedge budget
     /// and a seeded draw — relaunch the request as a fresh instance.
-    fn on_timeout(&mut self, instance: u32) {
+    fn on_timeout(&mut self, slot: u32, serial: u32) {
+        let instance = serial;
         let (tenant, req_index, attempt, first_arrival) = {
-            let d = &self.dags[instance as usize];
+            let d = &self.dags[slot as usize];
+            if d.retired || d.serial != serial {
+                return; // the slot was recycled; the request resolved long ago
+            }
             if d.remaining == 0 || d.aborted || d.cancelled {
                 return; // resolved before the timeout fired
             }
             (d.app_idx, d.req_index, d.attempt, d.first_arrival)
         };
         let class = self.tenant_class[tenant];
-        self.cancel_instance(instance);
+        self.cancel_instance(slot);
         self.service_stats.classes[class.index()].timed_out += 1;
         self.tracer.emit(self.now.as_ps(), || EventKind::RequestTimedOut {
             tenant: tenant as u32,
@@ -1084,8 +1280,8 @@ impl SocSim {
             && self.admission.try_occupy(class)
         {
             self.service_stats.classes[class.index()].hedged += 1;
-            let hedge = self.admit_dag(tenant);
-            self.arm_request(hedge, req_index, next, first_arrival);
+            let (hedge, hedge_slot) = self.admit_dag(tenant);
+            self.arm_request(hedge, hedge_slot, req_index, next, first_arrival);
             self.tracer.emit(self.now.as_ps(), || EventKind::HedgeLaunched {
                 tenant: tenant as u32,
                 instance: hedge,
@@ -1101,24 +1297,30 @@ impl SocSim {
     /// releases accelerators holding its unstarted work, and marks it so
     /// queued entries are dropped at launch and running compute drains
     /// without publishing.
-    fn cancel_instance(&mut self, instance: u32) {
-        self.dags[instance as usize].cancelled = true;
+    fn cancel_instance(&mut self, slot: u32) {
+        self.dags[slot as usize].cancelled = true;
+        // The caller checked the instance was live (neither completed nor
+        // aborted nor already cancelled), so it was counting here.
+        self.active_work -= 1;
         // Write-backs are left to finish: they are the checkpointing path,
         // and an abandoned `WbInFlight` would wedge its partition forever.
-        for slot in 0..self.transfers.len() {
-            let Some(purpose) = self.transfers[slot] else { continue };
-            let (child, src_spad) = match purpose {
-                Purpose::InputEdge { child, src_spad, .. } => (child, src_spad),
-                Purpose::DramInput { child, .. } => (child, None),
+        // Pin releases below defer retirement to the end of the function:
+        // the instance must stay resident while this loop still reads it.
+        for t in 0..self.transfers.len() {
+            let Some(purpose) = self.transfers[t] else { continue };
+            let (src_spad, pslot) = match purpose {
+                Purpose::InputEdge { src_spad, slot: pslot, .. } => (src_spad, pslot),
+                Purpose::DramInput { slot: pslot, .. } => (None, pslot),
                 Purpose::WriteBack { .. } => continue,
             };
-            if child.instance != instance {
+            if pslot != slot {
                 continue;
             }
-            let id = self.transfer_ids[slot].expect("tracked transfer has an id");
+            let id = self.transfer_ids[t].expect("tracked transfer has an id");
             self.engine.cancel(id, self.now);
             self.service_stats.timeout_cancelled_xfers += 1;
-            self.transfers[slot] = None;
+            self.transfers[t] = None;
+            self.dags[slot as usize].pins -= 1;
             if let Some((si, sp)) = src_spad {
                 let p = &mut self.insts[si].parts[sp];
                 p.ongoing_reads = p.ongoing_reads.saturating_sub(1);
@@ -1131,17 +1333,20 @@ impl SocSim {
             let held = self.insts[i]
                 .running
                 .as_ref()
-                .is_some_and(|r| r.key.instance == instance && r.phase != RunPhase::Compute);
+                .is_some_and(|r| r.slot == slot && r.phase != RunPhase::Compute);
             if !held {
                 continue;
             }
             let r = self.insts[i].running.take().expect("checked above");
+            self.dags[slot as usize].pins -= 1;
             if r.out_part != usize::MAX {
                 let part = &mut self.insts[i].parts[r.out_part];
                 debug_assert_eq!(part.holder, Some(r.key));
                 part.holder = None;
+                self.dags[slot as usize].holds -= 1;
             }
         }
+        self.maybe_retire(slot);
     }
 
     /// Feeds one request outcome of `tenant` into its circuit breaker.
@@ -1201,17 +1406,19 @@ impl SocSim {
 
     /// Builds a ready-queue entry: predicted runtime (profiled compute +
     /// predicted memory time), deadline resolved for the active policy's
-    /// scheme, forwarding-candidate flag for RELIEF.
+    /// scheme, forwarding-candidate flag for RELIEF. The entry pins the
+    /// instance (carried in [`TaskEntry::slot`]) until it is popped.
     fn make_entry(
         &mut self,
         key: TaskKey,
+        slot: u32,
         fwd_candidate: bool,
         coloc_edge: Option<usize>,
     ) -> TaskEntry {
         let nid = NodeId(key.node);
         // A cheap Arc clone detaches the graph borrow from `self`, so the
         // spec (and its label) can be read in place — no per-entry clone.
-        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        let dag = Arc::clone(&self.dags[slot as usize].dag);
         let spec = dag.node(nid);
         let acc = spec.acc;
         let pred_compute = if self.cfg.reference_hot_path {
@@ -1220,16 +1427,16 @@ impl SocSim {
             let owned = spec.label.clone();
             self.profile.predict(acc, &owned).unwrap_or(spec.compute)
         } else {
-            let app_idx = self.dags[key.instance as usize].app_idx;
+            let app_idx = self.dags[slot as usize].app_idx;
             let kind = self.app_kind_ids[app_idx][nid.index()];
             self.profile.predict_id(acc, kind).unwrap_or(spec.compute)
         };
-        let query = self.dm_query(key, coloc_edge);
+        let query = self.dm_query(slot, key.node, coloc_edge);
         let pred_mem = self.mem_pred.predict(&query);
         let runtime = pred_compute + pred_mem;
 
         let (rel, arrival) = {
-            let d = &self.dags[key.instance as usize];
+            let d = &self.dags[slot as usize];
             let rel = match self.policy.deadline_scheme() {
                 relief_core::DeadlineScheme::Dag => d.deadlines.dag,
                 relief_core::DeadlineScheme::NodeCriticalPath => d.deadlines.node_deadline(nid),
@@ -1242,30 +1449,32 @@ impl SocSim {
         let pred_bytes = self.cfg.dm_predictor.estimate(&query).total();
         let pred_bw = self.mem_pred.bandwidth.predict();
         self.restore_dm_bytes_buf(query);
-        let rt = &mut self.dags[key.instance as usize].nodes[nid.index()];
+        let rt = &mut self.dags[slot as usize].nodes[nid.index()];
         rt.pred_compute = pred_compute;
         rt.pred_bytes = pred_bytes;
         rt.pred_bw = pred_bw;
+        self.dags[slot as usize].pins += 1;
 
         let seq = self.seq;
         self.seq += 1;
-        let mut e = TaskEntry::new(key, acc, runtime, deadline).with_seq(seq);
+        let mut e = TaskEntry::new(key, acc, runtime, deadline).with_seq(seq).with_slot(slot);
         if fwd_candidate {
             e = e.forwarding_candidate();
         }
         e
     }
 
-    /// The data-movement query for `key` (§III-B).
+    /// The data-movement query for node `node` of the instance in `slot`
+    /// (§III-B).
     ///
     /// The query's edge-byte list is the reused [`SocSim::dm_bytes_scratch`]
     /// buffer; callers hand it back via
     /// [`restore_dm_bytes_buf`](Self::restore_dm_bytes_buf) once done.
-    fn dm_query(&mut self, key: TaskKey, coloc_edge: Option<usize>) -> DataMoveQuery {
-        let d = &self.dags[key.instance as usize];
+    fn dm_query(&mut self, slot: u32, node: u32, coloc_edge: Option<usize>) -> DataMoveQuery {
+        let d = &self.dags[slot as usize];
         let dag = Arc::clone(&d.dag);
         let deadlines = Arc::clone(&d.deadlines);
-        let nid = NodeId(key.node);
+        let nid = NodeId(node);
         let spec = dag.node(nid);
         let mut parent_edge_bytes = if self.cfg.reference_hot_path {
             Vec::new()
@@ -1397,9 +1606,11 @@ impl SocSim {
                 ) else {
                     break;
                 };
-                if self.cancels_on && self.dags[entry.key.instance as usize].cancelled {
+                if self.cancels_on && self.dags[entry.slot as usize].cancelled {
                     // Reclaimed queue slot: a timed-out request's entry is
-                    // dropped on pop, leaving the unit to live work.
+                    // dropped on pop, leaving the unit to live work. The
+                    // entry's pin kept the slot valid until this check.
+                    self.unpin_dag(entry.slot);
                     continue;
                 }
                 let chosen = match pin {
@@ -1411,7 +1622,7 @@ impl SocSim {
                     // executed node is a parent of this task with its
                     // output still live there.
                     None => self
-                        .colocation_instance(t, entry.key)
+                        .colocation_instance(t, entry.key, entry.slot)
                         .filter(|&i| self.insts[i].running.is_none() && !self.insts[i].quarantined)
                         .unwrap_or(inst_idx),
                 };
@@ -1420,34 +1631,39 @@ impl SocSim {
         }
     }
 
-    /// The idle instance of type `t` on which `key` would colocate, if any.
-    fn colocation_instance(&self, t: usize, key: TaskKey) -> Option<usize> {
+    /// The idle instance of type `t` on which `key` would colocate, if
+    /// any. `last_node` may name a long-retired instance, but it is only
+    /// ever *compared* against keys of the live instance in `slot`;
+    /// serials are never reused, so a stale tracker can never match — and
+    /// the node lookup happens on the live side only after a match.
+    fn colocation_instance(&self, t: usize, key: TaskKey, slot: u32) -> Option<usize> {
         if !self.cfg.colocation || self.cfg.output_partitions < 2 {
             return None;
         }
-        let d = &self.dags[key.instance as usize];
+        let d = &self.dags[slot as usize];
         let parents = d.dag.parents(NodeId(key.node));
         self.type_insts[t].iter().copied().find(|&i| {
             self.insts[i].last_node.is_some_and(|ln| {
                 parents.iter().any(|&p| {
                     let pk = TaskKey::new(key.instance, p.0);
-                    pk == ln && self.node_rt(pk).out.spad().is_some_and(|(si, _)| si == i)
+                    pk == ln && self.node_rt(slot, p.0).out.spad().is_some_and(|(si, _)| si == i)
                 })
             })
         })
     }
 
-    fn node_rt(&self, key: TaskKey) -> &NodeRt {
-        &self.dags[key.instance as usize].nodes[key.node as usize]
+    fn node_rt(&self, slot: u32, node: u32) -> &NodeRt {
+        &self.dags[slot as usize].nodes[node as usize]
     }
 
-    fn node_rt_mut(&mut self, key: TaskKey) -> &mut NodeRt {
-        &mut self.dags[key.instance as usize].nodes[key.node as usize]
+    fn node_rt_mut(&mut self, slot: u32, node: u32) -> &mut NodeRt {
+        &mut self.dags[slot as usize].nodes[node as usize]
     }
 
     fn launch(&mut self, inst_idx: usize, entry: TaskEntry) {
         let key = entry.key;
-        self.node_rt_mut(key).phase = NodePhase::Launched;
+        let slot = entry.slot;
+        self.node_rt_mut(slot, key.node).phase = NodePhase::Launched;
         self.tracer.emit(self.now.as_ps(), || EventKind::TaskDispatched {
             task: tref(key),
             inst: inst_idx as u32,
@@ -1455,11 +1671,11 @@ impl SocSim {
         // Colocation check: the previously executed node on this
         // accelerator is a parent whose output is still live here.
         let coloc_part = if self.cfg.colocation && self.cfg.output_partitions >= 2 {
-            let d = &self.dags[key.instance as usize];
+            let d = &self.dags[slot as usize];
             d.dag.parents(NodeId(key.node)).iter().find_map(|&p| {
                 let pk = TaskKey::new(key.instance, p.0);
                 (self.insts[inst_idx].last_node == Some(pk))
-                    .then(|| self.node_rt(pk).out.spad())
+                    .then(|| self.node_rt(slot, p.0).out.spad())
                     .flatten()
                     .filter(|&(si, part)| {
                         si == inst_idx && self.insts[inst_idx].parts[part].holder == Some(pk)
@@ -1469,8 +1685,10 @@ impl SocSim {
         } else {
             None
         };
+        // The popped entry's pin transfers to the running task.
         self.insts[inst_idx].running = Some(Running {
             key,
+            slot,
             phase: RunPhase::WaitPartition,
             out_part: usize::MAX,
             coloc_part,
@@ -1486,16 +1704,16 @@ impl SocSim {
     /// phase. On failure, triggers a lazy write-back if that is what blocks
     /// reuse, and leaves the task in `WaitPartition`.
     fn try_alloc_and_proceed(&mut self, inst_idx: usize) {
-        let (key, coloc_part) = {
+        let (key, slot, coloc_part) = {
             let r = self.insts[inst_idx].running.as_ref().expect("task assigned");
             if r.phase != RunPhase::WaitPartition {
                 return;
             }
-            (r.key, r.coloc_part)
+            (r.key, r.slot, r.coloc_part)
         };
 
         let mut chosen: Option<usize> = None;
-        let mut lazy_wb: Option<TaskKey> = None;
+        let mut lazy_wb: Option<(TaskKey, u32)> = None;
         for p in 0..self.insts[inst_idx].parts.len() {
             if Some(p) == coloc_part {
                 continue;
@@ -1510,7 +1728,9 @@ impl SocSim {
                     if part.ongoing_reads > 0 {
                         continue; // wait for readers to finish
                     }
-                    let rt = self.node_rt(h);
+                    // The holder's hold keeps its slot alive, so the
+                    // dense index carried in the partition stays valid.
+                    let rt = self.node_rt(part.holder_slot, h.node);
                     if rt.phase != NodePhase::Done {
                         continue; // still being produced
                     }
@@ -1519,7 +1739,7 @@ impl SocSim {
                         OutLoc::Spad { .. } if rt.pending_readers > 0 => {
                             // Data still needed but only in SPAD: lazily
                             // write it back before reuse.
-                            lazy_wb = Some(h);
+                            lazy_wb = Some((h, part.holder_slot));
                             continue;
                         }
                         _ => {
@@ -1532,22 +1752,32 @@ impl SocSim {
         }
 
         let Some(p) = chosen else {
-            if let Some(h) = lazy_wb {
-                self.issue_writeback(h, true);
+            if let Some((h, h_slot)) = lazy_wb {
+                self.issue_writeback(h, h_slot, true);
             }
             return; // stay in WaitPartition; retried on partition events
         };
 
-        // Claim the partition: transition the old holder's output state.
-        if let Some(old) = self.insts[inst_idx].parts[p].holder {
-            let rt = self.node_rt_mut(old);
+        // Claim the partition: transition the old holder's output state
+        // and move the hold to the claimant (claim before release, so an
+        // instance evicting its own older output never hits zero holds).
+        let evicted = self.insts[inst_idx].parts[p].holder.map(|old| {
+            let old_slot = self.insts[inst_idx].parts[p].holder_slot;
+            let rt = self.node_rt_mut(old_slot, old.node);
             rt.out = match rt.out {
                 OutLoc::SpadAndDram { .. } => OutLoc::Dram,
                 OutLoc::Spad { .. } => OutLoc::Dropped,
                 other => other,
             };
-        }
+            old_slot
+        });
         self.insts[inst_idx].parts[p].holder = Some(key);
+        self.insts[inst_idx].parts[p].holder_slot = slot;
+        self.dags[slot as usize].holds += 1;
+        if let Some(old_slot) = evicted {
+            self.dags[old_slot as usize].holds -= 1;
+            self.maybe_retire(old_slot);
+        }
         {
             let r = self.insts[inst_idx].running.as_mut().expect("task assigned");
             r.out_part = p;
@@ -1558,11 +1788,14 @@ impl SocSim {
     /// Classifies every input edge (colocation / forward / DRAM), starts
     /// the DMA transfers, and accounts the data-movement statistics.
     fn start_inputs(&mut self, inst_idx: usize) {
-        let key = self.insts[inst_idx].running.as_ref().expect("task assigned").key;
-        let app_idx = self.dags[key.instance as usize].app_idx;
+        let (key, slot) = {
+            let r = self.insts[inst_idx].running.as_ref().expect("task assigned");
+            (r.key, r.slot)
+        };
+        let app_idx = self.dags[slot as usize].app_idx;
         // The Arc clone detaches the parent/child slices from `self`'s
         // borrow, so the loop needs no owned copy of either.
-        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        let dag = Arc::clone(&self.dags[slot as usize].dag);
         let nid = NodeId(key.node);
         if self.cfg.reference_hot_path {
             // Reproduce the pre-optimisation owned copies of the node spec
@@ -1582,12 +1815,12 @@ impl SocSim {
 
             // Colocation: data already in place on this accelerator.
             let is_coloc = coloc_part.is_some()
-                && self.node_rt(pk).out.spad() == coloc_part.map(|c| (inst_idx, c))
+                && self.node_rt(slot, pk.node).out.spad() == coloc_part.map(|c| (inst_idx, c))
                 && self.insts[inst_idx].last_node == Some(pk);
             if is_coloc {
                 self.app_stats[app_idx].colocations += 1;
                 self.colocated_bytes += bytes;
-                self.consume_reader(pk);
+                self.consume_reader(slot, pk.node);
                 self.insts[inst_idx].running.as_mut().expect("task assigned").coloc_inputs += 1;
                 self.tracer.emit(self.now.as_ps(), || EventKind::InputSourced {
                     task: tref(key),
@@ -1604,7 +1837,7 @@ impl SocSim {
             // unreachable; consumers fall back to the checkpointed DRAM
             // copy).
             let fwd_src = if self.cfg.forwarding {
-                self.node_rt(pk)
+                self.node_rt(slot, pk.node)
                     .out
                     .spad()
                     .filter(|&(si, sp)| self.insts[si].parts[sp].holder == Some(pk))
@@ -1622,10 +1855,10 @@ impl SocSim {
                 }
                 None => {
                     debug_assert!(
-                        self.node_rt(pk).out.in_dram()
+                        self.node_rt(slot, pk.node).out.in_dram()
                             || !self.cfg.forwarding
                             || self
-                                .node_rt(pk)
+                                .node_rt(slot, pk.node)
                                 .out
                                 .spad()
                                 .is_some_and(|(si, _)| self.insts[si].quarantined),
@@ -1648,10 +1881,17 @@ impl SocSim {
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
             self.track(
                 id,
-                Purpose::InputEdge { child: key, parent: pk, src_spad, attempt: 0, dst: inst_idx },
+                Purpose::InputEdge {
+                    child: key,
+                    parent: pk,
+                    src_spad,
+                    attempt: 0,
+                    dst: inst_idx,
+                    slot,
+                },
             );
             self.events.push(first, Ev::Chunk(id));
-            self.node_rt_mut(key).actual_bytes += bytes;
+            self.node_rt_mut(slot, key.node).actual_bytes += bytes;
             pending += 1;
         }
 
@@ -1669,9 +1909,9 @@ impl SocSim {
             });
             let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
             let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
-            self.track(id, Purpose::DramInput { child: key, attempt: 0, dst: inst_idx });
+            self.track(id, Purpose::DramInput { child: key, attempt: 0, dst: inst_idx, slot });
             self.events.push(first, Ev::Chunk(id));
-            self.node_rt_mut(key).actual_bytes += bytes;
+            self.node_rt_mut(slot, key.node).actual_bytes += bytes;
             pending += 1;
         }
 
@@ -1684,25 +1924,25 @@ impl SocSim {
         }
     }
 
-    /// One child consumed one of `parent`'s output copies.
-    fn consume_reader(&mut self, parent: TaskKey) {
-        let rt = self.node_rt_mut(parent);
+    /// One child consumed one of the parent node's output copies.
+    fn consume_reader(&mut self, slot: u32, parent_node: u32) {
+        let rt = self.node_rt_mut(slot, parent_node);
         rt.pending_readers = rt.pending_readers.saturating_sub(1);
     }
 
     fn start_compute(&mut self, inst_idx: usize) {
-        let (key, input_bytes) = {
+        let (key, slot, input_bytes) = {
             let now = self.now;
             let r = self.insts[inst_idx].running.as_mut().expect("task assigned");
             r.phase = RunPhase::Compute;
             r.compute_start = now;
-            (r.key, r.input_bytes)
+            (r.key, r.slot, r.input_bytes)
         };
         self.tracer.emit(self.now.as_ps(), || EventKind::ComputeStart {
             task: tref(key),
             inst: inst_idx as u32,
         });
-        let d = &self.dags[key.instance as usize];
+        let d = &self.dags[slot as usize];
         let spec = d.dag.node(NodeId(key.node));
         let jitter = if self.cfg.compute_jitter > 0.0 {
             1.0 + self.rng.f64_range(-self.cfg.compute_jitter, self.cfg.compute_jitter)
@@ -1714,9 +1954,9 @@ impl SocSim {
         // Functional unit touches its inputs and output in the scratchpad.
         self.spad_access_bytes += input_bytes + out_bytes;
         self.insts[inst_idx].compute_busy += dur;
-        let app_idx = self.dags[key.instance as usize].app_idx;
+        let app_idx = self.dags[slot as usize].app_idx;
         self.per_app_compute_time[self.app_ids[app_idx].index()] += dur;
-        self.node_rt_mut(key).actual_compute = dur;
+        self.node_rt_mut(slot, key.node).actual_compute = dur;
         self.events.push(self.now + dur, Ev::ComputeDone(inst_idx));
     }
 
@@ -1728,15 +1968,18 @@ impl SocSim {
         let r = self.insts[inst_idx].running.take().expect("compute was running");
         debug_assert_eq!(r.phase, RunPhase::Compute);
         let key = r.key;
+        let slot = r.slot;
         // A timed-out (cancelled) request's node drains without
         // publishing: the output is discarded, the partition freed, and
         // the unit picks up live work. No `ComputeEnd` is emitted and no
         // fault verdict is drawn — the request's outcome is already
         // settled.
-        if self.cancels_on && self.dags[key.instance as usize].cancelled {
+        if self.cancels_on && self.dags[slot as usize].cancelled {
             let part = &mut self.insts[inst_idx].parts[r.out_part];
             debug_assert_eq!(part.holder, Some(key));
             part.holder = None;
+            self.dags[slot as usize].holds -= 1;
+            self.unpin_dag(slot); // the drained task's pin; may retire
             self.retry_stalled();
             self.try_launch_all();
             return;
@@ -1746,7 +1989,7 @@ impl SocSim {
         // instead of publishing. No `ComputeEnd` is emitted, so every
         // completed task still has exactly one compute span.
         if self.fault.enabled() {
-            let attempt = self.node_rt(key).attempts;
+            let attempt = self.node_rt(slot, key.node).attempts;
             if self.fault.task_faults(key.instance, key.node, attempt) {
                 self.on_task_fault(inst_idx, r, attempt);
                 return;
@@ -1755,11 +1998,11 @@ impl SocSim {
         self.insts[inst_idx].last_node = Some(key);
         // All-loads-and-stores-to-DRAM baseline (Fig. 5 normalization).
         {
-            let out = self.dags[key.instance as usize].dag.node(NodeId(key.node)).output_bytes;
+            let out = self.dags[slot as usize].dag.node(NodeId(key.node)).output_bytes;
             self.all_dram_baseline_bytes += r.input_bytes + out;
         }
         {
-            let app_idx = self.dags[key.instance as usize].app_idx;
+            let app_idx = self.dags[slot as usize].app_idx;
             self.tracer.emit(self.now.as_ps(), || EventKind::ComputeEnd {
                 task: tref(key),
                 inst: inst_idx as u32,
@@ -1772,19 +2015,19 @@ impl SocSim {
 
         // Publish the output into the claimed partition.
         {
-            let rt = self.node_rt_mut(key);
+            let rt = self.node_rt_mut(slot, key.node);
             rt.phase = NodePhase::Done;
             rt.out = OutLoc::Spad { inst: inst_idx, part: r.out_part };
         }
-        if self.node_rt(key).faulted {
-            self.node_rt_mut(key).faulted = false;
+        if self.node_rt(slot, key.node).faulted {
+            self.node_rt_mut(slot, key.node).faulted = false;
             self.fault_stats.recovered += 1;
         }
         self.last_completion = self.now;
 
         // Per-node statistics.
         let (app_idx, node_deadline, dag_done, dag_runtime_met, dag_arrival) = {
-            let d = &mut self.dags[key.instance as usize];
+            let d = &mut self.dags[slot as usize];
             d.remaining -= 1;
             let nd = d.arrival + d.deadlines.node_deadline(NodeId(key.node));
             let dag_done = d.remaining == 0 && !d.aborted;
@@ -1810,9 +2053,10 @@ impl SocSim {
         }
         {
             // Table VIII sign convention: (actual − predicted) / predicted,
-            // so negative means the predictor overestimated.
-            let rt = self.node_rt(key);
-            if rt.pred_compute.as_ps() > 0 {
+            // so negative means the predictor overestimated. Soak mode
+            // drops the O(total-requests) sample to stay bounded.
+            let rt = self.node_rt(slot, key.node);
+            if rt.pred_compute.as_ps() > 0 && !self.cfg.bounded_memory {
                 let err = (rt.actual_compute.as_ps() as f64 - rt.pred_compute.as_ps() as f64)
                     / rt.pred_compute.as_ps() as f64;
                 self.prediction.compute_rel_errors.push(err);
@@ -1821,7 +2065,7 @@ impl SocSim {
 
         // Wake children whose dependencies are now satisfied. The Arc
         // clone detaches the child slice from `self`, so no owned copy.
-        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        let dag = Arc::clone(&self.dags[slot as usize].dag);
         let children = dag.children(NodeId(key.node));
         if self.cfg.reference_hot_path {
             // Reproduce the pre-optimisation owned child list.
@@ -1836,7 +2080,7 @@ impl SocSim {
         };
         for &c in children {
             let num_parents = dag.parents(c).len();
-            let rt = &mut self.dags[key.instance as usize].nodes[c.index()];
+            let rt = &mut self.dags[slot as usize].nodes[c.index()];
             rt.completed_parents += 1;
             if rt.completed_parents == num_parents {
                 rt.phase = NodePhase::Ready;
@@ -1848,7 +2092,7 @@ impl SocSim {
         // the earliest-deadline newly ready child colocates with the
         // finisher if they share an accelerator type.
         let coloc_child = if self.cfg.dm_predictor == DataMovePredictor::Predicted {
-            let d = &self.dags[key.instance as usize];
+            let d = &self.dags[slot as usize];
             let finisher_acc = dag.node(NodeId(key.node)).acc;
             newly_ready
                 .iter()
@@ -1867,7 +2111,7 @@ impl SocSim {
                     .position(|&p| p.0 == key.node)
                     .expect("finisher is a parent")
             });
-            batch.push(self.make_entry(TaskKey::new(key.instance, c.0), true, coloc_edge));
+            batch.push(self.make_entry(TaskKey::new(key.instance, c.0), slot, true, coloc_edge));
         }
         if !self.cfg.reference_hot_path {
             self.ready_scratch = newly_ready;
@@ -1895,7 +2139,7 @@ impl SocSim {
                 Some(elide) => elide,
                 None => children.iter().all(|&c| {
                     let ck = TaskKey::new(key.instance, c.0);
-                    match self.node_rt(ck).phase {
+                    match self.node_rt(slot, c.0).phase {
                         NodePhase::Waiting | NodePhase::Aborted => false,
                         NodePhase::Launched | NodePhase::Done => true,
                         NodePhase::Ready => {
@@ -1905,17 +2149,23 @@ impl SocSim {
                 }),
             };
         if !all_next_in_line {
-            self.issue_writeback(key, false);
+            self.issue_writeback(key, slot, false);
         }
 
         if dag_done {
-            self.on_dag_done(key.instance, app_idx, dag_runtime_met);
+            self.on_dag_done(key.instance, slot, app_idx, dag_runtime_met);
         }
+        // The finished task's pin releases last: a completed instance
+        // retires only once its partitions are evicted (the holds), so
+        // this is a no-op unless the run is draining oddly — but the
+        // accounting stays uniform.
+        self.unpin_dag(slot);
     }
 
-    fn on_dag_done(&mut self, instance: u32, app_idx: usize, met: bool) {
+    fn on_dag_done(&mut self, instance: u32, slot: u32, app_idx: usize, met: bool) {
         self.tracer.emit(self.now.as_ps(), || EventKind::DagDone { instance, met });
-        let faults = self.dags[instance as usize].faults;
+        self.active_work -= 1;
+        let faults = self.dags[slot as usize].faults;
         if !met && faults > 0 {
             // The instance absorbed fault-recovery delay and missed its
             // deadline: attribute the miss (a fault-free miss under the
@@ -1925,13 +2175,17 @@ impl SocSim {
             self.tracer
                 .emit(self.now.as_ps(), || EventKind::FaultAttributedMiss { instance, faults });
         }
-        let runtime = self.now.saturating_since(self.dags[instance as usize].arrival);
+        let runtime = self.now.saturating_since(self.dags[slot as usize].arrival);
         let stats = &mut self.app_stats[app_idx];
         stats.dags_completed += 1;
         if met {
             stats.dag_deadlines_met += 1;
         }
-        stats.dag_runtimes.push(runtime);
+        // Soak mode: the per-completion runtime sample is the one
+        // unbounded closed-loop accumulator; drop it there.
+        if !self.cfg.bounded_memory {
+            stats.dag_runtimes.push(runtime);
+        }
         if self.stream_on {
             // The request's in-flight slot frees; its end-to-end sojourn
             // feeds the steady-state (post-warm-up) histogram. The sojourn
@@ -1940,7 +2194,7 @@ impl SocSim {
             // (identical to `runtime` when hedging is off).
             self.admission.release();
             let sojourn =
-                self.now.saturating_since(self.dags[instance as usize].first_arrival);
+                self.now.saturating_since(self.dags[slot as usize].first_arrival);
             let class = self.tenant_class[app_idx];
             let c = &mut self.service_stats.classes[class.index()];
             c.completed += 1;
@@ -1951,7 +2205,7 @@ impl SocSim {
                 self.service_stats.classes[class.index()].sojourn.record(sojourn.as_ps());
             }
             if self.heal.enabled() {
-                let attempt = self.dags[instance as usize].attempt;
+                let attempt = self.dags[slot as usize].attempt;
                 self.service_stats.retry_hist.record(u64::from(attempt));
                 self.breaker_outcome(app_idx, true);
             }
@@ -1979,8 +2233,9 @@ impl SocSim {
     /// abort the task when its retry budget is exhausted.
     fn on_task_fault(&mut self, inst_idx: usize, r: Running, attempt: u32) {
         let key = r.key;
+        let slot = r.slot;
         self.fault_stats.task_faults += 1;
-        self.dags[key.instance as usize].faults += 1;
+        self.dags[slot as usize].faults += 1;
         self.tracer.emit(self.now.as_ps(), || EventKind::TaskFaulted {
             task: tref(key),
             inst: inst_idx as u32,
@@ -1992,46 +2247,53 @@ impl SocSim {
             debug_assert_eq!(part.holder, Some(key));
             debug_assert_eq!(part.ongoing_reads, 0, "unpublished output cannot have readers");
             part.holder = None;
+            self.dags[slot as usize].holds -= 1;
         }
         // Every input edge was consumed exactly once by compute end
         // (colocated edges at input classification, transferred edges at
         // delivery); restore the counts so the retry's re-consumption
         // keeps each parent's reader bookkeeping exact. Checkpointing mode
         // guarantees each parent output still has a DRAM copy to re-read.
-        let dag = Arc::clone(&self.dags[key.instance as usize].dag);
+        let dag = Arc::clone(&self.dags[slot as usize].dag);
         for &p in dag.parents(NodeId(key.node)) {
-            self.node_rt_mut(TaskKey::new(key.instance, p.0)).pending_readers += 1;
+            self.node_rt_mut(slot, p.0).pending_readers += 1;
         }
         {
-            let rt = self.node_rt_mut(key);
+            let rt = self.node_rt_mut(slot, key.node);
             debug_assert_eq!(rt.out, OutLoc::NotProduced);
             rt.faulted = true;
         }
         let max_retries = self.fault.cfg().max_retries;
         if attempt < max_retries {
-            self.node_rt_mut(key).attempts = attempt + 1;
-            self.node_rt_mut(key).phase = NodePhase::Waiting; // Ready ⟺ queued
+            self.node_rt_mut(slot, key.node).attempts = attempt + 1;
+            self.node_rt_mut(slot, key.node).phase = NodePhase::Waiting; // Ready ⟺ queued
             let backoff = Dur::from_ps(self.fault.backoff_ps(attempt));
-            self.events.push(self.now + backoff, Ev::Requeue(key));
+            // The scheduled requeue takes its own pin before the running
+            // task's pin drops below.
+            self.dags[slot as usize].pins += 1;
+            self.events.push(self.now + backoff, Ev::Requeue { slot, key });
         } else {
             self.fault_stats.tasks_aborted += 1;
-            self.node_rt_mut(key).phase = NodePhase::Aborted;
-            let was_aborted =
-                std::mem::replace(&mut self.dags[key.instance as usize].aborted, true);
-            if self.stream_on && !was_aborted {
-                // The instance will never complete; free its in-flight
-                // slot exactly once (later sibling aborts must not
-                // double-release). An aborted request is a failure the
-                // tenant's circuit breaker must see.
-                self.admission.release();
-                let tenant = self.dags[key.instance as usize].app_idx;
-                self.breaker_outcome(tenant, false);
+            self.node_rt_mut(slot, key.node).phase = NodePhase::Aborted;
+            let was_aborted = std::mem::replace(&mut self.dags[slot as usize].aborted, true);
+            if !was_aborted {
+                self.active_work -= 1;
+                if self.stream_on {
+                    // The instance will never complete; free its in-flight
+                    // slot exactly once (later sibling aborts must not
+                    // double-release). An aborted request is a failure the
+                    // tenant's circuit breaker must see.
+                    self.admission.release();
+                    let tenant = self.dags[slot as usize].app_idx;
+                    self.breaker_outcome(tenant, false);
+                }
             }
             self.tracer.emit(self.now.as_ps(), || EventKind::TaskAborted {
                 task: tref(key),
                 attempts: attempt + 1,
             });
         }
+        self.unpin_dag(slot); // the faulted task's pin
         // The freed partition and idle unit may unblock stalled work.
         self.retry_stalled();
         self.try_launch_all();
@@ -2041,14 +2303,17 @@ impl SocSim {
     /// (laxity and predictions recomputed from current state — the retry
     /// is *not* a forwarding candidate, so RELIEF's feasibility check sees
     /// it without escalating it) and re-insert it.
-    fn on_requeue(&mut self, key: TaskKey) {
-        if self.dags[key.instance as usize].cancelled {
-            return; // the request timed out while the retry backed off
+    fn on_requeue(&mut self, slot: u32, key: TaskKey) {
+        if self.dags[slot as usize].cancelled {
+            // The request timed out while the retry backed off; the
+            // requeue's pin was the last thing keeping the husk alive.
+            self.unpin_dag(slot);
+            return;
         }
-        debug_assert_eq!(self.node_rt(key).phase, NodePhase::Waiting);
-        let attempt = self.node_rt(key).attempts;
+        debug_assert_eq!(self.node_rt(slot, key.node).phase, NodePhase::Waiting);
+        let attempt = self.node_rt(slot, key.node).attempts;
         let acc = {
-            let d = &self.dags[key.instance as usize];
+            let d = &self.dags[slot as usize];
             d.dag.node(NodeId(key.node)).acc
         };
         self.fault_stats.task_retries += 1;
@@ -2057,9 +2322,12 @@ impl SocSim {
             acc: acc.0,
             attempt,
         });
-        self.node_rt_mut(key).phase = NodePhase::Ready;
+        self.node_rt_mut(slot, key.node).phase = NodePhase::Ready;
         let mut batch = self.take_batch_buf();
-        batch.push(self.make_entry(key, false, None));
+        batch.push(self.make_entry(key, slot, false, None));
+        // The fresh queue entry re-pinned the instance; the requeue's own
+        // pin hands off to it.
+        self.dags[slot as usize].pins -= 1;
         self.enqueue_batch(batch);
     }
 
@@ -2088,8 +2356,7 @@ impl SocSim {
         self.events.push(self.now, Ev::Launch);
         // Cancelled instances never finish their remaining nodes, so they
         // must not keep the outage stream (and thus the run) alive.
-        let outstanding = self.pending_arrivals > 0
-            || self.dags.iter().any(|d| !d.aborted && !d.cancelled && d.remaining > 0);
+        let outstanding = self.pending_arrivals > 0 || self.active_work > 0;
         self.next_outage[inst_idx] = if outstanding {
             let next = self.outage_iters[inst_idx].next();
             if let Some(w) = next {
@@ -2109,18 +2376,18 @@ impl SocSim {
     /// a scratchpad and not already written back or in flight. `lazy`
     /// marks write-backs triggered by partition reclamation rather than
     /// task completion (§III-C.2).
-    fn issue_writeback(&mut self, key: TaskKey, lazy: bool) {
-        let (inst, part) = match self.node_rt(key).out {
+    fn issue_writeback(&mut self, key: TaskKey, slot: u32, lazy: bool) {
+        let (inst, part) = match self.node_rt(slot, key.node).out {
             OutLoc::Spad { inst, part } => (inst, part),
             _ => return,
         };
-        self.node_rt_mut(key).out = OutLoc::WbInFlight { inst, part };
+        self.node_rt_mut(slot, key.node).out = OutLoc::WbInFlight { inst, part };
         let bytes = {
-            let d = &self.dags[key.instance as usize];
+            let d = &self.dags[slot as usize];
             d.dag.node(NodeId(key.node)).output_bytes
         };
         self.spad_access_bytes += bytes; // producer SPAD read
-        self.node_rt_mut(key).actual_bytes += bytes;
+        self.node_rt_mut(slot, key.node).actual_bytes += bytes;
         self.tracer.emit(self.now.as_ps(), || EventKind::WritebackIssued {
             task: tref(key),
             inst: inst as u32,
@@ -2129,7 +2396,7 @@ impl SocSim {
         });
         let route = Route { src: Port::Spad(inst), dst: Port::Dram };
         let (id, first) = self.engine.begin(route, bytes, inst, self.now);
-        self.track(id, Purpose::WriteBack { node: key });
+        self.track(id, Purpose::WriteBack { node: key, slot });
         self.events.push(first, Ev::Chunk(id));
     }
 
@@ -2138,7 +2405,9 @@ impl SocSim {
     // ------------------------------------------------------------------
 
     /// Records an in-flight transfer's purpose under its dense slot id.
+    /// The transfer pins its owning DAG instance until untracked.
     fn track(&mut self, id: TransferId, purpose: Purpose) {
+        self.dags[purpose.dag_slot() as usize].pins += 1;
         let slot = id.slot();
         if slot >= self.transfers.len() {
             self.transfers.resize(slot + 1, None);
@@ -2161,14 +2430,22 @@ impl SocSim {
         // chunk event marks one chunk's arrival, so the chunk that just
         // landed is checked before the engine advances the transfer.
         if self.fault.enabled() {
-            if let Some(Purpose::InputEdge { child, parent, src_spad: Some(src), attempt, dst }) =
-                self.transfers[id.slot()]
+            if let Some(Purpose::InputEdge {
+                child,
+                parent,
+                src_spad: Some(src),
+                attempt,
+                dst,
+                slot,
+            }) = self.transfers[id.slot()]
             {
                 let chunk = self.chunk_seq[id.slot()];
                 self.chunk_seq[id.slot()] = chunk + 1;
                 if self.fault.ecc_chunk_faults(child.instance, child.node, parent.node, chunk, attempt)
                 {
-                    self.on_ecc_fault(id, child, parent, src, attempt, dst);
+                    let req =
+                        Refetch { child, parent, attempt, dst: dst as u32, slot };
+                    self.on_ecc_fault(id, src, req);
                     return;
                 }
             }
@@ -2178,6 +2455,10 @@ impl SocSim {
             Progress::Done { start, end, bytes } => {
                 let purpose = self.transfers[id.slot()].take().expect("tracked transfer");
                 self.on_transfer_done(purpose, start, end, bytes);
+                // Unpin after the handler: a fault recovery inside it may
+                // re-track a fresh transfer for the same instance, and the
+                // pin count must never dip to zero in between.
+                self.unpin_dag(purpose.dag_slot());
             }
         }
     }
@@ -2185,10 +2466,10 @@ impl SocSim {
     fn on_transfer_done(&mut self, purpose: Purpose, start: Time, end: Time, bytes: u64) {
         let dur = end.saturating_since(start);
         match purpose {
-            Purpose::InputEdge { child, parent, src_spad, attempt, dst } => {
-                self.account_mem_time(child, bytes, src_spad.is_some());
+            Purpose::InputEdge { child, parent, src_spad, attempt, dst, slot } => {
+                self.account_mem_time(slot, bytes, src_spad.is_some());
                 if src_spad.is_none() {
-                    self.observe_bandwidth(child, bytes, dur);
+                    self.observe_bandwidth(slot, child.node, bytes, dur);
                 }
                 if let Some((si, sp)) = src_spad {
                     let p = &mut self.insts[si].parts[sp];
@@ -2201,30 +2482,30 @@ impl SocSim {
                 if self.fault.enabled()
                     && self.fault.dma_faults(child.instance, child.node, parent.node, attempt)
                 {
-                    self.on_dma_fault(child, Some(parent), bytes, attempt, dst);
+                    self.on_dma_fault(child, Some(parent), bytes, attempt, dst, slot);
                     return;
                 }
-                self.consume_reader(parent);
+                self.consume_reader(slot, parent.node);
                 self.input_transfer_done(child, dst);
                 // A partition may have become reusable.
                 self.retry_stalled();
             }
-            Purpose::DramInput { child, attempt, dst } => {
-                self.account_mem_time(child, bytes, false);
-                self.observe_bandwidth(child, bytes, dur);
+            Purpose::DramInput { child, attempt, dst, slot } => {
+                self.account_mem_time(slot, bytes, false);
+                self.observe_bandwidth(slot, child.node, bytes, dur);
                 if self.fault.enabled()
                     && self.fault.dma_faults(child.instance, child.node, u32::MAX, attempt)
                 {
-                    self.on_dma_fault(child, None, bytes, attempt, dst);
+                    self.on_dma_fault(child, None, bytes, attempt, dst, slot);
                     return;
                 }
                 self.input_transfer_done(child, dst);
             }
-            Purpose::WriteBack { node } => {
-                self.account_mem_time(node, bytes, false);
-                self.observe_bandwidth(node, bytes, dur);
-                if let OutLoc::WbInFlight { inst, part } = self.node_rt(node).out {
-                    self.node_rt_mut(node).out = OutLoc::SpadAndDram { inst, part };
+            Purpose::WriteBack { node, slot } => {
+                self.account_mem_time(slot, bytes, false);
+                self.observe_bandwidth(slot, node.node, bytes, dur);
+                if let OutLoc::WbInFlight { inst, part } = self.node_rt(slot, node.node).out {
+                    self.node_rt_mut(slot, node.node).out = OutLoc::SpadAndDram { inst, part };
                 }
                 // Children stalled on this write-back (forwarding disabled)
                 // and tasks stalled on the partition can proceed now.
@@ -2249,9 +2530,10 @@ impl SocSim {
         bytes: u64,
         attempt: u32,
         dst: usize,
+        slot: u32,
     ) {
         self.fault_stats.dma_faults += 1;
-        self.dags[child.instance as usize].faults += 1;
+        self.dags[slot as usize].faults += 1;
         self.tracer.emit(self.now.as_ps(), || EventKind::DmaFaulted {
             task: tref(child),
             parent: parent.map(tref),
@@ -2260,7 +2542,7 @@ impl SocSim {
         });
         let inst_idx = self.consumer_inst(child, dst);
         self.spad_access_bytes += bytes; // the retry rewrites the local SPAD
-        self.node_rt_mut(child).actual_bytes += bytes;
+        self.node_rt_mut(slot, child.node).actual_bytes += bytes;
         let route = Route { src: Port::Dram, dst: Port::Spad(inst_idx) };
         let (id, first) = self.engine.begin(route, bytes, inst_idx, self.now);
         let purpose = match parent {
@@ -2270,8 +2552,9 @@ impl SocSim {
                 src_spad: None,
                 attempt: attempt + 1,
                 dst: inst_idx,
+                slot,
             },
-            None => Purpose::DramInput { child, attempt: attempt + 1, dst: inst_idx },
+            None => Purpose::DramInput { child, attempt: attempt + 1, dst: inst_idx, slot },
         };
         self.track(id, purpose);
         self.events.push(first, Ev::Chunk(id));
@@ -2286,33 +2569,30 @@ impl SocSim {
     /// drops, and after a bounded backoff the edge re-fetches the
     /// parent's checkpointed DRAM copy — which exists by construction,
     /// since fault injection forces write-backs.
-    fn on_ecc_fault(
-        &mut self,
-        id: TransferId,
-        child: TaskKey,
-        parent: TaskKey,
-        src: (usize, usize),
-        attempt: u32,
-        dst: usize,
-    ) {
+    /// `req` carries the failing edge with its *current* attempt number;
+    /// the parked re-fetch is stored with the attempt bumped.
+    fn on_ecc_fault(&mut self, id: TransferId, src: (usize, usize), req: Refetch) {
+        let attempt = req.attempt;
         self.fault_stats.ecc_faults += 1;
         self.fault_stats.forward_invalidations += 1;
-        self.dags[child.instance as usize].faults += 1;
+        self.dags[req.slot as usize].faults += 1;
         let moved = self.engine.cancel(id, self.now);
+        // The cancelled transfer's pin on the instance transfers to the
+        // parked re-fetch below, so no count changes hands here.
         self.transfers[id.slot()] = None;
-        self.account_mem_time(child, moved, true);
+        self.account_mem_time(req.slot, moved, true);
         let (si, sp) = src;
         {
             let p = &mut self.insts[si].parts[sp];
             p.ongoing_reads = p.ongoing_reads.saturating_sub(1);
         }
         self.tracer.emit(self.now.as_ps(), || EventKind::EccCorrupted {
-            task: tref(child),
-            parent: tref(parent),
+            task: tref(req.child),
+            parent: tref(req.parent),
             attempt,
         });
         let backoff = Dur::from_ps(self.fault.backoff_ps(attempt));
-        let req = Refetch { child, parent, attempt: attempt + 1, dst: dst as u32 };
+        let req = Refetch { attempt: attempt + 1, ..req };
         let idx = match self.free_refetches.pop() {
             Some(i) => {
                 self.refetches[i as usize] = req;
@@ -2334,21 +2614,27 @@ impl SocSim {
     /// was cancelled in the meantime the re-fetch is dropped — the unit
     /// was already released.
     fn on_ecc_refetch(&mut self, idx: u32) {
-        let Refetch { child, parent, attempt, dst } = self.refetches[idx as usize];
+        let Refetch { child, parent, attempt, dst, slot } = self.refetches[idx as usize];
         self.free_refetches.push(idx);
         let dst = dst as usize;
-        if self.dags[child.instance as usize].cancelled {
+        if self.dags[slot as usize].cancelled {
+            // The request timed out during the backoff; drop the parked
+            // pin (the unit was already released at cancellation).
+            self.unpin_dag(slot);
             return;
         }
         let bytes = {
-            let d = &self.dags[child.instance as usize];
+            let d = &self.dags[slot as usize];
             d.dag.node(NodeId(parent.node)).output_bytes
         };
         self.spad_access_bytes += bytes; // the retry rewrites the local SPAD
-        self.node_rt_mut(child).actual_bytes += bytes;
+        self.node_rt_mut(slot, child.node).actual_bytes += bytes;
         let route = Route { src: Port::Dram, dst: Port::Spad(dst) };
         let (id, first) = self.engine.begin(route, bytes, dst, self.now);
-        self.track(id, Purpose::InputEdge { child, parent, src_spad: None, attempt, dst });
+        self.track(id, Purpose::InputEdge { child, parent, src_spad: None, attempt, dst, slot });
+        // The fresh transfer re-pinned the instance; the parked re-fetch's
+        // pin hands off to it.
+        self.dags[slot as usize].pins -= 1;
         self.events.push(first, Ev::Chunk(id));
     }
 
@@ -2357,25 +2643,26 @@ impl SocSim {
     /// totals that do not account for overlap, so queuing delay — which
     /// double-counts overlapped transfers — is deliberately excluded here;
     /// contention still shows up in end-to-end time and occupancy.
-    fn account_mem_time(&mut self, key: TaskKey, bytes: u64, forwarded: bool) {
+    fn account_mem_time(&mut self, slot: u32, bytes: u64, forwarded: bool) {
         let rate = if forwarded {
             self.cfg.mem.interconnect_bandwidth
         } else {
             self.cfg.mem.dram_bandwidth
         };
-        let app_idx = self.dags[key.instance as usize].app_idx;
+        let app_idx = self.dags[slot as usize].app_idx;
         self.per_app_mem_time[self.app_ids[app_idx].index()] += Dur::for_bytes(bytes, rate);
     }
 
-    fn observe_bandwidth(&mut self, key: TaskKey, bytes: u64, dur: Dur) {
+    fn observe_bandwidth(&mut self, slot: u32, node: u32, bytes: u64, dur: Dur) {
         if bytes == 0 || dur.is_zero() {
             return;
         }
         let achieved = bytes as f64 / dur.as_secs_f64();
-        let pred = self.node_rt(key).pred_bw;
-        if pred > 0.0 {
+        let pred = self.node_rt(slot, node).pred_bw;
+        if pred > 0.0 && !self.cfg.bounded_memory {
             // (actual − predicted) / predicted: Max always overestimates
             // under contention, yielding Table VIII's negative errors.
+            // Soak mode drops the sample but keeps feeding the predictor.
             self.prediction.bw_rel_errors.push((achieved - pred) / pred);
         }
         self.mem_pred.observe_bandwidth(achieved);
@@ -2439,6 +2726,11 @@ impl SocSim {
             );
         }
         for (i, d) in self.dags.iter().enumerate() {
+            if d.retired {
+                // A retired slot's node storage went back to the pool; its
+                // remaining-vs-phases equality was asserted at retirement.
+                continue;
+            }
             let not_done = d.nodes.iter().filter(|n| n.phase != NodePhase::Done).count();
             assert_eq!(
                 d.remaining, not_done,
@@ -2469,15 +2761,26 @@ impl SocSim {
         #[cfg(any(debug_assertions, feature = "invariants"))]
         self.check_invariants();
         // Data-movement prediction errors (Table VIII): compare per
-        // completed node once all movement is settled.
-        for d in &self.dags {
-            for rt in &d.nodes {
-                if rt.phase == NodePhase::Done && rt.actual_bytes > 0 && rt.pred_bytes > 0 {
-                    let err = (rt.actual_bytes as f64 - rt.pred_bytes as f64)
-                        / rt.pred_bytes as f64;
-                    self.prediction.dm_rel_errors.push(err);
+        // completed node once all movement is settled. Retired instances
+        // folded their contributions at retirement; merging those with the
+        // still-live instances and sorting by admission serial reproduces
+        // the exact push order of a walk over never-recycled storage.
+        if !self.cfg.bounded_memory {
+            let mut dm = std::mem::take(&mut self.retired_dm);
+            for d in &self.dags {
+                if d.retired {
+                    continue;
+                }
+                for rt in &d.nodes {
+                    if rt.phase == NodePhase::Done && rt.actual_bytes > 0 && rt.pred_bytes > 0 {
+                        let err = (rt.actual_bytes as f64 - rt.pred_bytes as f64)
+                            / rt.pred_bytes as f64;
+                        dm.push((d.serial, err));
+                    }
                 }
             }
+            dm.sort_by_key(|&(serial, _)| serial);
+            self.prediction.dm_rel_errors.extend(dm.into_iter().map(|(_, err)| err));
         }
 
         let exec_time = match self.cfg.time_limit {
@@ -2541,6 +2844,7 @@ impl SocSim {
             prediction: self.prediction,
             trace,
             events_dispatched: self.events.dispatched(),
+            live_high_water: self.dag_slots.slots() as u64,
         }
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events]
+//!               [--soak [--smoke] [--jobs N]]
 //! ```
 //!
 //! `--service` measures the pinned service-mode subset instead (the
@@ -18,15 +19,28 @@
 //! subset stays the committed baseline, the service entry is a second
 //! trajectory series.
 //!
+//! `--soak` runs the million-request MMPP soak ([`soak::SoakSpec`]) in
+//! bounded-memory mode: the live-slot high-water mark is hard-gated
+//! against the spec's bound, and a `<rev>+soak` trajectory entry is
+//! appended carrying the v2 optional fields (peak RSS, live high-water).
+//! `--soak --smoke` is the `xtask check` `soak-smoke` step: a 0.5 s
+//! soak run at `--jobs` 1 and 2 whose deterministic reports must be
+//! byte-identical, with the same live-set gate and no trajectory write.
+//!
 //! `--check` is the CI gate wired into `xtask check`: three iterations,
 //! written to `target/BENCH_simcore.check.json` (unless `--out` is
 //! given), read back and schema-validated, then compared against the
 //! committed `BENCH_simcore.json` baseline — the fresh run's fastest
 //! pass must stay within `--tolerance` percent (default 10) of the
 //! committed optimised median ns/event, or the gate fails printing both
-//! sides. A missing baseline skips the comparison with a notice, so
-//! fresh clones and baseline-refresh commits still pass.
+//! sides. It then runs a reduced soak and gates its ns/event against
+//! the committed `+soak` trajectory entry at a loose 60 % tolerance
+//! (soak cost is arrival-path-dominated and noisier than the closed
+//! loop), plus the hard live-set bound. A missing baseline skips the
+//! corresponding comparison with a notice, so fresh clones and
+//! baseline-refresh commits still pass.
 
+use relief_bench::soak::{rss_peak_mb, SoakSpec};
 use relief_bench::walltime;
 use std::process::ExitCode;
 
@@ -39,6 +53,9 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut service = false;
     let mut events = false;
+    let mut soak = false;
+    let mut smoke = false;
+    let mut jobs = 1usize;
     let mut tolerance = 0.10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +71,12 @@ fn main() -> ExitCode {
             "--check" => check = true,
             "--service" => service = true,
             "--events" => events = true,
+            "--soak" => soak = true,
+            "--smoke" => smoke = true,
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => return usage("--jobs needs a positive integer"),
+            },
             "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(pct) if pct >= 0.0 && pct.is_finite() => tolerance = pct / 100.0,
                 _ => return usage("--tolerance needs a non-negative percentage"),
@@ -68,6 +91,12 @@ fn main() -> ExitCode {
         if check { "target/BENCH_simcore.check.json".into() } else { "BENCH_simcore.json".into() }
     });
 
+    if smoke && !soak {
+        return usage("--smoke only applies to --soak");
+    }
+    if soak {
+        return run_soak(smoke, jobs, &trajectory_path(&out));
+    }
     if events {
         return run_events(iters, &trajectory_path(&out));
     }
@@ -135,7 +164,148 @@ fn main() -> ExitCode {
                 println!("  no committed {BASELINE}; skipping no-regression gate");
             }
         }
+        return check_soak();
     }
+    ExitCode::SUCCESS
+}
+
+/// The `--check` soak gate: a reduced soak whose live-slot high-water
+/// mark must stay under the spec's bound (hard), and whose ns/event must
+/// stay within 60 % of the committed `+soak` trajectory entry (skipped
+/// with a notice when no soak entry is committed yet).
+fn check_soak() -> ExitCode {
+    const SOAK_TOLERANCE: f64 = 0.60;
+    let spec = SoakSpec::check();
+    let outcome = match spec.run(1) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simcore_bench: soak check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  soak check OK: {} arrivals, {} events, live high-water {} (bound {})",
+        outcome.arrivals, outcome.events, outcome.live_high_water, spec.live_bound
+    );
+    let committed = std::fs::read_to_string("BENCH_trajectory.json")
+        .ok()
+        .as_deref()
+        .and_then(walltime::last_soak_ns);
+    match committed {
+        Some(baseline) => {
+            let fresh = outcome.ns_per_event();
+            let limit = baseline * (1.0 + SOAK_TOLERANCE);
+            if fresh.total_cmp(&limit) == std::cmp::Ordering::Greater || !fresh.is_finite() {
+                eprintln!(
+                    "simcore_bench: soak regressed: committed {baseline:.1} ns/event vs \
+                     fresh {fresh:.1}; limit {limit:.1} at {:.0}% tolerance",
+                    SOAK_TOLERANCE * 100.0
+                );
+                eprintln!(
+                    "simcore_bench: if this is an intended trade-off, refresh the +soak \
+                     entry with 'cargo run -p xtask -- bench --soak' and commit it"
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "  soak no-regression gate OK: committed {baseline:.1} ns/event vs \
+                 fresh {:.1}; limit {limit:.1}",
+                outcome.ns_per_event()
+            );
+        }
+        None => println!("  no committed +soak trajectory entry; skipping soak gate"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--soak` mode: the million-request bounded-memory soak, or its
+/// 0.5 s `--smoke` variant (the `xtask check` `soak-smoke` step).
+fn run_soak(smoke: bool, jobs: usize, trajectory: &str) -> ExitCode {
+    if smoke {
+        let spec = SoakSpec::smoke();
+        let a = match spec.run(1) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("simcore_bench: soak smoke (jobs=1) failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let b = match spec.run(2) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("simcore_bench: soak smoke (jobs=2) failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if a.report != b.report {
+            eprintln!(
+                "simcore_bench: soak report depends on --jobs\n--- jobs=1 ---\n{}\n\
+                 --- jobs=2 ---\n{}",
+                a.report, b.report
+            );
+            return ExitCode::FAILURE;
+        }
+        print!("{}", a.report);
+        println!(
+            "soak smoke OK: {} arrivals, live high-water {} <= bound {}, \
+             report byte-identical at jobs 1 and 2",
+            a.arrivals, a.live_high_water, spec.live_bound
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let spec = SoakSpec::default();
+    let outcome = match spec.run(jobs) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simcore_bench: soak failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", outcome.report);
+    let rss = rss_peak_mb();
+    println!(
+        "soak: {} arrivals, {} events, {:.1} ns/event, live high-water {} (bound {}), \
+         peak RSS {}",
+        outcome.arrivals,
+        outcome.events,
+        outcome.ns_per_event(),
+        outcome.live_high_water,
+        spec.live_bound,
+        match rss {
+            Some(mb) => format!("{mb:.1} MB"),
+            None => "unavailable".to_string(),
+        }
+    );
+    if outcome.arrivals < 1_000_000 {
+        eprintln!(
+            "simcore_bench: soak drove only {} arrivals (< 1M) — spec drifted?",
+            outcome.arrivals
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let label = format!("{}+soak", revision_label());
+    // A soak runs once on the optimised path only (a reference soak
+    // would deliberately grow O(arrivals)); both ns columns carry the
+    // same measurement and the speedup is a placeholder 1.0.
+    let entry = walltime::TrajectoryEntry {
+        label: label.clone(),
+        iters: 1,
+        optimized_ns_per_event: outcome.ns_per_event(),
+        reference_ns_per_event: outcome.ns_per_event(),
+        events_per_sec: outcome.events as f64 * 1e9 / outcome.wall_ns.max(1) as f64,
+        speedup: 1.0,
+        rss_peak_mb: rss,
+        live_high_water: Some(outcome.live_high_water),
+    };
+    let history = std::fs::read_to_string(trajectory).ok();
+    let body = walltime::append_trajectory(history.as_deref(), &entry);
+    if let Err(e) = std::fs::write(trajectory, body) {
+        eprintln!("simcore_bench: cannot write {trajectory}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  appended entry '{label}' to {trajectory}");
     ExitCode::SUCCESS
 }
 
@@ -228,7 +398,8 @@ fn revision_label() -> String {
 fn usage(err: &str) -> ExitCode {
     eprintln!("simcore_bench: {err}");
     eprintln!(
-        "usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events]"
+        "usage: simcore_bench [--iters N] [--out PATH] [--check] [--tolerance PCT] \
+         [--service] [--events] [--soak [--smoke] [--jobs N]]"
     );
     ExitCode::from(2)
 }

@@ -457,6 +457,7 @@ fn read_sim_result(r: &mut Reader) -> Option<SimResult> {
         prediction,
         trace: Trace { spans },
         events_dispatched: r.u64()?,
+        live_high_water: 0,
     })
 }
 

@@ -138,5 +138,6 @@ pub mod microbench;
 pub mod oracle;
 pub mod resilience;
 pub mod service;
+pub mod soak;
 pub mod traceio;
 pub mod walltime;

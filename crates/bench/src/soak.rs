@@ -1,0 +1,348 @@
+//! Million-request soak benchmark (`xtask bench --soak`): sustained
+//! MMPP overload through the open-loop service frontend, run in
+//! bounded-memory mode so the only thing allowed to grow with arrival
+//! count is the arrival count itself.
+//!
+//! The soak exists to prove the serving claim, not to reproduce a paper
+//! figure: with generational instance recycling on (the default hot
+//! path), a run that admits hundreds of thousands of requests must keep
+//! its live `DagInst` slot count — [`SimResult::live_high_water`] — at
+//! O(in-flight), and its host RSS must plateau rather than track total
+//! arrivals. [`SoakSpec::live_bound`] is the hard ceiling the bench and
+//! the `soak-smoke` check gate on.
+//!
+//! Cells run through the campaign engine (cache disabled — this is a
+//! wall-clock benchmark), so the deterministic part of the report is
+//! byte-identical at any `--jobs`; wall time, ns/event, and peak RSS
+//! are the only host-dependent outputs and are reported separately.
+
+use crate::campaign::{execute, CampaignResults, CampaignSpec, ExecOptions, PlatformSpec, WorkloadSpec};
+use relief_accel::SocConfig;
+use relief_core::PolicyKind;
+use relief_metrics::report::Table;
+use relief_service::{AdmissionConfig, ArrivalProcess, SelfHealConfig, StreamConfig, TenantCfg};
+use std::time::Instant;
+
+/// Knobs of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakSpec {
+    /// Arrival-stream seed shared by every cell.
+    pub seed: u64,
+    /// Per-tenant mean arrival rate, requests/s (the MMPP burst/duty
+    /// parameters keep the mean at this value).
+    pub rate: f64,
+    /// Stream duration, picoseconds (arrivals stop here; the run drains).
+    pub duration_ps: u64,
+    /// Warm-up truncation for the service histograms, picoseconds.
+    pub warmup_ps: u64,
+    /// Global in-flight admission cap; overload beyond it is shed, which
+    /// is what keeps the live set — and therefore memory — bounded.
+    pub max_in_flight: u32,
+    /// Hard ceiling on [`SimResult::live_high_water`]: admitted
+    /// in-flight instances plus completed instances still pinned by a
+    /// scratchpad-partition hold. A run above this bound fails the bench.
+    pub live_bound: u64,
+    /// Policies under test, one campaign cell each.
+    pub policies: Vec<PolicyKind>,
+}
+
+impl Default for SoakSpec {
+    fn default() -> Self {
+        SoakSpec {
+            // 3 tenants x 2000 req/s x 100 s x 2 policy cells = 1.2M
+            // arrivals: past the million-request mark the ROADMAP's
+            // serving story is calibrated against.
+            seed: 0x50AC,
+            rate: 2_000.0,
+            duration_ps: 100_000_000_000_000, // 100 s of arrivals
+            warmup_ps: 5_000_000_000_000,     // first 5 s excluded
+            max_in_flight: 24,
+            live_bound: 256,
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Relief],
+        }
+    }
+}
+
+/// The calibrated burst shape every soak cell streams: 4x bursts, 25 %
+/// duty, 1 ms cycle — the same defaults `--arrival mmpp` resolves to,
+/// pinned here so the soak trajectory stays comparable across PRs.
+fn mmpp() -> ArrivalProcess {
+    ArrivalProcess::Mmpp { burst: 4.0, on_fraction: 0.25, cycle_ps: 1_000_000_000 }
+}
+
+impl SoakSpec {
+    /// The short variant behind `xtask check`'s `soak-smoke` step and
+    /// `bench --soak --smoke`: same shape, 0.5 s of arrivals (~3k per
+    /// cell) — enough admissions for slots to recycle many times over,
+    /// quick enough for CI.
+    #[must_use]
+    pub fn smoke() -> Self {
+        SoakSpec {
+            duration_ps: 500_000_000_000,
+            warmup_ps: 50_000_000_000,
+            ..SoakSpec::default()
+        }
+    }
+
+    /// The reduced variant `bench --check` gates on: 10 s of arrivals
+    /// (~120k requests) — long enough for a stable ns/event, an order of
+    /// magnitude cheaper than the full soak.
+    #[must_use]
+    pub fn check() -> Self {
+        SoakSpec {
+            duration_ps: 10_000_000_000_000,
+            warmup_ps: 1_000_000_000_000,
+            ..SoakSpec::default()
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policies.is_empty() {
+            return Err("soak needs at least one policy".into());
+        }
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(format!("soak rate {} must be positive and finite", self.rate));
+        }
+        if self.live_bound == 0 {
+            return Err("soak live_bound must be nonzero".into());
+        }
+        if self.max_in_flight == 0 {
+            return Err("soak needs an in-flight cap (unbounded admission defeats it)".into());
+        }
+        self.stream_config().validate().map_err(|e| e.to_string())
+    }
+
+    /// The stream every cell drives: the CGL tenant trio under the
+    /// calibrated MMPP shape, admission-capped, self-healing off.
+    fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            seed: self.seed,
+            duration_ps: self.duration_ps,
+            warmup_ps: self.warmup_ps,
+            process: mmpp(),
+            tenants: crate::service::TENANT_APPS
+                .iter()
+                .map(|&(_, q)| TenantCfg::new(q, self.rate))
+                .collect(),
+            admission: AdmissionConfig {
+                max_in_flight: self.max_in_flight,
+                ..AdmissionConfig::default()
+            },
+            self_heal: SelfHealConfig::default(),
+        }
+    }
+
+    /// Expands into a campaign: one platform (the soaked stream in
+    /// bounded-memory mode), one cell per policy.
+    pub fn campaign(&self) -> CampaignSpec {
+        let stream = self.stream_config();
+        let label = format!(
+            "mobile+soak-mmppr{:.0}s{:x}d{}us+adm{}+bm",
+            self.rate,
+            self.seed,
+            self.duration_ps / 1_000_000,
+            self.max_in_flight,
+        );
+        CampaignSpec {
+            name: "soak".into(),
+            policies: self.policies.clone(),
+            workloads: vec![WorkloadSpec::custom("service/CGL", None, crate::service::tenant_workload)],
+            platforms: vec![PlatformSpec::custom(label, move |p| {
+                SocConfig::mobile(p).with_stream(stream.clone()).with_bounded_memory()
+            })],
+            replicates: 1,
+        }
+    }
+
+    /// Runs the soak on `jobs` workers and aggregates the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a cell panics, a cell's event counters
+    /// disagree with its stats, or the live-set high-water mark exceeds
+    /// [`SoakSpec::live_bound`].
+    pub fn run(&self, jobs: usize) -> Result<SoakOutcome, String> {
+        self.validate()?;
+        let specs = self.campaign().expand();
+        let t0 = Instant::now();
+        let results = execute(specs, &ExecOptions { jobs, ..ExecOptions::default() });
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let failures = results.failures();
+        if !failures.is_empty() {
+            return Err(format!("soak cells failed: {failures:?}"));
+        }
+        let mismatched = results.mismatched();
+        if !mismatched.is_empty() {
+            return Err(format!("soak cells mismatched: {mismatched:?}"));
+        }
+        let mut arrivals = 0u64;
+        let mut events = 0u64;
+        let mut live_high_water = 0u64;
+        for o in &results.outcomes {
+            if let Ok(rec) = &o.outcome {
+                arrivals += rec.result.stats.service.arrivals();
+                events += rec.result.events_dispatched;
+                live_high_water = live_high_water.max(rec.result.live_high_water);
+            }
+        }
+        let outcome = SoakOutcome {
+            report: self.render(&results),
+            wall_ns,
+            arrivals,
+            events,
+            live_high_water,
+        };
+        if live_high_water > self.live_bound {
+            return Err(format!(
+                "live-set high-water mark {live_high_water} exceeds the configured bound {} — \
+                 instance recycling is not keeping memory O(in-flight)\n{}",
+                self.live_bound, outcome.report
+            ));
+        }
+        Ok(outcome)
+    }
+
+    /// The deterministic per-cell table: everything here is
+    /// simulation-derived, so two executions at different `--jobs` must
+    /// render byte-identically.
+    fn render(&self, results: &CampaignResults) -> String {
+        let mut t = Table::with_columns(&[
+            "policy",
+            "arrivals",
+            "admitted",
+            "shed %",
+            "att lat %",
+            "events",
+            "live hw",
+        ]);
+        for (i, spec) in self.campaign().expand().iter().enumerate() {
+            let policy = self.policies[i % self.policies.len()].name().to_string();
+            match results.get(&spec.label()) {
+                Some(rec) => {
+                    let svc = &rec.result.stats.service;
+                    t.row(vec![
+                        policy,
+                        svc.arrivals().to_string(),
+                        svc.admitted().to_string(),
+                        format!("{:.1}", svc.shed_rate() * 100.0),
+                        format!("{:.1}", svc.classes[0].attainment() * 100.0),
+                        rec.result.events_dispatched.to_string(),
+                        rec.result.live_high_water.to_string(),
+                    ]);
+                }
+                None => {
+                    let mut row = vec![policy];
+                    row.extend((0..6).map(|_| "FAILED".to_string()));
+                    t.row(row);
+                }
+            }
+        }
+        format!(
+            "[soak: CGL | mmpp 4x/25%/1ms | seed {:#x} | {} us stream, {} us warm-up \
+             | in-flight cap {} | live bound {}]\n{}",
+            self.seed,
+            self.duration_ps / 1_000_000,
+            self.warmup_ps / 1_000_000,
+            self.max_in_flight,
+            self.live_bound,
+            t.render()
+        )
+    }
+}
+
+/// Everything one soak run produced.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// The deterministic per-cell table ([`SoakSpec::render`]).
+    pub report: String,
+    /// Wall-clock nanoseconds across all cells.
+    pub wall_ns: u64,
+    /// Total stream arrivals across all cells.
+    pub arrivals: u64,
+    /// Total simulator events dispatched across all cells.
+    pub events: u64,
+    /// Largest per-cell live-slot high-water mark.
+    pub live_high_water: u64,
+}
+
+impl SoakOutcome {
+    /// Host nanoseconds per dispatched simulator event.
+    #[must_use]
+    pub fn ns_per_event(&self) -> f64 {
+        self.wall_ns as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Peak resident-set size of this process in megabytes, from
+/// `/proc/self/status` `VmHWM` — `None` off Linux or when unreadable.
+#[must_use]
+pub fn rss_peak_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A soak small enough for unit tests: 50 ms of arrivals (~300).
+    fn tiny() -> SoakSpec {
+        SoakSpec {
+            duration_ps: 50_000_000_000,
+            warmup_ps: 5_000_000_000,
+            policies: vec![PolicyKind::Relief],
+            ..SoakSpec::default()
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        assert!(SoakSpec::default().validate().is_ok());
+        assert!(SoakSpec { policies: vec![], ..SoakSpec::default() }.validate().is_err());
+        assert!(SoakSpec { rate: 0.0, ..SoakSpec::default() }.validate().is_err());
+        assert!(SoakSpec { live_bound: 0, ..SoakSpec::default() }.validate().is_err());
+        assert!(SoakSpec { max_in_flight: 0, ..SoakSpec::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_soak_recycles_and_stays_bounded() {
+        let spec = tiny();
+        let outcome = spec.run(1).unwrap();
+        assert!(outcome.arrivals > 100, "too few arrivals: {}", outcome.arrivals);
+        assert!(outcome.events > outcome.arrivals);
+        assert!(outcome.live_high_water > 0);
+        assert!(
+            outcome.live_high_water <= spec.live_bound,
+            "live high-water {} above bound {}",
+            outcome.live_high_water,
+            spec.live_bound
+        );
+        assert!(outcome.report.contains("RELIEF"), "{}", outcome.report);
+        assert!(outcome.ns_per_event() > 0.0);
+    }
+
+    #[test]
+    fn tiny_soak_report_is_jobs_invariant() {
+        let spec = tiny();
+        let a = spec.run(1).unwrap();
+        let b = spec.run(2).unwrap();
+        assert_eq!(a.report, b.report, "soak report must not depend on --jobs");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.live_high_water, b.live_high_water);
+    }
+
+    #[test]
+    fn rss_probe_is_sane() {
+        // On Linux the probe must read a positive peak; elsewhere None.
+        if let Some(mb) = rss_peak_mb() {
+            assert!(mb > 0.0);
+        }
+    }
+}

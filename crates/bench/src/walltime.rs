@@ -25,7 +25,13 @@ use std::time::Instant;
 pub const SCHEMA: &str = "relief-simcore-bench/v1";
 
 /// Schema tag of the sibling `BENCH_trajectory.json` history file.
-pub const TRAJECTORY_SCHEMA: &str = "relief-simcore-trajectory/v1";
+/// v2 adds the optional per-entry `rss_peak_mb` and `live_high_water`
+/// fields the `+soak` series records; v1 files are still parsed and
+/// rewritten under this tag on the next append.
+pub const TRAJECTORY_SCHEMA: &str = "relief-simcore-trajectory/v2";
+
+/// The previous trajectory schema tag, still accepted on read.
+pub const TRAJECTORY_SCHEMA_V1: &str = "relief-simcore-trajectory/v1";
 
 /// Human-readable description of the pinned subset, recorded in the JSON
 /// so readers know what was measured.
@@ -406,6 +412,10 @@ pub struct TrajectoryEntry {
     pub events_per_sec: f64,
     /// Median reference over median optimised ns/event.
     pub speedup: f64,
+    /// Peak host RSS in megabytes (schema v2, `+soak` entries only).
+    pub rss_peak_mb: Option<f64>,
+    /// Live-slot high-water mark (schema v2, `+soak` entries only).
+    pub live_high_water: Option<u64>,
 }
 
 impl TrajectoryEntry {
@@ -419,23 +429,35 @@ impl TrajectoryEntry {
             reference_ns_per_event: r.reference.ns_per_event.median,
             events_per_sec: r.optimized.events_per_sec.median,
             speedup: r.speedup,
+            rss_peak_mb: None,
+            live_high_water: None,
         }
     }
 
     /// The entry as a single flat JSON object (one line, no nesting —
     /// [`append_trajectory`] relies on this shape to re-parse entries).
+    /// The optional v2 fields are emitted only when present, so pre-soak
+    /// entries round-trip byte-identically.
     #[must_use]
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"label\": \"{}\", \"iters\": {}, \"optimized_ns_per_event\": {:.1}, \
-             \"reference_ns_per_event\": {:.1}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+             \"reference_ns_per_event\": {:.1}, \"events_per_sec\": {:.0}, \"speedup\": {:.2}",
             self.label.replace(['"', '\\'], "_"),
             self.iters,
             self.optimized_ns_per_event,
             self.reference_ns_per_event,
             self.events_per_sec,
             self.speedup,
-        )
+        );
+        if let Some(mb) = self.rss_peak_mb {
+            out.push_str(&format!(", \"rss_peak_mb\": {mb:.1}"));
+        }
+        if let Some(hw) = self.live_high_water {
+            out.push_str(&format!(", \"live_high_water\": {hw}"));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -446,7 +468,9 @@ impl TrajectoryEntry {
 #[must_use]
 pub fn append_trajectory(existing: Option<&str>, entry: &TrajectoryEntry) -> String {
     let mut entries: Vec<String> = existing
-        .filter(|body| body.contains(TRAJECTORY_SCHEMA))
+        .filter(|body| {
+            body.contains(TRAJECTORY_SCHEMA) || body.contains(TRAJECTORY_SCHEMA_V1)
+        })
         .map(extract_flat_objects)
         .unwrap_or_default();
     entries.push(entry.to_json());
@@ -471,6 +495,40 @@ fn extract_flat_objects(body: &str) -> Vec<String> {
         rest = &tail[end + 1..];
     }
     entries
+}
+
+/// Reads a numeric field out of one flat trajectory-entry object.
+fn flat_field(entry: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = entry.find(&needle)?;
+    let num = &entry[at + needle.len()..];
+    let end = num.find([',', '}'])?;
+    num[..end].trim().parse().ok()
+}
+
+/// The optimised ns/event of the most recent `+soak` entry in a
+/// serialised trajectory history — the committed soak baseline
+/// `xtask bench --check` gates against. `None` when the history is
+/// missing, from another schema, or holds no soak entries yet.
+#[must_use]
+pub fn last_soak_ns(history: &str) -> Option<f64> {
+    if !history.contains(TRAJECTORY_SCHEMA) && !history.contains(TRAJECTORY_SCHEMA_V1) {
+        return None;
+    }
+    extract_flat_objects(history)
+        .iter()
+        .rev()
+        .find(|e| {
+            flat_label(e).is_some_and(|l| l.ends_with("+soak"))
+        })
+        .and_then(|e| flat_field(e, "optimized_ns_per_event"))
+}
+
+/// The label of one flat trajectory-entry object.
+fn flat_label(entry: &str) -> Option<&str> {
+    let rest = entry.strip_prefix("{\"label\": \"")?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
 }
 
 /// Reads the optimised median ns/event out of a serialised
@@ -643,6 +701,33 @@ mod tests {
         // Garbage previous content starts a fresh single-entry history.
         let fresh = append_trajectory(Some("not json"), &entry);
         assert_eq!(fresh.matches("\"label\"").count(), 1);
+    }
+
+    #[test]
+    fn trajectory_v2_optional_fields_and_v1_compat() {
+        // Optional fields absent: the line matches the v1 entry shape.
+        let plain = TrajectoryEntry::from_report("abc", &report_with_optimized_median(50.0));
+        assert!(!plain.to_json().contains("rss_peak_mb"));
+        // Present: emitted, and the file stays well-formed.
+        let mut soak = plain.clone();
+        soak.label = "abc+soak".into();
+        soak.rss_peak_mb = Some(123.4);
+        soak.live_high_water = Some(42);
+        let body = append_trajectory(None, &soak);
+        assert!(body.contains("\"rss_peak_mb\": 123.4"), "{body}");
+        assert!(body.contains("\"live_high_water\": 42"), "{body}");
+        assert!(relief_trace::chrome::is_well_formed_json(&body));
+        // A v1-tagged history is still parsed: entries survive the append.
+        let v1 = append_trajectory(None, &plain)
+            .replace(TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA_V1);
+        assert!(v1.contains(TRAJECTORY_SCHEMA_V1));
+        let upgraded = append_trajectory(Some(&v1), &soak);
+        assert_eq!(upgraded.matches("\"label\"").count(), 2, "{upgraded}");
+        assert!(upgraded.contains(TRAJECTORY_SCHEMA), "{upgraded}");
+        // The soak baseline reader finds the latest +soak entry in both.
+        assert_eq!(last_soak_ns(&upgraded), Some(50.0));
+        assert_eq!(last_soak_ns(&v1), None, "no +soak entry in the v1 body");
+        assert_eq!(last_soak_ns("not json"), None);
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub struct TaskEntry {
     /// the producer's output is still live in its scratchpad. Roots and
     /// re-inserted tasks are not candidates.
     pub fwd_candidate: bool,
+    /// Runtime-internal storage slot of the owning DAG instance. The
+    /// public identity (`key.instance`) is a monotonic admission serial;
+    /// a runtime that recycles instance storage carries the dense slot
+    /// here so the hot path indexes its arena without a serial→slot map.
+    /// Policies must never order or compare on it. Defaults to
+    /// `key.instance` (slot == serial when nothing recycles).
+    pub slot: u32,
 }
 
 impl TaskEntry {
@@ -81,12 +88,19 @@ impl TaskEntry {
             sort_key: 0,
             is_fwd: false,
             fwd_candidate: false,
+            slot: key.instance,
         }
     }
 
     /// Sets the arrival sequence number.
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = seq;
+        self
+    }
+
+    /// Sets the runtime-internal instance slot (see [`TaskEntry::slot`]).
+    pub fn with_slot(mut self, slot: u32) -> Self {
+        self.slot = slot;
         self
     }
 
@@ -136,6 +150,8 @@ mod tests {
         assert_eq!(t.seq, 42);
         assert!(t.fwd_candidate);
         assert!(!t.is_fwd);
+        assert_eq!(t.slot, 0, "slot defaults to key.instance");
+        assert_eq!(t.with_slot(9).slot, 9);
     }
 
     #[test]

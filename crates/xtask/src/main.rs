@@ -20,9 +20,13 @@
 //!    entries written under a stale schema version or code-version salt
 //!    (they can never hit again; `cache_hygiene --purge` deletes them).
 //!    `chaos-smoke` (release) — the chaos campaign binary executes a
-//!    small fault × overload grid with the self-healing stack on, and
-//!    `invariants` proves the end-of-run conservation checks also hold
-//!    in a release build via the `invariants` feature.
+//!    small fault × overload grid with the self-healing stack on,
+//!    `soak-smoke` (release) — a short bounded-memory MMPP soak whose
+//!    deterministic report must be byte-identical at `--jobs` 1 and 2
+//!    and whose live-slot high-water mark must stay under the
+//!    configured bound (instance recycling keeps memory O(in-flight)),
+//!    and `invariants` proves the end-of-run conservation checks also
+//!    hold in a release build via the `invariants` feature.
 //! 5. The determinism, conformance, and property test suites:
 //!    `campaign_engine`, `campaign_cache` (the content-addressed
 //!    incremental-campaign store: warm reruns simulate zero cells with
@@ -34,10 +38,14 @@
 //!    disabled, admission accounting), `chaos_conformance` (memory-side
 //!    fault domains, circuit breakers, timeouts and hedges, the
 //!    simulation watchdog, and the campaign-cache round trip),
-//!    `queue_equivalence` and
+//!    `queue_equivalence`,
 //!    `soa_equivalence` (the optimised hot path against its own
 //!    reference implementation, bit for bit, under all eleven policies,
-//!    twenty seeds, faults, and service mode), and `oracle_conformance`
+//!    twenty seeds, faults, and service mode),
+//!    `recycling_equivalence` (generational instance recycling against
+//!    the never-retiring reference path: bit-exact stats/traces, stale
+//!    timeouts dropped on recycled slots, bounded-memory mode
+//!    observation-only), and `oracle_conformance`
 //!    (the ahead-of-time scheduling bound: oracle ≤ every online
 //!    policy, prediction = replay bit-exactly, beam-width monotonicity,
 //!    recorded-run replay differentials).
@@ -56,11 +64,16 @@
 //! writes `BENCH_simcore.json` at the repo root, and appends the run's
 //! medians to the `BENCH_trajectory.json` history (see README.md).
 //! Extra arguments (`--iters N`, `--out PATH`, `--check`,
-//! `--tolerance PCT`, `--service`, `--events`) are forwarded to the
+//! `--tolerance PCT`, `--service`, `--events`, `--soak`, `--smoke`,
+//! `--jobs N`) are forwarded to the
 //! `simcore_bench` binary; `bench --service` times the open-loop
 //! service subset and appends a `+service` trajectory entry instead,
-//! and `bench --events` times the calendar-queue cohort-pop microbench
-//! alone, appending a `+events` entry.
+//! `bench --events` times the calendar-queue cohort-pop microbench
+//! alone, appending a `+events` entry, and `bench --soak` drives the
+//! million-request bounded-memory MMPP soak, appending a `+soak` entry
+//! that also records peak RSS and the live-slot high-water mark
+//! (trajectory schema v2). `bench --check` additionally gates a reduced
+//! soak against the committed `+soak` entry and the live-set bound.
 //!
 //! Exit code is nonzero if any executed step fails.
 
@@ -90,7 +103,7 @@ fn have_clippy() -> bool {
 }
 
 /// The integration-test suites step 5 runs, as `(package, test target)`.
-const TEST_SUITES: [(&str, &str); 11] = [
+const TEST_SUITES: [(&str, &str); 12] = [
     ("relief-bench", "campaign_engine"),
     ("relief-bench", "campaign_cache"),
     ("relief", "golden_experiments"),
@@ -101,16 +114,18 @@ const TEST_SUITES: [(&str, &str); 11] = [
     ("relief", "chaos_conformance"),
     ("relief", "queue_equivalence"),
     ("relief", "soa_equivalence"),
+    ("relief", "recycling_equivalence"),
     ("relief", "oracle_conformance"),
 ];
 
 /// Names accepted by `check --suite` that are not test targets.
-const META_SUITES: [&str; 7] = [
+const META_SUITES: [&str; 8] = [
     "build",
     "lint",
     "campaign-smoke",
     "cache-hygiene",
     "chaos-smoke",
+    "soak-smoke",
     "invariants",
     "bench-check",
 ];
@@ -260,6 +275,12 @@ fn check(args: &[String]) -> ExitCode {
             ]),
         );
     }
+    if wants("soak-smoke") {
+        ok &= run(
+            "soak smoke run (bounded-memory serving, jobs=1 vs jobs=2)",
+            &mut bench_command(&["--soak".to_string(), "--smoke".to_string()]),
+        );
+    }
     if wants("invariants") {
         ok &= run(
             "release-mode conservation invariants (--features invariants)",
@@ -331,7 +352,7 @@ fn main() -> ExitCode {
         Some("bench") => bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <check [--suite NAMES] [--list-suites] | bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events]>"
+                "usage: cargo run -p xtask -- <check [--suite NAMES] [--list-suites] | bench [--iters N] [--out PATH] [--check] [--tolerance PCT] [--service] [--events] [--soak [--smoke] [--jobs N]]>"
             );
             ExitCode::from(2)
         }

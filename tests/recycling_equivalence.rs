@@ -1,0 +1,241 @@
+//! Generational-instance-recycling property suite: retiring completed /
+//! aborted / cancelled DAG instances into the slot allocator — and
+//! recycling their `NodeRt` vectors through the per-app pools — must be
+//! *observationally invisible*. `SocConfig::reference_hot_path` keeps
+//! every instance alive forever (slot == admission serial throughout),
+//! and this suite pins the recycling path bit-exact against it:
+//!
+//! 1. **Seed × policy rotation** — twenty distinct simulation seeds
+//!    rotated through all eleven policies, with deterministic fault
+//!    injection (task aborts retire instances mid-run) folded into every
+//!    third seed.
+//! 2. **Service mode with the self-healing stack on** — Poisson
+//!    arrivals, request timeouts, hedged retries, and circuit breakers.
+//!    Completed requests leave armed `Ev::Timeout`s behind; those fire
+//!    after the slot has been recycled and must be recognised as stale
+//!    (serial mismatch) and dropped, not cancel the new tenant.
+//! 3. **Recycling actually engages** — the recycling path's live-slot
+//!    high-water mark stays strictly below the reference path's (which
+//!    equals total admissions), so the equivalence above is not running
+//!    with retirement accidentally disabled.
+//! 4. **Bounded-memory mode is observation-only** — dropping the
+//!    O(completed-instances) prediction/runtime samples must not move
+//!    one simulated event.
+
+use relief::bench::config_for;
+use relief::prelude::*;
+use relief_accel::SimResult;
+use relief_service::{AdmissionConfig, SelfHealConfig, StreamConfig, TenantCfg};
+
+/// All eleven schedulable policies: the fairness-study eight plus the
+/// heterogeneity/throttling/adaptive extensions.
+fn eleven_policies() -> Vec<PolicyKind> {
+    let all: Vec<PolicyKind> =
+        PolicyKind::ALL.iter().chain(PolicyKind::EXTENSIONS.iter()).copied().collect();
+    assert_eq!(all.len(), 11);
+    all
+}
+
+/// Runs `cfg` over `workload` on the recycling (default) and the
+/// reference hot path, asserts the two `SimResult`s are observationally
+/// identical, and returns them for lifecycle assertions.
+fn assert_paths_agree(
+    mut cfg: SocConfig,
+    workload: &[AppSpec],
+    what: &str,
+) -> (SimResult, SimResult) {
+    cfg.record_trace = true;
+    let run = |reference: bool| -> SimResult {
+        let mut cfg = cfg.clone();
+        cfg.reference_hot_path = reference;
+        SocSim::new(cfg, workload.to_vec()).run()
+    };
+    let fast = run(false);
+    let reference = run(true);
+
+    assert_eq!(
+        format!("{:?}", fast.stats),
+        format!("{:?}", reference.stats),
+        "{what}: RunStats diverged under instance recycling"
+    );
+    assert_eq!(
+        fast.per_app_mem_time, reference.per_app_mem_time,
+        "{what}: per-app DMA accounting diverged"
+    );
+    assert_eq!(
+        fast.per_app_compute_time, reference.per_app_compute_time,
+        "{what}: per-app compute accounting diverged"
+    );
+    assert_eq!(
+        fast.prediction.compute_rel_errors, reference.prediction.compute_rel_errors,
+        "{what}: compute-prediction samples diverged"
+    );
+    assert_eq!(
+        fast.prediction.dm_rel_errors, reference.prediction.dm_rel_errors,
+        "{what}: data-movement-prediction samples diverged (retirement fold broke ordering?)"
+    );
+    assert_eq!(
+        fast.prediction.bw_rel_errors, reference.prediction.bw_rel_errors,
+        "{what}: bandwidth-prediction samples diverged"
+    );
+    assert_eq!(fast.trace, reference.trace, "{what}: executed-task traces diverged");
+    assert_eq!(
+        fast.events_dispatched, reference.events_dispatched,
+        "{what}: event counts diverged"
+    );
+    assert!(
+        fast.live_high_water <= reference.live_high_water,
+        "{what}: recycling path held more live slots ({}) than never-retiring \
+         reference ({})",
+        fast.live_high_water,
+        reference.live_high_water
+    );
+    (fast, reference)
+}
+
+/// The self-healing stack the service-mode tests stream under: breakers,
+/// 2x-prediction request timeouts, and hedged retries for the top two
+/// QoS classes — every handle-outliving-the-instance mechanism at once.
+fn self_heal() -> SelfHealConfig {
+    SelfHealConfig {
+        breaker_failures: 3,
+        breaker_open_ps: 2_000_000_000,
+        probe_rate: 0.5,
+        probes_to_close: 2,
+        timeout_factor: 1.5,
+        hedge_budget: [1, 1, 0],
+        hedge_rate: 1.0,
+    }
+}
+
+/// A three-tenant Poisson stream at `rate` requests/s per tenant.
+fn stream(seed: u64, rate: f64, cap: u32, duration_ms: u64) -> StreamConfig {
+    StreamConfig {
+        seed,
+        duration_ps: duration_ms * 1_000_000_000,
+        warmup_ps: duration_ms * 100_000_000, // first 10%
+        tenants: vec![
+            TenantCfg::new(QosClass::Latency, rate),
+            TenantCfg::new(QosClass::Standard, rate),
+            TenantCfg::new(QosClass::BestEffort, rate),
+        ],
+        admission: AdmissionConfig { max_in_flight: cap, ..AdmissionConfig::default() },
+        self_heal: self_heal(),
+        ..StreamConfig::default()
+    }
+}
+
+/// The CGL tenant trio: one app spec per tenant, in tenant order.
+fn cgl_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec::once("C", App::Canny.dag()),
+        AppSpec::once("G", App::Gru.dag()),
+        AppSpec::once("L", App::Lstm.dag()),
+    ]
+}
+
+/// Twenty seeds rotated across all eleven policies on a closed-loop
+/// low-contention mix, with deterministic task/DMA faults folded into
+/// every third seed so the abort path (first-fault instance retirement)
+/// recycles slots mid-run.
+#[test]
+fn twenty_seeds_rotate_all_eleven_policies() {
+    let eleven = eleven_policies();
+    let mixes = Contention::Low.mixes();
+    // The second mix, so this suite's coverage differs from
+    // soa_equivalence (which sweeps the first).
+    let mix = mixes.get(1).expect("low contention has at least two mixes");
+    let workload = mix.workload();
+    for seed in 0..20u64 {
+        let policy = eleven[(seed as usize) % eleven.len()];
+        let mut cfg = config_for(policy, Contention::Low);
+        cfg.seed = 0x4EC1_0000 ^ seed.wrapping_mul(0x9E37_79B9);
+        let mut what = format!("seed {seed} {policy:?}");
+        if seed % 3 == 2 {
+            let fault_seed = cfg.seed ^ 0x4EC1;
+            cfg = cfg.with_fault(FaultConfig {
+                seed: fault_seed,
+                task_fault_rate: 0.03,
+                dma_fault_rate: 0.02,
+                ..FaultConfig::default()
+            });
+            what.push_str(" +faults");
+        }
+        assert_paths_agree(cfg, &workload, &what);
+    }
+}
+
+/// Open-loop service mode with the full self-healing stack and fault
+/// injection: timeouts cancel and hedge instances (exercising stale
+/// `Ev::Timeout`s on recycled slots), breakers shed, and the stream
+/// admits far more requests than are ever concurrently live. The
+/// recycling path must agree bit-for-bit *and* demonstrably recycle:
+/// its live-slot high-water mark stays strictly below the reference
+/// path's total-admissions count.
+#[test]
+fn service_mode_with_self_healing_recycles_and_agrees() {
+    for &(seed, rate, policy) in &[
+        (0x4EC5_0001u64, 1_500.0, PolicyKind::Relief),
+        (0x4EC5_0002, 2_000.0, PolicyKind::Fcfs),
+        (0x4EC5_0003, 1_000.0, PolicyKind::Adaptive),
+    ] {
+        let mut cfg = SocConfig::mobile(policy).with_stream(stream(seed, rate, 10, 10));
+        // DRAM-channel outages stall whole requests long enough for the
+        // self-healing timeouts to fire (and later land on recycled
+        // slots as stale events).
+        cfg = cfg.with_fault(FaultConfig {
+            seed: seed ^ 0xFA17,
+            task_fault_rate: 0.02,
+            dma_fault_rate: 0.02,
+            dram_mttf_ps: 2_000_000_000, // ~5 outages over the 10 ms stream
+            ..FaultConfig::default()
+        });
+        let what = format!("service seed {seed:#x} {policy:?}");
+        let (fast, reference) = assert_paths_agree(cfg, &cgl_apps(), &what);
+
+        let svc = &fast.stats.service;
+        assert!(svc.completed() > 0, "{what}: no request completed");
+        assert!(
+            svc.timed_out() > 0,
+            "{what}: no request timed out — the stale-timeout path was not exercised"
+        );
+        // Reference mode never retires, so its high-water mark equals
+        // total admissions; recycling must stay strictly below it.
+        assert!(
+            fast.live_high_water < reference.live_high_water,
+            "{what}: recycling never engaged (live high-water {} vs {} admissions)",
+            fast.live_high_water,
+            reference.live_high_water
+        );
+    }
+}
+
+/// Bounded-memory mode (the soak bench's observation diet) drops the
+/// O(completed) prediction and runtime samples but must not move one
+/// simulated event: traffic, service accounting, execution time, and
+/// the event count all stay bit-identical.
+#[test]
+fn bounded_memory_is_observation_only() {
+    let build = |bounded: bool| {
+        let mut cfg = SocConfig::mobile(PolicyKind::Relief)
+            .with_stream(stream(0x4EC5_00B1, 1_200.0, 10, 10));
+        cfg.bounded_memory = bounded;
+        SocSim::new(cfg, cgl_apps()).run()
+    };
+    let full = build(false);
+    let dieted = build(true);
+
+    assert_eq!(full.events_dispatched, dieted.events_dispatched);
+    assert_eq!(full.live_high_water, dieted.live_high_water);
+    assert_eq!(full.stats.exec_time, dieted.stats.exec_time);
+    assert_eq!(full.stats.traffic, dieted.stats.traffic);
+    assert_eq!(full.stats.service, dieted.stats.service);
+    assert_eq!(full.per_app_mem_time, dieted.per_app_mem_time);
+    assert_eq!(full.per_app_compute_time, dieted.per_app_compute_time);
+
+    assert!(!full.prediction.compute_rel_errors.is_empty());
+    assert!(dieted.prediction.compute_rel_errors.is_empty());
+    assert!(dieted.prediction.dm_rel_errors.is_empty());
+    assert!(dieted.prediction.bw_rel_errors.is_empty());
+    assert!(dieted.stats.apps.values().all(|a| a.dag_runtimes.is_empty()));
+}
